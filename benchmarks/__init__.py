@@ -1,0 +1,1 @@
+"""Benchmark suite regenerating every table and figure of the AASD paper."""

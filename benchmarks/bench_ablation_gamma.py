@@ -1,0 +1,68 @@
+"""Ablation: fixed speculation depth vs the adaptive-gamma extension.
+
+Compares the paper's fixed gamma in {1..8} against the AIMD controller in
+:mod:`repro.decoding.adaptive` on the AASD engine, reporting where the
+fixed-depth sweet spot lies and whether adaptation tracks it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AASDEngine, AASDEngineConfig
+from repro.decoding import AdaptiveGamma
+from repro.eval import render_bars, save_results
+from .conftest import RESULTS_DIR
+
+FIXED_GAMMAS = (1, 2, 3, 5, 8)
+_RESULTS = {}
+
+
+def _engine(zoo, runner, gamma, controller=None):
+    return AASDEngine(
+        zoo.target("sim-7b"),
+        zoo.aasd_head("sim-7b"),
+        zoo.tokenizer(),
+        runner.cost_model("sim-7b"),
+        AASDEngineConfig(gamma=gamma, max_new_tokens=runner.config.max_new_tokens),
+        gamma_controller=controller,
+    )
+
+
+@pytest.mark.parametrize("gamma", FIXED_GAMMAS, ids=[f"fixed-g{g}" for g in FIXED_GAMMAS])
+def test_fixed_gamma(benchmark, zoo, runner, gamma):
+    engine = _engine(zoo, runner, gamma)
+    sample = runner.dataset("coco-sim")[0]
+    benchmark.pedantic(lambda: engine.decode(sample), rounds=2, iterations=1)
+    report = runner.evaluate(engine, "sim-7b")
+    _RESULTS[("sim-7b", gamma, f"fixed γ={gamma}")] = report.row()
+    benchmark.extra_info.update(report.row())
+
+
+def test_adaptive_gamma(benchmark, zoo, runner):
+    engine = _engine(
+        zoo, runner, gamma=3,
+        controller=AdaptiveGamma(initial_gamma=3, min_gamma=1, max_gamma=8),
+    )
+    sample = runner.dataset("coco-sim")[0]
+    benchmark.pedantic(lambda: engine.decode(sample), rounds=2, iterations=1)
+    report = runner.evaluate(engine, "sim-7b")
+    _RESULTS[("sim-7b", 0, "adaptive")] = report.row()
+    benchmark.extra_info.update(report.row())
+
+
+def test_gamma_ablation_summary(benchmark, runner):
+    assert len(_RESULTS) == len(FIXED_GAMMAS) + 1
+    series = {label: row["omega"] for (_, _, label), row in _RESULTS.items()}
+    rendered = benchmark.pedantic(
+        lambda: render_bars("Speculation depth ablation: walltime speedup", series, unit="x"),
+        rounds=1, iterations=1,
+    )
+    print("\n" + rendered)
+    save_results(_RESULTS, RESULTS_DIR / "ablation_gamma", rendered=rendered)
+    adaptive = _RESULTS[("sim-7b", 0, "adaptive")]["omega"]
+    worst_fixed = min(
+        row["omega"] for key, row in _RESULTS.items() if key[2].startswith("fixed")
+    )
+    # Adaptation must never collapse below the worst fixed depth.
+    assert adaptive > worst_fixed

@@ -1,0 +1,79 @@
+"""Ablation: sweep the KV Projector compression width k.
+
+Not a table in the paper (which fixes k = 64 of 576, ~89% compression);
+this bench sweeps k for our 36 vision tokens to locate the
+quality/latency trade-off the paper's choice sits on.  Training a head per
+k is expensive, so the sweep trains short-budget heads and reports the
+acceptance/omega curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AASDDraftHead, AASDEngine, AASDEngineConfig, DraftHeadConfig
+from repro.eval import render_bars, save_results
+from repro.training import DraftTrainConfig, train_draft_head
+from .conftest import RESULTS_DIR
+
+K_VALUES = (2, 8, 36)
+_RESULTS = {}
+_HEAD_STEPS = 200  # short budget: the sweep compares k, not peak quality
+
+
+@pytest.fixture(scope="module")
+def sweep_setup(zoo, runner):
+    return dict(
+        target=zoo.target("sim-7b"),
+        tokenizer=zoo.tokenizer(),
+        pool=zoo.train_pool(),
+        cm=runner.cost_model("sim-7b"),
+    )
+
+
+@pytest.mark.parametrize("k", K_VALUES, ids=[f"k{k}" for k in K_VALUES])
+def test_k_sweep(benchmark, runner, sweep_setup, k):
+    setup = sweep_setup
+    target = setup["target"]
+    head = AASDDraftHead(
+        DraftHeadConfig.for_target(
+            target.config.llama,
+            n_vision_tokens=target.n_vision_tokens,
+            k_compressed=k,
+            use_kv_projector=(k < target.n_vision_tokens),
+        ),
+        rng=np.random.default_rng(k),
+    )
+    head.init_from_target(target.llama)
+    train_draft_head(
+        head, target, setup["tokenizer"], setup["pool"],
+        DraftTrainConfig(
+            steps=_HEAD_STEPS, batch_size=8, lr=2e-3, warmup_steps=20,
+            gamma_train=5, kl_weight=0.5, seed=k,
+        ),
+    )
+    engine = AASDEngine(
+        target, head, setup["tokenizer"], setup["cm"],
+        AASDEngineConfig(gamma=3, max_new_tokens=runner.config.max_new_tokens),
+    )
+    sample = runner.dataset("coco-sim")[0]
+    benchmark.pedantic(lambda: engine.decode(sample), rounds=2, iterations=1)
+
+    report = runner.evaluate(engine, "sim-7b")
+    _RESULTS[("sim-7b", 3, f"k={k}")] = report.row()
+    benchmark.extra_info.update(report.row())
+
+
+def test_k_sweep_summary(benchmark, runner):
+    assert len(_RESULTS) == len(K_VALUES)
+    series = {label: row["omega"] for (_, _, label), row in sorted(_RESULTS.items())}
+    rendered = benchmark.pedantic(
+        lambda: render_bars("KV Projector width sweep: walltime speedup", series, unit="x"),
+        rounds=1, iterations=1,
+    )
+    print("\n" + rendered)
+    save_results(_RESULTS, RESULTS_DIR / "ablation_k", rendered=rendered)
+    # Sanity: every width still beats 1x (speculation is never a loss here).
+    for row in _RESULTS.values():
+        assert row["omega"] > 1.0

@@ -1,0 +1,52 @@
+"""Regenerates **Table 2**: the Vision KV Projector ablation (w/ vs w/o)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import build_aasd_engine, render_table2, save_results
+from .conftest import RESULTS_DIR, bench_targets
+
+TARGETS = bench_targets()
+GAMMAS = (3, 5)
+_RESULTS = {}
+
+CASES = [
+    (t, g, label) for t in TARGETS for g in GAMMAS for label in ("w/o", "w/")
+]
+
+
+@pytest.mark.parametrize(
+    "target,gamma,label", CASES,
+    ids=[f"{t}-g{g}-{'proj' if l == 'w/' else 'noproj'}" for t, g, l in CASES],
+)
+def test_table2_cell(benchmark, runner, zoo, target, gamma, label):
+    engine = build_aasd_engine(
+        zoo, target, gamma, runner.cost_model(target),
+        max_new_tokens=runner.config.max_new_tokens,
+        use_kv_projector=(label == "w/"),
+    )
+    sample = runner.dataset("coco-sim")[0]
+    benchmark.pedantic(lambda: engine.decode(sample), rounds=2, iterations=1)
+
+    report = runner.evaluate(engine, target)
+    _RESULTS[(target, gamma, label)] = report.row()
+    benchmark.extra_info.update(report.row())
+
+
+def test_table2_summary(benchmark, runner):
+    assert len(_RESULTS) == len(CASES)
+    rendered = benchmark.pedantic(
+        lambda: render_table2(_RESULTS, targets=TARGETS), rounds=1, iterations=1
+    )
+    print("\n" + rendered)
+    save_results(_RESULTS, RESULTS_DIR / "table2", rendered=rendered)
+
+    # Paper's Table 2 claim: the projector improves walltime speedup (it
+    # removes the long uncompressed vision KV from every draft step).
+    for target in TARGETS:
+        for gamma in GAMMAS:
+            with_proj = _RESULTS[(target, gamma, "w/")]
+            without = _RESULTS[(target, gamma, "w/o")]
+            assert with_proj["omega"] > without["omega"], (target, gamma)
+            assert with_proj["delta"] > without["delta"], (target, gamma)

@@ -1,0 +1,55 @@
+"""Benchmark fixtures.
+
+Environment knobs:
+
+* ``REPRO_BENCH_PROFILE`` — zoo profile (``full`` default, ``smoke`` for CI),
+* ``REPRO_BENCH_SAMPLES`` — samples per dataset (default 10),
+* ``REPRO_BENCH_TOKENS`` — max new tokens (default 48),
+* ``REPRO_BENCH_TARGETS`` — comma-separated target subset
+  (default ``sim-7b,sim-13b``).
+
+The first full-profile run trains the model zoo (tens of minutes); artifacts
+are cached under ``.cache/zoo`` afterwards.  ``python scripts/build_zoo.py``
+pre-builds them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval import EvalConfig, ExperimentRunner
+from repro.zoo import ModelZoo, PROFILE_FULL, PROFILE_SMOKE
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_targets() -> tuple:
+    """Target list for table/figure benches (REPRO_BENCH_TARGETS)."""
+    raw = os.environ.get("REPRO_BENCH_TARGETS", "sim-7b,sim-13b")
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture(scope="session")
+def zoo() -> ModelZoo:
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "full")
+    return ModelZoo(PROFILE_SMOKE if profile == "smoke" else PROFILE_FULL, verbose=True)
+
+
+@pytest.fixture(scope="session")
+def eval_config() -> EvalConfig:
+    return EvalConfig(
+        samples_per_dataset=int(os.environ.get("REPRO_BENCH_SAMPLES", "10")),
+        max_new_tokens=int(os.environ.get("REPRO_BENCH_TOKENS", "48")),
+    )
+
+
+@pytest.fixture(scope="session")
+def runner(zoo, eval_config) -> ExperimentRunner:
+    return ExperimentRunner(zoo, eval_config)

@@ -1,0 +1,60 @@
+"""Quickstart: speed up a MiniLlava target with AASD speculative decoding.
+
+Runs with the fast "smoke" zoo by default so the first launch finishes in
+about a minute (artifacts are cached afterwards); pass ``--profile full``
+for benchmark-quality models.
+
+    python examples/quickstart.py
+    python examples/quickstart.py --profile full
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import AASDEngine, AASDEngineConfig
+from repro.decoding import AutoregressiveDecoder, CostModel, aggregate_metrics, get_profile
+from repro.zoo import ModelZoo, PROFILE_FULL, PROFILE_SMOKE
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="smoke", choices=["smoke", "full"])
+    parser.add_argument("--gamma", type=int, default=3)
+    parser.add_argument("--samples", type=int, default=5)
+    args = parser.parse_args()
+
+    zoo = ModelZoo(PROFILE_FULL if args.profile == "full" else PROFILE_SMOKE)
+    tokenizer = zoo.tokenizer()
+    target = zoo.target("sim-7b")
+    head = zoo.aasd_head("sim-7b")
+    cost_model = CostModel(get_profile("sim-7b"))
+
+    baseline = AutoregressiveDecoder(target, tokenizer, cost_model, max_new_tokens=48)
+    engine = AASDEngine(
+        target, head, tokenizer, cost_model,
+        AASDEngineConfig(gamma=args.gamma, max_new_tokens=48),
+    )
+
+    dataset = zoo.eval_dataset("coco-sim", args.samples)
+    ar_records, sd_records = [], []
+    for sample in dataset:
+        ar = baseline.decode(sample)
+        sd = engine.decode(sample)
+        ar_records.append(ar)
+        sd_records.append(sd)
+        status = "lossless" if sd.token_ids == ar.token_ids else "MISMATCH"
+        print(f"prompt : {sample.prompt}")
+        print(f"output : {sd.text}   [{status}]")
+        print()
+
+    report = aggregate_metrics(sd_records, ar_records)
+    print(f"walltime speedup  (omega): {report.walltime_speedup:.2f}x")
+    print(f"acceptance rate   (alpha): {report.acceptance_rate:.2f}")
+    print(f"block efficiency  (tau)  : {report.block_efficiency:.2f}")
+    print(f"decoding speed    (delta): {report.decoding_speed:.1f} tok/s "
+          f"(AR baseline {report.ar_decoding_speed:.1f} tok/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Multi-question VQA over one scene, with a per-block acceptance trace.
+
+Shows what the speculating module does inside a conversation: for each
+question the engine prints the answer plus, per draft-then-verify block,
+how many of the gamma draft tokens the target accepted.
+
+    python examples/vqa_chat.py --profile full
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import AASDEngine, AASDEngineConfig
+from repro.data import ImageRenderer, MultimodalSample, image_to_ascii, sample_scene
+from repro.data.language import conversation_sample, reasoning_sample
+from repro.decoding import CostModel, get_profile
+from repro.zoo import ModelZoo, PROFILE_FULL, PROFILE_SMOKE
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="smoke", choices=["smoke", "full"])
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    zoo = ModelZoo(PROFILE_FULL if args.profile == "full" else PROFILE_SMOKE)
+    engine = AASDEngine(
+        zoo.target("sim-7b"), zoo.aasd_head("sim-7b"), zoo.tokenizer(),
+        CostModel(get_profile("sim-7b")),
+        AASDEngineConfig(gamma=3, max_new_tokens=48),
+    )
+
+    rng = np.random.default_rng(args.seed)
+    scene = sample_scene(rng, min_objects=2, max_objects=3)
+    image = ImageRenderer().render(scene)
+    print("scene:", "; ".join(f"{o.phrase()} in the {o.position}" for o in scene))
+    print(image_to_ascii(image, width=24))
+    print()
+
+    questions = []
+    for _ in range(3):
+        questions.append(conversation_sample(scene, rng))
+    questions.append(reasoning_sample(scene, rng))
+
+    for prompt, ground_truth in questions:
+        sample = MultimodalSample(
+            image=image, prompt=prompt, response=ground_truth, task="conversation", scene=scene
+        )
+        record = engine.decode(sample)
+        trace = " ".join(f"{b.n_accepted}/{b.n_draft}" for b in record.blocks)
+        print(f"Q: {prompt}")
+        print(f"A: {record.text}")
+        print(f"   truth   : {ground_truth}")
+        print(f"   accepted: [{trace}]  "
+              f"({record.n_tokens} tokens in {len(record.blocks)} target verifies)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Build (and cache) every trained artifact used by the benchmarks.
+
+Run:  python scripts/build_zoo.py [--profile full|smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.zoo import ModelZoo, PROFILE_FULL, PROFILE_SMOKE, TARGET_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="full", choices=["full", "smoke"])
+    args = parser.parse_args()
+    profile = PROFILE_FULL if args.profile == "full" else PROFILE_SMOKE
+
+    zoo = ModelZoo(profile)
+    start = time.time()
+    zoo.tokenizer()
+    for target_name in TARGET_NAMES:
+        zoo.target(target_name)
+        print(f"== {target_name} target done ({time.time() - start:.0f}s)")
+        for variant in ("ft", "dt"):
+            zoo.text_draft(variant, target_name)
+            zoo.llava_draft(variant, target_name)
+        print(f"== {target_name} baselines done ({time.time() - start:.0f}s)")
+        zoo.aasd_head(target_name)
+        zoo.aasd_head(target_name, use_kv_projector=False)
+        zoo.aasd_head(target_name, use_target_kv=False)
+        print(f"== {target_name} AASD heads done ({time.time() - start:.0f}s)")
+    print(f"zoo build complete in {time.time() - start:.0f}s -> {zoo.cache_dir}")
+
+
+if __name__ == "__main__":
+    main()

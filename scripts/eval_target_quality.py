@@ -1,0 +1,55 @@
+"""Measure target-model quality and grounding; writes results/quality.json.
+
+    python scripts/eval_target_quality.py [--profile full] [--samples 24]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.data.tasks import DATASET_NAMES
+from repro.eval.quality import evaluate_quality, image_grounding_score
+from repro.zoo import ModelZoo, PROFILE_FULL, PROFILE_SMOKE, TARGET_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="full", choices=["full", "smoke"])
+    parser.add_argument("--samples", type=int, default=24)
+    parser.add_argument("--targets", default=",".join(TARGET_NAMES),
+                        help="comma-separated subset of targets")
+    parser.add_argument("--out", default="results/quality.json")
+    args = parser.parse_args()
+
+    zoo = ModelZoo(PROFILE_FULL if args.profile == "full" else PROFILE_SMOKE, verbose=False)
+    tok = zoo.tokenizer()
+    payload = {}
+    for target_name in args.targets.split(','):
+        model = zoo.target(target_name)
+        entry = {"n_parameters": model.num_parameters()}
+        grounding_samples = zoo.eval_dataset("coco-sim", min(8, args.samples)).samples
+        entry["image_grounding"] = image_grounding_score(model, tok, grounding_samples)
+        for dataset in DATASET_NAMES:
+            samples = zoo.eval_dataset(dataset, args.samples).samples
+            report = evaluate_quality(model, tok, samples, max_new_tokens=64)
+            entry[dataset] = {
+                "token_accuracy": report.token_accuracy,
+                "exact_match": report.exact_match,
+            }
+        payload[target_name] = entry
+        print(target_name, json.dumps(entry, indent=2))
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    if out.exists():
+        previous = json.loads(out.read_text(encoding="utf-8"))
+        previous.update(payload)
+        payload = previous
+    out.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

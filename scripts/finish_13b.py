@@ -1,0 +1,12 @@
+"""Build the remaining sim-13b artifacts (dt drafts + main AASD head)."""
+import time
+from repro.zoo import ModelZoo, PROFILE_FULL
+
+zoo = ModelZoo(PROFILE_FULL)
+t0 = time.time()
+zoo.text_draft("dt", "sim-13b")
+print(f"dt-llama-13b done {time.time()-t0:.0f}s", flush=True)
+zoo.llava_draft("dt", "sim-13b")
+print(f"dt-llava-13b done {time.time()-t0:.0f}s", flush=True)
+zoo.aasd_head("sim-13b")
+print(f"aasd-13b done {time.time()-t0:.0f}s", flush=True)

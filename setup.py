@@ -1,0 +1,14 @@
+"""Legacy setup shim: this offline environment lacks the ``wheel`` package,
+so PEP 517 editable installs fail; ``pip install -e . --no-use-pep517`` uses
+this file instead. Configuration lives in pyproject.toml."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

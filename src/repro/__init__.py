@@ -1,0 +1,20 @@
+"""repro — reproduction of AASD (DAC 2025): aligned speculative decoding
+for multimodal LLMs, with a full numpy substrate (autodiff framework,
+MiniLlama/MiniLlava models, synthetic multimodal tasks) and a calibrated
+benchmarking harness.
+
+Quickstart
+----------
+>>> from repro.zoo import ModelZoo, PROFILE_SMOKE
+>>> from repro.core import AASDEngine, AASDEngineConfig
+>>> from repro.decoding import CostModel, get_profile
+>>> zoo = ModelZoo(PROFILE_SMOKE)
+>>> engine = AASDEngine(
+...     zoo.target("sim-7b"), zoo.aasd_head("sim-7b"), zoo.tokenizer(),
+...     CostModel(get_profile("sim-7b")), AASDEngineConfig(gamma=3))
+>>> record = engine.decode(zoo.eval_dataset("coco-sim", 1)[0])
+"""
+
+from .version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""AASD core: KV projector, T-D attention, speculating module, engine."""
+
+from .draft_head import AASDDraftHead, DraftHeadConfig
+from .engine import AASDEngine, AASDEngineConfig
+from .hybrid_cache import SEGMENT_TEXT, SEGMENT_VISION, HybridKVCache
+from .kv_projector import KVProjector
+from .td_attention import (
+    naive_target_draft_attention,
+    target_draft_attention,
+    td_attention_masks,
+)
+
+__all__ = [
+    "KVProjector",
+    "td_attention_masks",
+    "target_draft_attention",
+    "naive_target_draft_attention",
+    "HybridKVCache",
+    "SEGMENT_VISION",
+    "SEGMENT_TEXT",
+    "AASDDraftHead",
+    "DraftHeadConfig",
+    "AASDEngine",
+    "AASDEngineConfig",
+]

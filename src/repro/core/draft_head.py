@@ -1,0 +1,255 @@
+"""The AASD speculating module (draft head).
+
+A single-block transformer that shares the target's embedding geometry and
+generates draft tokens by attending over the *target model's last-layer KV
+cache* (vision slice compressed by the :class:`KVProjector`) plus its own KV
+for tokens drafted in the current block.  Trained with Target-Draft
+Attention so the training-time attention pattern matches inference exactly.
+
+Parameter budget: one attention block + one SwiGLU + tied embedding head —
+roughly 1/15 of the sim-7b target, mirroring the paper's lightweight module
+versus the 112M independent drafts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+from ..models.llama import MiniLlama
+from ..nn import functional as F
+from ..nn.attention import MultiHeadAttention, causal_mask, merge_heads, split_heads
+from ..nn.layers import Embedding, Linear
+from ..nn.module import Module
+from ..nn.normalization import RMSNorm
+from ..nn.rope import RotaryEmbedding, apply_rope
+from ..nn.tensor import Tensor, concat
+from ..nn.transformer import SwiGLU
+from .hybrid_cache import SEGMENT_TEXT, SEGMENT_VISION, HybridKVCache
+from .kv_projector import KVProjector
+from .td_attention import target_draft_attention
+
+__all__ = ["DraftHeadConfig", "AASDDraftHead"]
+
+
+@dataclass(frozen=True)
+class DraftHeadConfig:
+    """Shape and ablation switches of the speculating module."""
+
+    vocab_size: int
+    dim: int                 # must equal the target backbone dim
+    n_heads: int             # must equal the target backbone heads
+    mlp_hidden: int = 192
+    n_vision_tokens: int = 36
+    k_compressed: int = 8
+    use_kv_projector: bool = True   # Table 2 ablation switch
+    use_target_kv: bool = True      # Figure 3 ablation switch
+    rope_base: float = 10000.0
+
+    def __post_init__(self) -> None:
+        if self.dim % self.n_heads != 0:
+            raise ConfigError(f"dim {self.dim} not divisible by n_heads {self.n_heads}")
+        if (self.dim // self.n_heads) % 2 != 0:
+            raise ConfigError("head_dim must be even for RoPE")
+        if self.use_kv_projector and not 0 < self.k_compressed <= self.n_vision_tokens:
+            raise ConfigError(
+                f"k_compressed must be in (0, {self.n_vision_tokens}], got {self.k_compressed}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.dim // self.n_heads
+
+    @classmethod
+    def for_target(cls, target_llama_config, n_vision_tokens: int, **overrides) -> "DraftHeadConfig":
+        """Derive a head config matching a target backbone's KV geometry."""
+        return cls(
+            vocab_size=target_llama_config.vocab_size,
+            dim=target_llama_config.dim,
+            n_heads=target_llama_config.n_heads,
+            n_vision_tokens=n_vision_tokens,
+            rope_base=target_llama_config.rope_base,
+            **overrides,
+        )
+
+
+class AASDDraftHead(Module):
+    """One hybrid-attention transformer block + tied LM head."""
+
+    def __init__(self, config: DraftHeadConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.config = config
+        self.embed = Embedding(config.vocab_size, config.dim, rng=gen)
+        self.rope = RotaryEmbedding(config.head_dim, base=config.rope_base)
+        self.attn_norm = RMSNorm(config.dim)
+        self.wq = Linear(config.dim, config.dim, bias=False, rng=gen)
+        self.wk = Linear(config.dim, config.dim, bias=False, rng=gen)
+        self.wv = Linear(config.dim, config.dim, bias=False, rng=gen)
+        self.wo = Linear(config.dim, config.dim, bias=False, rng=gen)
+        self.mlp_norm = RMSNorm(config.dim)
+        self.mlp = SwiGLU(config.dim, config.mlp_hidden, rng=gen)
+        self.out_norm = RMSNorm(config.dim)
+        self.projector = (
+            KVProjector(config.n_vision_tokens, config.k_compressed, rng=gen)
+            if (config.use_kv_projector and config.use_target_kv)
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def init_from_target(self, target_llama: MiniLlama) -> None:
+        """Copy the target's embedding table (shared token geometry)."""
+        if target_llama.embed.weight.data.shape != self.embed.weight.data.shape:
+            raise ShapeError("target embedding shape does not match draft head config")
+        self.embed.weight.data = target_llama.embed.weight.data.copy()
+
+    def lm_head(self, hidden: Tensor) -> Tensor:
+        return hidden @ self.embed.weight.swapaxes(0, 1)
+
+    def qkv(self, x: Tensor, positions: np.ndarray) -> Tuple[Tensor, Tensor, Tensor]:
+        """Project normed activations to RoPE'd per-head q/k/v."""
+        q = split_heads(self.wq(x), self.config.n_heads)
+        k = split_heads(self.wk(x), self.config.n_heads)
+        v = split_heads(self.wv(x), self.config.n_heads)
+        cos, sin = self.rope.tables(np.asarray(positions, dtype=np.int64))
+        return apply_rope(q, cos, sin), apply_rope(k, cos, sin), v
+
+    def compress_vision(self, k_vision, v_vision) -> Tuple[Tensor, Tensor]:
+        """Apply the KV Projector (or pass raw vision KV through)."""
+        if self.projector is not None:
+            return self.projector(k_vision, v_vision)
+        return Tensor(np.asarray(k_vision)), Tensor(np.asarray(v_vision))
+
+    # ------------------------------------------------------------------
+    # Training forward (Target-Draft Attention)
+    # ------------------------------------------------------------------
+    def forward_train(
+        self,
+        text_ids: np.ndarray,
+        target_k_text: Optional[np.ndarray],
+        target_v_text: Optional[np.ndarray],
+        k_vision: Optional[np.ndarray],
+        v_vision: Optional[np.ndarray],
+        s: int = 1,
+        position_offset: int = 0,
+    ) -> Tensor:
+        """Teacher-forced pass returning next-token logits ``(B, T, vocab)``.
+
+        ``target_k_text``/``target_v_text`` are the target's last-layer text
+        KV (constants); ``k_vision``/``v_vision`` the last-layer vision KV
+        fed to the projector.  With ``use_target_kv=False`` both are ignored
+        and the head trains as a plain causal self-attention block.
+        """
+        text_ids = np.asarray(text_ids, dtype=np.int64)
+        if text_ids.ndim == 1:
+            text_ids = text_ids[None, :]
+        b, t = text_ids.shape
+        positions = position_offset + np.arange(t, dtype=np.int64)
+
+        x = self.embed(text_ids)
+        h = self.attn_norm(x)
+        q, k, v = self.qkv(h, positions)
+
+        if self.config.use_target_kv:
+            if target_k_text is None or target_v_text is None:
+                raise ShapeError("use_target_kv=True requires target text KV")
+            k_static = v_static = None
+            if k_vision is not None:
+                k_static, v_static = self.compress_vision(k_vision, v_vision)
+            attn = target_draft_attention(
+                q,
+                Tensor(np.asarray(target_k_text)),
+                Tensor(np.asarray(target_v_text)),
+                k,
+                v,
+                s=s,
+                k_static=k_static,
+                v_static=v_static,
+            )
+        else:
+            blocked = causal_mask(positions, positions)
+            attn = MultiHeadAttention.attend(q, k, v, blocked=blocked)
+
+        x = x + self.wo(merge_heads(attn))
+        x = x + self.mlp(self.mlp_norm(x))
+        return self.lm_head(self.out_norm(x))
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def build_context(self, target_cache, hybrid: HybridKVCache) -> None:
+        """Populate the hybrid cache from the target's last-layer KV.
+
+        Vision KV is compressed by the projector (positions ``0..k-1``,
+        which is safe because every text query position exceeds them);
+        text KV keeps its true absolute positions.
+        """
+        if not self.config.use_target_kv:
+            raise ShapeError("build_context is only valid when use_target_kv=True")
+        k_last, v_last = target_cache.last_layer()
+        n_vis = target_cache.segments.n_vision
+        k_vis = k_last[:, :, :n_vis, :]
+        v_vis = v_last[:, :, :n_vis, :]
+        k_cmp, v_cmp = self.compress_vision(k_vis, v_vis)
+        hybrid.append_context(
+            k_cmp.data,
+            v_cmp.data,
+            np.arange(k_cmp.shape[2], dtype=np.int64),
+            SEGMENT_VISION,
+        )
+        hybrid.append_context(
+            k_last[:, :, n_vis:, :],
+            v_last[:, :, n_vis:, :],
+            target_cache.positions[n_vis:],
+            SEGMENT_TEXT,
+        )
+
+    def self_encode(self, token_ids: np.ndarray, positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Compute the head's own K/V for tokens (no attention needed).
+
+        Because the head is a single block, its keys/values depend only on
+        each token's embedding — so priming a self-context (the
+        ``use_target_kv=False`` ablation) is one parallel projection.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64).reshape(1, -1)
+        h = self.attn_norm(self.embed(token_ids))
+        _, k, v = self.qkv(h, positions)
+        return k.data, v.data
+
+    def step(
+        self,
+        token_id: int,
+        position: int,
+        hybrid: HybridKVCache,
+        disable_image_kv: bool = False,
+        disable_text_kv: bool = False,
+    ) -> np.ndarray:
+        """One draft step: returns next-token logits ``(vocab,)``.
+
+        Appends the token's own K/V to the hybrid cache's draft segment
+        (the query attends to it, matching T-D Attention's ``j = i`` rule).
+        """
+        positions = np.asarray([position], dtype=np.int64)
+        x = self.embed(np.asarray([[token_id]], dtype=np.int64))
+        h = self.attn_norm(x)
+        q, k, v = self.qkv(h, positions)
+
+        ctx_k, ctx_v, key_pos, key_blocked = hybrid.gather(
+            disable_image_kv=disable_image_kv, disable_text_kv=disable_text_kv
+        )
+        k_all = concat([Tensor(ctx_k), k], axis=2)
+        v_all = concat([Tensor(ctx_v), v], axis=2)
+        all_pos = np.concatenate([key_pos, positions])
+        blocked = causal_mask(positions, all_pos)
+        blocked = blocked | np.concatenate([key_blocked, [False]])[None, :]
+
+        attn = MultiHeadAttention.attend(q, k_all, v_all, blocked=blocked)
+        x = x + self.wo(merge_heads(attn))
+        x = x + self.mlp(self.mlp_norm(x))
+        logits = self.lm_head(self.out_norm(x))
+
+        hybrid.append_draft(k.data, v.data, positions)
+        return logits.data[0, -1]

@@ -1,0 +1,202 @@
+"""AASDEngine: the full prefill / draft / verify inference loop.
+
+This is the paper's Figure 2a pipeline:
+
+1. **Prefill** — the target processes image + prompt, producing its KV
+   cache and the first token; the draft head compresses the vision slice of
+   the last-layer KV through the projector and adopts the text slice as its
+   attention context.
+2. **Draft** — the speculating module autoregressively proposes gamma
+   tokens, attending over [compressed vision KV, target text KV, its own
+   block-local KV].
+3. **Verify** — one parallel target forward checks the block (greedy match
+   or speculative sampling).  The verification forward's *own last-layer KV
+   output* for the accepted tokens is appended to the draft context, so
+   context maintenance costs nothing extra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.tasks import MultimodalSample
+from ..decoding.base import Decoder, encode_prompt
+from ..decoding.cost_model import CostModel
+from ..decoding.metrics import BlockRecord, DecodeRecord
+from ..decoding.sampling import Sampler, SamplerConfig, logits_to_probs, speculative_verify
+from ..errors import DecodingError
+from ..models.llava import MiniLlava
+from ..nn.tensor import no_grad
+from ..tokenizer import WordTokenizer
+from ..decoding.adaptive import FixedGamma, GammaController
+from ..utils.timing import WallTimer
+from .draft_head import AASDDraftHead
+from .hybrid_cache import SEGMENT_TEXT, HybridKVCache
+
+__all__ = ["AASDEngineConfig", "AASDEngine"]
+
+
+@dataclass(frozen=True)
+class AASDEngineConfig:
+    """Runtime knobs of the engine (ablation switches included)."""
+
+    gamma: int = 3
+    max_new_tokens: int = 64
+    disable_image_kv: bool = False   # Figure 4 ablation
+    disable_text_kv: bool = False    # Figure 4 ablation
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 0:
+            raise DecodingError(f"gamma must be positive, got {self.gamma}")
+        if self.max_new_tokens <= 0:
+            raise DecodingError(f"max_new_tokens must be positive, got {self.max_new_tokens}")
+
+
+class AASDEngine(Decoder):
+    """Speculative decoding with the KV-reusing speculating module."""
+
+    def __init__(
+        self,
+        target: MiniLlava,
+        head: AASDDraftHead,
+        tokenizer: WordTokenizer,
+        cost_model: CostModel,
+        config: Optional[AASDEngineConfig] = None,
+        sampler_config: Optional[SamplerConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        gamma_controller: Optional[GammaController] = None,
+    ) -> None:
+        self.target = target
+        self.head = head
+        self.tokenizer = tokenizer
+        self.cost_model = cost_model
+        self.config = config or AASDEngineConfig()
+        self.gamma_controller = gamma_controller or FixedGamma(self.config.gamma)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.sampler = Sampler(sampler_config or SamplerConfig(), rng=self.rng)
+        if head.config.n_vision_tokens != target.n_vision_tokens and head.config.use_target_kv:
+            raise DecodingError(
+                f"draft head expects {head.config.n_vision_tokens} vision tokens, "
+                f"target produces {target.n_vision_tokens}"
+            )
+
+    @property
+    def name(self) -> str:
+        return "ours"
+
+    # ------------------------------------------------------------------
+    def decode(self, sample: MultimodalSample) -> DecodeRecord:
+        cfg = self.config
+        record = DecodeRecord()
+        prompt_ids = encode_prompt(self.tokenizer, sample)
+        eos = self.tokenizer.vocab.eos_id
+        n_vis = self.target.n_vision_tokens
+        gen_base = n_vis + len(prompt_ids)  # absolute position of committed[0]
+
+        with WallTimer() as timer, no_grad():
+            target_cache, last_logits = self.target.prefill(
+                sample.image[None], prompt_ids[None]
+            )
+            record.sim_time_ms += self.cost_model.target_prefill()
+            record.n_target_forwards += 1
+
+            hybrid = HybridKVCache(self.head.config.n_heads, self.head.config.head_dim)
+            if self.head.config.use_target_kv:
+                self.head.build_context(target_cache, hybrid)
+                if self.head.projector is not None:
+                    record.sim_time_ms += self.cost_model.projector()
+            else:
+                # Figure 3 ablation: the head encodes the prompt itself.
+                positions = n_vis + np.arange(len(prompt_ids), dtype=np.int64)
+                k_own, v_own = self.head.self_encode(prompt_ids, positions)
+                hybrid.append_context(k_own, v_own, positions, SEGMENT_TEXT)
+                record.sim_time_ms += self.cost_model.draft_prefill()
+
+            committed: List[int] = [self.sampler.sample(last_logits[0])]
+            self.gamma_controller.reset()
+
+            while committed[-1] != eos and len(committed) < cfg.max_new_tokens:
+                last = committed[-1]
+                last_pos = gen_base + len(committed) - 1
+                gamma = self.gamma_controller.next_gamma()
+
+                # ---- draft: gamma steps of the speculating module -------
+                draft_tokens: List[int] = []
+                draft_probs: List[np.ndarray] = []
+                token, pos = last, last_pos
+                for _ in range(gamma):
+                    record.sim_time_ms += self.cost_model.aasd_step(hybrid.total_len + 1)
+                    logits = self.head.step(
+                        token,
+                        pos,
+                        hybrid,
+                        disable_image_kv=cfg.disable_image_kv,
+                        disable_text_kv=cfg.disable_text_kv,
+                    )
+                    draft_probs.append(logits_to_probs(logits, self.sampler.config))
+                    token = self.sampler.sample(logits)
+                    draft_tokens.append(token)
+                    pos += 1
+
+                # ---- verify: one parallel target forward ----------------
+                verify_start = target_cache.seq_len
+                feed = np.asarray([[last] + draft_tokens], dtype=np.int64)
+                out = self.target.decode(feed, target_cache)
+                record.sim_time_ms += self.cost_model.target_verify(gamma + 1)
+                record.n_target_forwards += 1
+
+                outcome = speculative_verify(
+                    draft_tokens,
+                    np.stack(draft_probs),
+                    out.logits.data[0],
+                    self.sampler.config,
+                    self.rng,
+                )
+                record.blocks.append(
+                    BlockRecord(
+                        n_draft=gamma,
+                        n_accepted=outcome.n_accepted,
+                        n_emitted=outcome.tokens_emitted,
+                    )
+                )
+                self.gamma_controller.update(outcome.n_accepted, gamma)
+
+                # Roll back rejected tokens in the target cache.
+                keep = 1 + outcome.n_accepted
+                target_cache.truncate(verify_start + keep)
+
+                # ---- context maintenance --------------------------------
+                hybrid.clear_draft()
+                positions = last_pos + np.arange(keep, dtype=np.int64)
+                if self.head.config.use_target_kv:
+                    # Free by-product of verification: last-layer KV of the
+                    # fed tokens, trimmed to the accepted prefix.
+                    k_new, v_new = out.last_layer_kv
+                    hybrid.append_context(
+                        k_new.data[:, :, :keep, :],
+                        v_new.data[:, :, :keep, :],
+                        positions,
+                        SEGMENT_TEXT,
+                    )
+                else:
+                    emitted = np.asarray([last] + list(outcome.accepted), dtype=np.int64)
+                    k_own, v_own = self.head.self_encode(emitted, positions)
+                    hybrid.append_context(k_own, v_own, positions, SEGMENT_TEXT)
+                    record.sim_time_ms += self.cost_model.draft_sync(keep)
+
+                committed.extend(outcome.accepted)
+                committed.append(outcome.next_token)
+                if eos in committed:
+                    committed = committed[: committed.index(eos) + 1]
+                    break
+                if len(committed) >= cfg.max_new_tokens:
+                    committed = committed[: cfg.max_new_tokens]
+                    break
+
+        record.token_ids = committed
+        record.wall_time_s = timer.elapsed
+        record.text = self.tokenizer.decode(committed)
+        return record

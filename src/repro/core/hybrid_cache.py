@@ -1,0 +1,124 @@
+"""Hybrid KV cache: target-provided context + the draft head's own KV.
+
+During AASD inference the speculating module attends over two stores:
+
+* the **context**: compressed vision KV plus the target model's last-layer
+  text KV for every committed token except the newest (grows after each
+  verify step, fed by the verification forward's KV by-product);
+* the **draft segment**: the head's own KV for tokens drafted in the
+  current block (cleared after each verify).
+
+Context entries carry a segment tag (vision/text) so the Figure 4 ablations
+can mask a modality at attention time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["HybridKVCache", "SEGMENT_VISION", "SEGMENT_TEXT"]
+
+SEGMENT_VISION = 0
+SEGMENT_TEXT = 1
+
+
+class HybridKVCache:
+    """Numpy KV store for one AASD generation session (batch size 1)."""
+
+    def __init__(self, n_heads: int, head_dim: int) -> None:
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        shape = (1, n_heads, 0, head_dim)
+        self._ctx_k = np.empty(shape, dtype=np.float32)
+        self._ctx_v = np.empty(shape, dtype=np.float32)
+        self._ctx_pos = np.empty((0,), dtype=np.int64)
+        self._ctx_seg = np.empty((0,), dtype=np.int8)
+        self._draft_k = np.empty(shape, dtype=np.float32)
+        self._draft_v = np.empty(shape, dtype=np.float32)
+        self._draft_pos = np.empty((0,), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def context_len(self) -> int:
+        return self._ctx_k.shape[2]
+
+    @property
+    def draft_len(self) -> int:
+        return self._draft_k.shape[2]
+
+    @property
+    def total_len(self) -> int:
+        return self.context_len + self.draft_len
+
+    def _check(self, k: np.ndarray, v: np.ndarray, positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        k = np.asarray(k, dtype=np.float32)
+        v = np.asarray(v, dtype=np.float32)
+        positions = np.asarray(positions, dtype=np.int64)
+        if k.shape != v.shape:
+            raise ShapeError(f"K/V mismatch: {k.shape} vs {v.shape}")
+        if k.ndim != 4 or k.shape[0] != 1 or k.shape[1] != self.n_heads or k.shape[3] != self.head_dim:
+            raise ShapeError(
+                f"expected (1, {self.n_heads}, T, {self.head_dim}), got {k.shape}"
+            )
+        if positions.shape != (k.shape[2],):
+            raise ShapeError(
+                f"positions shape {positions.shape} != ({k.shape[2]},)"
+            )
+        return k, v, positions
+
+    # ------------------------------------------------------------------
+    def append_context(self, k: np.ndarray, v: np.ndarray, positions: np.ndarray, segment: int) -> None:
+        """Append target-provided (or projected) KV to the context store."""
+        if segment not in (SEGMENT_VISION, SEGMENT_TEXT):
+            raise ShapeError(f"unknown segment tag {segment}")
+        k, v, positions = self._check(k, v, positions)
+        self._ctx_k = np.concatenate([self._ctx_k, k], axis=2)
+        self._ctx_v = np.concatenate([self._ctx_v, v], axis=2)
+        self._ctx_pos = np.concatenate([self._ctx_pos, positions])
+        self._ctx_seg = np.concatenate(
+            [self._ctx_seg, np.full(k.shape[2], segment, dtype=np.int8)]
+        )
+
+    def append_draft(self, k: np.ndarray, v: np.ndarray, positions: np.ndarray) -> None:
+        """Append the draft head's own KV for freshly drafted tokens."""
+        k, v, positions = self._check(k, v, positions)
+        self._draft_k = np.concatenate([self._draft_k, k], axis=2)
+        self._draft_v = np.concatenate([self._draft_v, v], axis=2)
+        self._draft_pos = np.concatenate([self._draft_pos, positions])
+
+    def clear_draft(self) -> None:
+        """Drop the block-local draft KV (called after every verify)."""
+        shape = (1, self.n_heads, 0, self.head_dim)
+        self._draft_k = np.empty(shape, dtype=np.float32)
+        self._draft_v = np.empty(shape, dtype=np.float32)
+        self._draft_pos = np.empty((0,), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def gather(
+        self,
+        disable_image_kv: bool = False,
+        disable_text_kv: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(K, V, key_positions, blocked)`` over context + draft.
+
+        ``blocked`` is a per-key boolean row implementing the modality
+        ablations; the draft segment is never blocked.
+        """
+        k = np.concatenate([self._ctx_k, self._draft_k], axis=2)
+        v = np.concatenate([self._ctx_v, self._draft_v], axis=2)
+        positions = np.concatenate([self._ctx_pos, self._draft_pos])
+        blocked = np.zeros(k.shape[2], dtype=bool)
+        if disable_image_kv:
+            blocked[: self.context_len] |= self._ctx_seg == SEGMENT_VISION
+        if disable_text_kv:
+            blocked[: self.context_len] |= self._ctx_seg == SEGMENT_TEXT
+        return k, v, positions, blocked
+
+    def segment_counts(self) -> Tuple[int, int]:
+        """(n_vision, n_text) context entries — used by cost accounting."""
+        n_vision = int((self._ctx_seg == SEGMENT_VISION).sum())
+        return n_vision, self.context_len - n_vision

@@ -1,0 +1,177 @@
+"""Target-Draft Attention (T-D Attn): train-time alignment with inference.
+
+The problem (paper Sec. 3.3)
+----------------------------
+At inference, when the draft head generates its s-th token of a block at
+text position i, its query attends to
+
+* the *target* model's KV for positions ``<= i - s`` (plus the compressed
+  vision KV, which is always visible), and
+* the draft head's *own* KV for the block's tokens, positions
+  ``i - s + 1 .. i``.
+
+A standard lower-triangular causal mask over one KV set cannot express this
+two-source pattern, and literally materialising a separate
+``(q_i, K_hat_i, V_hat_i)`` set per position costs O(n^2) memory.
+
+The optimisation (paper Eq. 12-13)
+----------------------------------
+Because softmax only needs the *row* of combined scores, it suffices to
+compute the two score matrices ``Q' K^T`` (draft queries vs target keys)
+and ``Q' K'^T`` (draft queries vs draft keys) once, mask each with its own
+index rule, take one softmax over the concatenation, and split the weights
+back over ``V`` and ``V'``:
+
+    o_hat_i = a_hat_i V_{i-s}  +  a_hat_i V'_{i-s+1..i}
+
+This file implements that fused computation (differentiable, used for
+training) and a literal per-position reference implementation used by the
+test suite to prove equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..nn import functional as F
+from ..nn.tensor import Tensor, as_tensor, concat
+
+__all__ = [
+    "td_attention_masks",
+    "target_draft_attention",
+    "naive_target_draft_attention",
+]
+
+
+def td_attention_masks(n: int, s: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Blocking masks (True = blocked) for the two KV sources.
+
+    Query at local position ``i`` may attend:
+      * target keys ``j``   with ``j <= i - s``,
+      * draft  keys ``j``   with ``i - s < j <= i``.
+
+    With ``s = 1`` this is the paper's base case: all history from the
+    target plus the draft's own current token.
+    """
+    if s < 1:
+        raise ShapeError(f"draft depth s must be >= 1, got {s}")
+    idx = np.arange(n)
+    i = idx[:, None]
+    j = idx[None, :]
+    blocked_target = j > i - s
+    blocked_draft = (j <= i - s) | (j > i)
+    return blocked_target, blocked_draft
+
+
+def target_draft_attention(
+    q: Tensor,
+    k_target: Tensor,
+    v_target: Tensor,
+    k_draft: Tensor,
+    v_draft: Tensor,
+    s: int = 1,
+    k_static: Optional[Tensor] = None,
+    v_static: Optional[Tensor] = None,
+) -> Tensor:
+    """Fused T-D attention over (static, target, draft) KV sources.
+
+    Parameters
+    ----------
+    q, k_draft, v_draft:
+        Draft-head queries/keys/values, ``(B, H, T, Dh)``.
+    k_target, v_target:
+        Target-model last-layer KV at the same T text positions (treated as
+        constants by the caller — detach before passing when training).
+    s:
+        Simulated draft depth (how many tokens the draft has produced in
+        the current block); sampled in ``1..gamma`` during training.
+    k_static, v_static:
+        Optional always-visible context of shape ``(B, H, S, Dh)`` — the
+        compressed vision KV.
+
+    Returns the attention output ``(B, H, T, Dh)``.
+    """
+    q = as_tensor(q)
+    k_target, v_target = as_tensor(k_target), as_tensor(v_target)
+    k_draft, v_draft = as_tensor(k_draft), as_tensor(v_draft)
+    n = q.shape[2]
+    if k_target.shape[2] != n or k_draft.shape[2] != n:
+        raise ShapeError(
+            f"key lengths must equal query length {n}: "
+            f"target={k_target.shape[2]}, draft={k_draft.shape[2]}"
+        )
+    blocked_target, blocked_draft = td_attention_masks(n, s)
+
+    keys = [k_target, k_draft]
+    values = [v_target, v_draft]
+    blocks = [blocked_target, blocked_draft]
+    if k_static is not None:
+        if v_static is None:
+            raise ShapeError("k_static given without v_static")
+        k_static = as_tensor(k_static)
+        v_static = as_tensor(v_static)
+        keys.insert(0, k_static)
+        values.insert(0, v_static)
+        blocks.insert(0, np.zeros((n, k_static.shape[2]), dtype=bool))
+
+    k_all = concat(keys, axis=2)
+    v_all = concat(values, axis=2)
+    blocked = np.concatenate(blocks, axis=1)
+
+    scale = 1.0 / np.sqrt(q.shape[-1])
+    scores = (q @ k_all.swapaxes(-1, -2)) * scale
+    scores = scores.masked_fill(blocked, -1e9)
+    weights = F.softmax(scores, axis=-1)
+    return weights @ v_all
+
+
+def naive_target_draft_attention(
+    q: np.ndarray,
+    k_target: np.ndarray,
+    v_target: np.ndarray,
+    k_draft: np.ndarray,
+    v_draft: np.ndarray,
+    s: int = 1,
+    k_static: Optional[np.ndarray] = None,
+    v_static: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Literal per-position reference: builds K_hat_i / V_hat_i explicitly.
+
+    This is the O(n^2)-memory construction the paper argues against; it is
+    kept (numpy only, no autodiff) as the ground truth for equivalence
+    tests and for the kernel benchmark that quantifies the fused version's
+    advantage.
+    """
+    if s < 1:
+        raise ShapeError(f"draft depth s must be >= 1, got {s}")
+    q = np.asarray(q, dtype=np.float64)
+    k_target = np.asarray(k_target, dtype=np.float64)
+    v_target = np.asarray(v_target, dtype=np.float64)
+    k_draft = np.asarray(k_draft, dtype=np.float64)
+    v_draft = np.asarray(v_draft, dtype=np.float64)
+    b, h, n, dh = q.shape
+    out = np.zeros_like(q)
+    scale = 1.0 / np.sqrt(dh)
+    for i in range(n):
+        tgt_end = max(0, i - s + 1)          # target keys j <= i - s
+        drf_lo = max(0, i - s + 1)           # draft keys i - s < j <= i
+        pieces_k = []
+        pieces_v = []
+        if k_static is not None:
+            pieces_k.append(np.asarray(k_static, dtype=np.float64))
+            pieces_v.append(np.asarray(v_static, dtype=np.float64))
+        pieces_k.append(k_target[:, :, :tgt_end, :])
+        pieces_v.append(v_target[:, :, :tgt_end, :])
+        pieces_k.append(k_draft[:, :, drf_lo : i + 1, :])
+        pieces_v.append(v_draft[:, :, drf_lo : i + 1, :])
+        k_hat = np.concatenate(pieces_k, axis=2)
+        v_hat = np.concatenate(pieces_v, axis=2)
+        scores = np.einsum("bhd,bhkd->bhk", q[:, :, i, :], k_hat) * scale
+        scores -= scores.max(axis=-1, keepdims=True)
+        weights = np.exp(scores)
+        weights /= weights.sum(axis=-1, keepdims=True)
+        out[:, :, i, :] = np.einsum("bhk,bhkd->bhd", weights, v_hat)
+    return out

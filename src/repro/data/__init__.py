@@ -1,0 +1,54 @@
+"""Synthetic multimodal data: scenes, images, language, tasks, corpora."""
+
+from .ascii_art import image_to_ascii, scene_summary
+from .corpus import BASE_WORDS, build_reference_texts, text_only_corpus
+from .dataloader import (
+    IGNORE_INDEX,
+    MultimodalBatch,
+    collate_multimodal,
+    iter_batches,
+    pack_documents,
+)
+from .images import DEFAULT_IMAGE_SIZE, ImageRenderer
+from .language import (
+    NUMBER_WORDS,
+    caption_sample,
+    conversation_sample,
+    detail_sample,
+    reasoning_sample,
+    scienceqa_sample,
+)
+from .scenes import COLORS, GRID_POSITIONS, SHAPES, SIZES, Scene, SceneObject, sample_scene
+from .tasks import DATASET_NAMES, MultimodalSample, TaskDataset, make_dataset
+
+__all__ = [
+    "Scene",
+    "SceneObject",
+    "sample_scene",
+    "SHAPES",
+    "COLORS",
+    "SIZES",
+    "GRID_POSITIONS",
+    "ImageRenderer",
+    "DEFAULT_IMAGE_SIZE",
+    "NUMBER_WORDS",
+    "caption_sample",
+    "conversation_sample",
+    "detail_sample",
+    "reasoning_sample",
+    "scienceqa_sample",
+    "MultimodalSample",
+    "TaskDataset",
+    "make_dataset",
+    "DATASET_NAMES",
+    "build_reference_texts",
+    "text_only_corpus",
+    "BASE_WORDS",
+    "IGNORE_INDEX",
+    "MultimodalBatch",
+    "collate_multimodal",
+    "pack_documents",
+    "iter_batches",
+    "image_to_ascii",
+    "scene_summary",
+]

@@ -1,0 +1,47 @@
+"""Terminal rendering of scene images (for the examples).
+
+Maps each pixel block to a colored unicode glyph so `examples/vqa_chat.py`
+can show what the model is looking at without any image viewer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scenes import COLORS, Scene
+
+__all__ = ["image_to_ascii", "scene_summary"]
+
+_GLYPHS = " .:-=+*#%@"
+
+
+def image_to_ascii(image: np.ndarray, width: int = 36) -> str:
+    """Render an ``(H, W, 3)`` image as an ASCII block.
+
+    Uses luminance for glyph choice and the first letter of the nearest
+    palette color for colored pixels, so shapes remain identifiable.
+    """
+    image = np.asarray(image, dtype=np.float32)
+    h, w, _ = image.shape
+    step = max(1, w // width)
+    rows = []
+    palette = {name: np.asarray(rgb, dtype=np.float32) for name, rgb in COLORS.items()}
+    background = image.reshape(-1, 3).min(axis=0)
+    for y in range(0, h, step):
+        row = []
+        for x in range(0, w, step):
+            block = image[y : y + step, x : x + step].reshape(-1, 3).mean(axis=0)
+            lum = float(block.mean())
+            if np.abs(block - background).sum() < 0.15:
+                row.append(" ")
+                continue
+            nearest = min(palette, key=lambda name: float(np.abs(palette[name] - block).sum()))
+            glyph_idx = min(len(_GLYPHS) - 1, int(lum * len(_GLYPHS)))
+            row.append(nearest[0] if lum > 0.2 else _GLYPHS[glyph_idx])
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def scene_summary(scene: Scene) -> str:
+    """One-line human-readable description of a scene."""
+    return "; ".join(f"{obj.phrase()} in the {obj.position}" for obj in scene)

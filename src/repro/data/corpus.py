@@ -1,0 +1,91 @@
+"""Text corpora: vocabulary builder and the text-only pretraining stream.
+
+``build_reference_texts`` enumerates enough template output to cover the
+entire synthetic language, so the tokenizer vocabulary is closed (no
+``<unk>`` at train or eval time).  ``text_only_corpus`` is the RedPajama
+stand-in used to pretrain the small language-only draft models: it contains
+fluent sentences *about* scenes but is never paired with an image, so a model
+trained on it learns syntax and plausible attribute words without any way to
+know which attribute is correct for a particular image.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..utils.rng import derive
+from . import language
+from .scenes import COLORS, GRID_POSITIONS, SHAPES, SIZES, sample_scene
+
+__all__ = ["build_reference_texts", "text_only_corpus", "BASE_WORDS"]
+
+#: Every word the templates can emit, listed explicitly so vocabulary
+#: coverage does not depend on sampling luck.
+BASE_WORDS: List[str] = sorted(
+    set(
+        list(SHAPES)
+        + list(COLORS)
+        + list(SIZES)
+        + [w for name, _ in GRID_POSITIONS for w in name.split()]
+        + list(language.NUMBER_WORDS)
+        + [
+            "a", "b", "the", "image", "shows", "contains", "in", "is", "are",
+            "there", "and", "of", "to", "i", "can", "see", "that", "makes",
+            "what", "where", "how", "which", "many", "big", "color", "object",
+            "objects", "describe", "briefly", "detail", "detailed", "write",
+            "short", "caption", "for", "shown", "give", "description", "every",
+            "question", "choices", "answer", "so", "yes", "no", "above", "below",
+            "left", "right",
+        ]
+    )
+)
+
+
+def build_reference_texts(seed: int = 0, n_scenes: int = 200) -> List[str]:
+    """Texts that jointly cover the whole synthetic language.
+
+    Used to build the tokenizer vocabulary; includes one synthetic sentence
+    enumerating every base word plus sampled template outputs.
+    """
+    rng = derive(seed, "corpus:reference")
+    texts: List[str] = [" ".join(BASE_WORDS)]
+    generators = (
+        language.caption_sample,
+        language.conversation_sample,
+        language.detail_sample,
+        language.reasoning_sample,
+        language.scienceqa_sample,
+    )
+    for _ in range(n_scenes):
+        scene = sample_scene(rng)
+        for gen in generators:
+            prompt, response = gen(scene, rng)
+            texts.append(f"{prompt} {response}")
+    return texts
+
+
+def text_only_corpus(seed: int = 0, n_documents: int = 500) -> List[str]:
+    """Text-only pretraining stream (RedPajama/OIG stand-in).
+
+    Each document is a prompt/response pair rendered from a random scene that
+    is *not* shipped with the text, so a language model can learn the
+    template grammar and the marginal distribution of attribute words, but
+    nothing about any particular image.
+    """
+    rng = derive(seed, "corpus:text-only")
+    generators = (
+        language.caption_sample,
+        language.conversation_sample,
+        language.detail_sample,
+        language.reasoning_sample,
+        language.scienceqa_sample,
+    )
+    docs: List[str] = []
+    for i in range(n_documents):
+        scene = sample_scene(rng)
+        gen = generators[i % len(generators)]
+        prompt, response = gen(scene, rng)
+        docs.append(f"{prompt} {response}")
+    return docs

@@ -1,0 +1,115 @@
+"""Batch collation for training: multimodal batches and packed LM streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..tokenizer import WordTokenizer
+from .tasks import MultimodalSample
+
+__all__ = ["IGNORE_INDEX", "MultimodalBatch", "collate_multimodal", "pack_documents", "iter_batches"]
+
+#: Label value that contributes zero loss (prompt and padding positions).
+IGNORE_INDEX = -100
+
+
+@dataclass(frozen=True)
+class MultimodalBatch:
+    """A right-padded batch of image + text training sequences.
+
+    ``text_ids[b]`` is ``[bos, prompt..., response..., eos, pad...]``;
+    ``labels[b, t]`` is the id that the model should predict *at* text
+    position t (i.e. already shifted by one), with :data:`IGNORE_INDEX` on
+    prompt and pad positions so loss is measured on the response only.
+    """
+
+    images: np.ndarray          # (B, H, W, 3)
+    text_ids: np.ndarray        # (B, T) int64
+    labels: np.ndarray          # (B, T) int64, IGNORE_INDEX outside response
+    prompt_lengths: np.ndarray  # (B,) length of [bos + prompt] per sample
+
+    @property
+    def batch_size(self) -> int:
+        return self.text_ids.shape[0]
+
+    @property
+    def seq_len(self) -> int:
+        return self.text_ids.shape[1]
+
+
+def collate_multimodal(
+    samples: Sequence[MultimodalSample],
+    tokenizer: WordTokenizer,
+    loss_on_prompt: bool = False,
+) -> MultimodalBatch:
+    """Tokenize and right-pad a list of samples into one batch."""
+    if not samples:
+        raise ValueError("cannot collate an empty batch")
+    pad = tokenizer.vocab.pad_id
+    rows: List[np.ndarray] = []
+    prompt_lens: List[int] = []
+    for s in samples:
+        prompt_ids = [tokenizer.vocab.bos_id] + tokenizer.encode(s.prompt)
+        response_ids = tokenizer.encode(s.response) + [tokenizer.vocab.eos_id]
+        rows.append(np.asarray(prompt_ids + response_ids, dtype=np.int64))
+        prompt_lens.append(len(prompt_ids))
+
+    max_len = max(len(r) for r in rows)
+    batch = len(rows)
+    text_ids = np.full((batch, max_len), pad, dtype=np.int64)
+    labels = np.full((batch, max_len), IGNORE_INDEX, dtype=np.int64)
+    for b, (row, p_len) in enumerate(zip(rows, prompt_lens)):
+        text_ids[b, : len(row)] = row
+        # Position t predicts token t+1; response starts at index p_len.
+        start = 0 if loss_on_prompt else p_len - 1
+        for t in range(start, len(row) - 1):
+            labels[b, t] = row[t + 1]
+
+    images = np.stack([s.image for s in samples]).astype(np.float32)
+    return MultimodalBatch(
+        images=images,
+        text_ids=text_ids,
+        labels=labels,
+        prompt_lengths=np.asarray(prompt_lens, dtype=np.int64),
+    )
+
+
+def pack_documents(
+    documents: Sequence[str],
+    tokenizer: WordTokenizer,
+    seq_len: int,
+) -> np.ndarray:
+    """Pack documents into ``(N, seq_len + 1)`` rows for causal LM training.
+
+    Each document is encoded as ``bos ... eos`` and the stream is chunked;
+    row ``[:, :-1]`` is the input and ``[:, 1:]`` the target.
+    """
+    if seq_len < 2:
+        raise ValueError(f"seq_len must be >= 2, got {seq_len}")
+    stream: List[int] = []
+    for doc in documents:
+        stream.extend(tokenizer.encode(doc, add_bos=True, add_eos=True))
+    n_rows = len(stream) // (seq_len + 1)
+    if n_rows == 0:
+        raise ValueError("corpus too small for requested seq_len")
+    trimmed = np.asarray(stream[: n_rows * (seq_len + 1)], dtype=np.int64)
+    return trimmed.reshape(n_rows, seq_len + 1)
+
+
+def iter_batches(
+    items: Sequence,
+    batch_size: int,
+    rng: np.random.Generator,
+    shuffle: bool = True,
+) -> Iterator[List]:
+    """Yield lists of items of size <= batch_size, optionally shuffled."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    order = np.arange(len(items))
+    if shuffle:
+        rng.shuffle(order)
+    for start in range(0, len(items), batch_size):
+        yield [items[i] for i in order[start : start + batch_size]]

@@ -1,0 +1,85 @@
+"""Rasteriser: scenes -> RGB pixel arrays.
+
+The renderer produces ``(H, W, 3)`` float32 arrays in ``[0, 1]`` (default
+48x48).  Each grid cell is 16x16 pixels and holds one shape drawn from an
+analytic mask (48x48 by default, 16-pixel cells).  This is the stand-in
+for COCO/LLaVA images: small enough for a numpy ViT, rich enough that
+shape/color/size/position are all recoverable only from pixels.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .scenes import COLORS, Scene
+
+__all__ = ["ImageRenderer", "DEFAULT_IMAGE_SIZE"]
+
+DEFAULT_IMAGE_SIZE = 48
+_BACKGROUND = 0.06
+
+
+def _shape_mask(shape: str, cell: int, radius: float) -> np.ndarray:
+    """Boolean mask of a shape centred in a ``cell x cell`` tile."""
+    c = (cell - 1) / 2.0
+    ys, xs = np.mgrid[0:cell, 0:cell].astype(np.float64)
+    dy, dx = ys - c, xs - c
+    if shape == "circle":
+        return dx * dx + dy * dy <= radius * radius
+    if shape == "square":
+        return (np.abs(dx) <= radius) & (np.abs(dy) <= radius)
+    if shape == "triangle":
+        # Upward triangle: widens linearly towards the bottom edge.
+        return (dy >= -radius) & (dy <= radius) & (np.abs(dx) <= (dy + radius) / 2.0)
+    if shape == "diamond":
+        return np.abs(dx) + np.abs(dy) <= radius
+    if shape == "cross":
+        bar = max(1.0, radius / 2.0)
+        return ((np.abs(dx) <= bar) & (np.abs(dy) <= radius)) | (
+            (np.abs(dy) <= bar) & (np.abs(dx) <= radius)
+        )
+    if shape == "star":
+        # Plus of diagonals: union of the two diagonal bars.
+        bar = max(1.0, radius / 2.0)
+        return ((np.abs(dx - dy) <= bar) | (np.abs(dx + dy) <= bar)) & (
+            (np.abs(dx) <= radius) & (np.abs(dy) <= radius)
+        )
+    raise ValueError(f"unknown shape {shape!r}")
+
+
+class ImageRenderer:
+    """Deterministic scene -> image rasteriser."""
+
+    def __init__(self, image_size: int = DEFAULT_IMAGE_SIZE) -> None:
+        if image_size % 3 != 0:
+            raise ValueError(f"image_size must be divisible by 3, got {image_size}")
+        self.image_size = image_size
+        self.cell = image_size // 3
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return (self.image_size, self.image_size, 3)
+
+    def radius_for(self, size: str) -> float:
+        """Pixel radius for a size word, relative to the cell size."""
+        if size == "small":
+            return self.cell * 0.18
+        if size == "large":
+            return self.cell * 0.38
+        raise ValueError(f"unknown size {size!r}")
+
+    def render(self, scene: Scene) -> np.ndarray:
+        """Render ``scene`` to an ``(H, W, 3)`` float32 array in [0, 1]."""
+        img = np.full(self.shape, _BACKGROUND, dtype=np.float32)
+        for obj in scene:
+            row, col = obj.cell
+            mask = _shape_mask(obj.shape, self.cell, self.radius_for(obj.size))
+            rgb = np.asarray(COLORS[obj.color], dtype=np.float32)
+            tile = img[
+                row * self.cell : (row + 1) * self.cell,
+                col * self.cell : (col + 1) * self.cell,
+            ]
+            tile[mask] = rgb
+        return img

@@ -1,0 +1,167 @@
+"""Templated language generation from scene graphs.
+
+Each generator maps a :class:`~repro.data.scenes.Scene` (plus an RNG for
+template choice) to a ``(prompt, response)`` pair.  The response is a
+deterministic function of the scene given the chosen template, which makes
+greedy decoding by a well-trained target model reproducible and lets tests
+assert exact outputs.
+
+Task families (mirroring the paper's three evaluation datasets):
+
+* **caption** - single-sentence image captions (COCO stand-in),
+* **conversation / detail / reasoning** - the LLaVA-Bench-in-the-wild mix,
+* **scienceqa** - multiple-choice questions answered with a short
+  chain-of-thought followed by ``the answer is <letter>``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .scenes import Scene, SceneObject
+
+__all__ = [
+    "NUMBER_WORDS",
+    "caption_sample",
+    "conversation_sample",
+    "detail_sample",
+    "reasoning_sample",
+    "scienceqa_sample",
+]
+
+NUMBER_WORDS = ("zero", "one", "two", "three", "four", "five", "six")
+
+
+def _join_phrases(phrases: List[str]) -> str:
+    if len(phrases) == 1:
+        return phrases[0]
+    return " and ".join([", ".join(phrases[:-1]), phrases[-1]]) if len(phrases) > 2 else " and ".join(phrases)
+
+
+def _object_clause(obj: SceneObject) -> str:
+    return f"{obj.phrase()} in the {obj.position}"
+
+
+def caption_sample(scene: Scene, rng: np.random.Generator) -> Tuple[str, str]:
+    """COCO-style captioning prompt/response."""
+    prompts = (
+        "describe the image briefly.",
+        "write a short caption for the image.",
+        "what is shown in the image?",
+    )
+    prompt = prompts[int(rng.integers(len(prompts)))]
+    clauses = [_object_clause(obj) for obj in scene]
+    response = f"the image shows {_join_phrases(clauses)}."
+    return prompt, response
+
+
+def detail_sample(scene: Scene, rng: np.random.Generator) -> Tuple[str, str]:
+    """LLaVA-Bench 'detailed description' prompt/response."""
+    prompts = (
+        "describe the image in detail.",
+        "give a detailed description of every object.",
+    )
+    prompt = prompts[int(rng.integers(len(prompts)))]
+    count = NUMBER_WORDS[len(scene)]
+    noun = "object" if len(scene) == 1 else "objects"
+    sentences = [f"the image contains {count} {noun}."]
+    for obj in scene:
+        sentences.append(f"there is {obj.phrase()} in the {obj.position}.")
+    return prompt, " ".join(sentences)
+
+
+def conversation_sample(scene: Scene, rng: np.random.Generator) -> Tuple[str, str]:
+    """LLaVA-Bench 'conversation' single-turn QA about one attribute."""
+    unique = scene.unique_shapes()
+    if not unique:
+        return caption_sample(scene, rng)
+    shape = unique[int(rng.integers(len(unique)))]
+    obj = scene.by_shape(shape)[0]
+    kind = int(rng.integers(3))
+    if kind == 0:
+        return (
+            f"what color is the {shape}?",
+            f"the {shape} is {obj.color}.",
+        )
+    if kind == 1:
+        return (
+            f"where is the {shape}?",
+            f"the {shape} is in the {obj.position}.",
+        )
+    return (
+        f"how big is the {shape}?",
+        f"the {shape} is {obj.size}.",
+    )
+
+
+def reasoning_sample(scene: Scene, rng: np.random.Generator) -> Tuple[str, str]:
+    """LLaVA-Bench 'complex reasoning': counting or spatial relations."""
+    kind = int(rng.integers(2))
+    if kind == 0 or len(scene) < 2:
+        count = NUMBER_WORDS[len(scene)]
+        noun = "object" if len(scene) == 1 else "objects"
+        names = _join_phrases([f"the {obj.shape}" for obj in scene])
+        return (
+            "how many objects are in the image?",
+            f"i can see {names}. there are {count} {noun} in the image.",
+        )
+    unique = scene.unique_shapes()
+    if len(unique) < 2:
+        return reasoning_sample(Scene(scene.objects[:1]), rng)
+    i, j = rng.choice(len(unique), size=2, replace=False)
+    a = scene.by_shape(unique[int(i)])[0]
+    b = scene.by_shape(unique[int(j)])[0]
+    if a.cell[1] != b.cell[1]:
+        relation = "left of" if scene.left_of(a, b) else "right of"
+        answer = "yes" if scene.left_of(a, b) else "no"
+        question = f"is the {a.shape} to the left of the {b.shape}?"
+        explain = f"the {a.shape} is in the {a.position} and the {b.shape} is in the {b.position}."
+        return question, f"{explain} so the answer is {answer}."
+    relation = "above" if scene.above(a, b) else "below"
+    answer = "yes" if scene.above(a, b) else "no"
+    question = f"is the {a.shape} above the {b.shape}?"
+    explain = f"the {a.shape} is in the {a.position} and the {b.shape} is in the {b.position}."
+    return question, f"{explain} so the answer is {answer}."
+
+
+def scienceqa_sample(scene: Scene, rng: np.random.Generator) -> Tuple[str, str]:
+    """ScienceQA-style multiple choice with a chain-of-thought answer."""
+    unique = scene.unique_shapes()
+    kind = int(rng.integers(2))
+    if kind == 0 and len(unique) >= 2:
+        # Which object is <color>?
+        i, j = rng.choice(len(unique), size=2, replace=False)
+        a = scene.by_shape(unique[int(i)])[0]
+        b = scene.by_shape(unique[int(j)])[0]
+        if a.color == b.color:
+            kind = 1
+        else:
+            question = (
+                f"question: which object is {a.color}? "
+                f"choices: a. the {a.shape} b. the {b.shape}"
+            )
+            cot = (
+                f"the {a.shape} is {a.color}. the {b.shape} is {b.color}. "
+                f"the answer is a."
+            )
+            return question, cot
+    # Count question with lettered choices.
+    n = len(scene)
+    wrong = n + 1 if n < len(NUMBER_WORDS) - 1 else n - 1
+    order = int(rng.integers(2))
+    choices = [NUMBER_WORDS[n], NUMBER_WORDS[wrong]]
+    if order == 1:
+        choices = choices[::-1]
+    correct_letter = "a" if choices[0] == NUMBER_WORDS[n] else "b"
+    question = (
+        "question: how many objects are in the image? "
+        f"choices: a. {choices[0]} b. {choices[1]}"
+    )
+    names = _join_phrases([f"the {obj.shape}" for obj in scene])
+    cot = (
+        f"i can see {names}. that makes {NUMBER_WORDS[n]} "
+        f"{'object' if n == 1 else 'objects'}. the answer is {correct_letter}."
+    )
+    return question, cot

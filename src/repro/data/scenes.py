@@ -1,0 +1,165 @@
+"""Scene graphs: the ground truth behind every synthetic image and text.
+
+A :class:`Scene` is a small set of :class:`SceneObject` entries, each with a
+shape, color, size and grid position.  The image renderer rasterises scenes,
+and the language generators produce captions / QA / reasoning text from them,
+so the correct continuation of every multimodal prompt is a deterministic
+function of the scene — exactly the property needed to study how much a
+draft model benefits from visual context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SHAPES",
+    "COLORS",
+    "SIZES",
+    "GRID_POSITIONS",
+    "SceneObject",
+    "Scene",
+    "sample_scene",
+]
+
+SHAPES: Tuple[str, ...] = ("circle", "square", "triangle", "star", "diamond", "cross")
+
+#: Color name -> RGB in [0, 1].
+COLORS = {
+    "red": (0.90, 0.15, 0.15),
+    "green": (0.15, 0.80, 0.20),
+    "blue": (0.15, 0.30, 0.90),
+    "yellow": (0.95, 0.90, 0.15),
+    "purple": (0.60, 0.20, 0.80),
+    "orange": (0.95, 0.55, 0.10),
+    "cyan": (0.15, 0.85, 0.85),
+    "white": (0.95, 0.95, 0.95),
+}
+
+SIZES: Tuple[str, ...] = ("small", "large")
+
+#: 3x3 grid of named positions, row-major: (name, (row, col)).
+GRID_POSITIONS: Tuple[Tuple[str, Tuple[int, int]], ...] = (
+    ("top left", (0, 0)),
+    ("top", (0, 1)),
+    ("top right", (0, 2)),
+    ("left", (1, 0)),
+    ("center", (1, 1)),
+    ("right", (1, 2)),
+    ("bottom left", (2, 0)),
+    ("bottom", (2, 1)),
+    ("bottom right", (2, 2)),
+)
+
+_POSITION_NAMES = tuple(name for name, _ in GRID_POSITIONS)
+_POSITION_CELLS = {name: cell for name, cell in GRID_POSITIONS}
+
+
+@dataclass(frozen=True)
+class SceneObject:
+    """One object in a scene."""
+
+    shape: str
+    color: str
+    size: str
+    position: str
+
+    def __post_init__(self) -> None:
+        if self.shape not in SHAPES:
+            raise ValueError(f"unknown shape {self.shape!r}")
+        if self.color not in COLORS:
+            raise ValueError(f"unknown color {self.color!r}")
+        if self.size not in SIZES:
+            raise ValueError(f"unknown size {self.size!r}")
+        if self.position not in _POSITION_CELLS:
+            raise ValueError(f"unknown position {self.position!r}")
+
+    @property
+    def cell(self) -> Tuple[int, int]:
+        """(row, col) in the 3x3 grid."""
+        return _POSITION_CELLS[self.position]
+
+    def phrase(self) -> str:
+        """Noun phrase such as ``a large red circle``."""
+        return f"a {self.size} {self.color} {self.shape}"
+
+
+@dataclass(frozen=True)
+class Scene:
+    """An ordered collection of objects occupying distinct grid cells."""
+
+    objects: Tuple[SceneObject, ...]
+
+    def __post_init__(self) -> None:
+        if not self.objects:
+            raise ValueError("a scene needs at least one object")
+        cells = [obj.cell for obj in self.objects]
+        if len(set(cells)) != len(cells):
+            raise ValueError("scene objects must occupy distinct cells")
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self):
+        return iter(self.objects)
+
+    # ------------------------------------------------------------------
+    # Queries used by the language generators
+    # ------------------------------------------------------------------
+    def by_shape(self, shape: str) -> List[SceneObject]:
+        return [obj for obj in self.objects if obj.shape == shape]
+
+    def by_color(self, color: str) -> List[SceneObject]:
+        return [obj for obj in self.objects if obj.color == color]
+
+    def unique_shapes(self) -> List[str]:
+        """Shapes that occur exactly once (unambiguous to refer to)."""
+        counts: dict = {}
+        for obj in self.objects:
+            counts[obj.shape] = counts.get(obj.shape, 0) + 1
+        return [obj.shape for obj in self.objects if counts[obj.shape] == 1]
+
+    def left_of(self, a: SceneObject, b: SceneObject) -> bool:
+        return a.cell[1] < b.cell[1]
+
+    def above(self, a: SceneObject, b: SceneObject) -> bool:
+        return a.cell[0] < b.cell[0]
+
+
+def sample_scene(
+    rng: np.random.Generator,
+    min_objects: int = 1,
+    max_objects: int = 3,
+    shapes: Optional[Sequence[str]] = None,
+) -> Scene:
+    """Draw a random scene with distinct shapes in distinct cells.
+
+    Shapes are sampled without replacement so references like "the circle"
+    are always unambiguous, matching the templated question generators.
+    """
+    if not 1 <= min_objects <= max_objects <= len(SHAPES):
+        raise ValueError(f"invalid object count range [{min_objects}, {max_objects}]")
+    n = int(rng.integers(min_objects, max_objects + 1))
+    pool = list(shapes) if shapes is not None else list(SHAPES)
+    chosen_shapes = rng.choice(pool, size=n, replace=False)
+    positions = rng.choice(len(_POSITION_NAMES), size=n, replace=False)
+    colors = list(COLORS)
+    # Raster order (top-left to bottom-right): every enumeration the
+    # language generators emit becomes a deterministic function of the
+    # rendered image, which the target model needs to be exactly learnable.
+    objects = sorted(
+        (
+            SceneObject(
+                shape=str(shape),
+                color=colors[int(rng.integers(len(colors)))],
+                size=SIZES[int(rng.integers(len(SIZES)))],
+                position=_POSITION_NAMES[int(pos)],
+            )
+            for shape, pos in zip(chosen_shapes, positions)
+        ),
+        key=lambda obj: obj.cell,
+    )
+    return Scene(objects=tuple(objects))

@@ -1,0 +1,129 @@
+"""Task datasets: COCO-sim captioning, LLaVA-Bench-sim mix, ScienceQA-sim.
+
+Every dataset is a deterministic function of ``(seed, size)`` and yields
+:class:`MultimodalSample` records — an image array plus a prompt/response
+pair grounded in the same scene.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.rng import derive
+from . import language
+from .images import DEFAULT_IMAGE_SIZE, ImageRenderer
+from .scenes import Scene, sample_scene
+
+__all__ = [
+    "MultimodalSample",
+    "TaskDataset",
+    "make_dataset",
+    "DATASET_BUILDERS",
+    "DATASET_NAMES",
+]
+
+Generator = Callable[[Scene, np.random.Generator], Tuple[str, str]]
+
+_GENERATORS: Dict[str, Generator] = {
+    "caption": language.caption_sample,
+    "conversation": language.conversation_sample,
+    "detail": language.detail_sample,
+    "reasoning": language.reasoning_sample,
+    "scienceqa": language.scienceqa_sample,
+}
+
+
+@dataclass(frozen=True)
+class MultimodalSample:
+    """One evaluation/training example."""
+
+    image: np.ndarray
+    prompt: str
+    response: str
+    task: str
+    scene: Scene
+
+    def full_text(self) -> str:
+        """Prompt and response as one string (no image marker)."""
+        return f"{self.prompt} {self.response}"
+
+
+@dataclass
+class TaskDataset:
+    """A named, finite, deterministic list of multimodal samples."""
+
+    name: str
+    samples: List[MultimodalSample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def __getitem__(self, idx: int) -> MultimodalSample:
+        return self.samples[idx]
+
+    def subset(self, n: int) -> "TaskDataset":
+        return TaskDataset(name=self.name, samples=self.samples[:n])
+
+
+def _build(
+    name: str,
+    task_mix: Sequence[str],
+    size: int,
+    seed: int,
+    image_size: int,
+) -> TaskDataset:
+    rng = derive(seed, f"dataset:{name}")
+    renderer = ImageRenderer(image_size)
+    samples: List[MultimodalSample] = []
+    for i in range(size):
+        scene = sample_scene(rng)
+        task = task_mix[i % len(task_mix)]
+        prompt, response = _GENERATORS[task](scene, rng)
+        samples.append(
+            MultimodalSample(
+                image=renderer.render(scene),
+                prompt=prompt,
+                response=response,
+                task=task,
+                scene=scene,
+            )
+        )
+    return TaskDataset(name=name, samples=samples)
+
+
+def _coco_sim(size: int, seed: int, image_size: int) -> TaskDataset:
+    return _build("coco-sim", ("caption",), size, seed, image_size)
+
+
+def _llava_bench_sim(size: int, seed: int, image_size: int) -> TaskDataset:
+    return _build(
+        "llava-bench-sim", ("conversation", "detail", "reasoning"), size, seed, image_size
+    )
+
+
+def _scienceqa_sim(size: int, seed: int, image_size: int) -> TaskDataset:
+    return _build("scienceqa-sim", ("scienceqa",), size, seed, image_size)
+
+
+DATASET_BUILDERS: Dict[str, Callable[[int, int, int], TaskDataset]] = {
+    "coco-sim": _coco_sim,
+    "llava-bench-sim": _llava_bench_sim,
+    "scienceqa-sim": _scienceqa_sim,
+}
+
+DATASET_NAMES: Tuple[str, ...] = tuple(DATASET_BUILDERS)
+
+
+def make_dataset(name: str, size: int, seed: int = 0, image_size: int = DEFAULT_IMAGE_SIZE) -> TaskDataset:
+    """Build one of the three evaluation datasets by name."""
+    if name not in DATASET_BUILDERS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {sorted(DATASET_BUILDERS)}")
+    if size <= 0:
+        raise ValueError(f"dataset size must be positive, got {size}")
+    return DATASET_BUILDERS[name](size, seed, image_size)

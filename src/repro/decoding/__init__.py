@@ -1,0 +1,47 @@
+"""Decoding framework: AR baseline, speculative decoding, metrics, costs."""
+
+from .adaptive import AdaptiveGamma, FixedGamma, GammaController
+from .autoregressive import AutoregressiveDecoder
+from .base import Decoder, encode_prompt, trim_at_eos
+from .cost_model import PROFILES, CostModel, CostProfile, get_profile
+from .metrics import BlockRecord, DecodeRecord, SpeedupReport, aggregate_metrics
+from .sampling import (
+    Sampler,
+    SamplerConfig,
+    VerifyOutcome,
+    logits_to_probs,
+    speculative_verify,
+)
+from .speculative import (
+    IndependentDraft,
+    LlamaTextDraft,
+    LlavaDraft,
+    SpeculativeDecoder,
+)
+
+__all__ = [
+    "GammaController",
+    "FixedGamma",
+    "AdaptiveGamma",
+    "Decoder",
+    "encode_prompt",
+    "trim_at_eos",
+    "AutoregressiveDecoder",
+    "SpeculativeDecoder",
+    "IndependentDraft",
+    "LlamaTextDraft",
+    "LlavaDraft",
+    "CostModel",
+    "CostProfile",
+    "get_profile",
+    "PROFILES",
+    "BlockRecord",
+    "DecodeRecord",
+    "SpeedupReport",
+    "aggregate_metrics",
+    "Sampler",
+    "SamplerConfig",
+    "VerifyOutcome",
+    "logits_to_probs",
+    "speculative_verify",
+]

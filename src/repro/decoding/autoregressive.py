@@ -1,0 +1,65 @@
+"""Autoregressive baseline decoder (the paper's 1.00x reference)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.tasks import MultimodalSample
+from ..models.llava import MiniLlava
+from ..nn.tensor import no_grad
+from ..tokenizer import WordTokenizer
+from ..utils.timing import WallTimer
+from .base import Decoder, encode_prompt
+from .cost_model import CostModel
+from .metrics import DecodeRecord
+from .sampling import Sampler, SamplerConfig
+
+__all__ = ["AutoregressiveDecoder"]
+
+
+class AutoregressiveDecoder(Decoder):
+    """Plain one-token-per-forward decoding of the target MLLM."""
+
+    def __init__(
+        self,
+        target: MiniLlava,
+        tokenizer: WordTokenizer,
+        cost_model: CostModel,
+        max_new_tokens: int = 64,
+        sampler_config: Optional[SamplerConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.target = target
+        self.tokenizer = tokenizer
+        self.cost_model = cost_model
+        self.max_new_tokens = max_new_tokens
+        self.sampler = Sampler(sampler_config or SamplerConfig(), rng=rng)
+
+    @property
+    def name(self) -> str:
+        return "autoregressive"
+
+    def decode(self, sample: MultimodalSample) -> DecodeRecord:
+        record = DecodeRecord()
+        prompt_ids = encode_prompt(self.tokenizer, sample)
+        eos = self.tokenizer.vocab.eos_id
+
+        with WallTimer() as timer, no_grad():
+            cache, last_logits = self.target.prefill(sample.image[None], prompt_ids[None])
+            record.sim_time_ms += self.cost_model.target_prefill()
+            record.n_target_forwards += 1
+
+            token = self.sampler.sample(last_logits[0])
+            record.token_ids.append(token)
+            while token != eos and len(record.token_ids) < self.max_new_tokens:
+                out = self.target.decode(np.asarray([[token]]), cache)
+                record.sim_time_ms += self.cost_model.target_step()
+                record.n_target_forwards += 1
+                token = self.sampler.sample(out.logits.data[0, -1])
+                record.token_ids.append(token)
+
+        record.wall_time_s = timer.elapsed
+        record.text = self.tokenizer.decode(record.token_ids)
+        return record

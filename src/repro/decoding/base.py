@@ -1,0 +1,41 @@
+"""Decoder interface shared by the AR baseline, generic SD, and AASD."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+import numpy as np
+
+from ..data.tasks import MultimodalSample
+from ..tokenizer import WordTokenizer
+from .metrics import DecodeRecord
+
+__all__ = ["Decoder", "encode_prompt", "trim_at_eos"]
+
+
+def encode_prompt(tokenizer: WordTokenizer, sample: MultimodalSample) -> np.ndarray:
+    """Canonical prompt encoding: ``[bos, prompt tokens...]``."""
+    return np.asarray(
+        [tokenizer.vocab.bos_id] + tokenizer.encode(sample.prompt), dtype=np.int64
+    )
+
+
+def trim_at_eos(token_ids: List[int], eos_id: int) -> List[int]:
+    """Cut the sequence after the first eos (inclusive)."""
+    if eos_id in token_ids:
+        return token_ids[: token_ids.index(eos_id) + 1]
+    return token_ids
+
+
+class Decoder(ABC):
+    """Generates a response for one multimodal sample, with instrumentation."""
+
+    @abstractmethod
+    def decode(self, sample: MultimodalSample) -> DecodeRecord:
+        """Run one full generation and return the measured record."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short label used in tables ('autoregressive', 'ours', ...)."""

@@ -1,0 +1,157 @@
+"""Calibrated latency model for simulated wall-clock metrics.
+
+Why a cost model
+----------------
+The paper measures walltime speedup of LLaVA-7B/13B on GPU hardware, where
+(1) a single decode step of a 7B target costs ~31 ms, (2) a small draft step
+costs a ~4x smaller but far-from-proportional amount (kernel-launch and
+memory-bandwidth floors), and (3) verifying gamma tokens in one forward
+costs much less than gamma sequential steps (parallel utilisation).  None
+of these ratios hold for 1M-parameter numpy models on a CPU, so charging
+real wall time would distort every headline number.  Instead, decoders
+charge a :class:`SimulatedClock` through this cost model, and raw Python
+wall time is reported alongside as a secondary column.
+
+Calibration
+-----------
+Constants are solved from the paper's own Table 1/2 aggregates.  With the
+target's one-token decode step as the unit cost:
+
+* ``omega = tau / block_cost`` and ``block_cost = gamma * c_draft + c_verify``
+  across Table 1 rows gives ``c_draft ~= 0.24-0.28`` and
+  ``c_verify(gamma) ~= 0.40 + 0.05 * gamma``;
+* autoregressive decode speed is ``delta / omega ~= 31.5 tok/s`` (7B) and
+  ``31.7 tok/s`` (13B), fixing the absolute step time.
+
+The AASD draft head is cheaper per step than a 112M two-tower draft but pays
+per attended KV token, which is what the Vision KV Projector ablation
+(Table 2) measures: without compression its per-step cost grows with the
+uncompressed vision KV length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from ..errors import ConfigError
+
+__all__ = ["CostProfile", "CostModel", "get_profile", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """All latency constants, expressed relative to one target decode step."""
+
+    name: str
+    target_step_ms: float            # one autoregressive target step
+    prefill_ms: float                # target prefill (image + prompt)
+    verify_base_frac: float          # parallel-verify fixed cost
+    verify_per_token_frac: float     # parallel-verify per-token cost
+    draft_step_frac: float           # independent 112M draft, one step
+    draft_prefill_frac: float        # independent draft, own context prefill
+    aasd_step_frac: float            # AASD head step at reference KV length
+    aasd_per_kv_token_frac: float    # AASD extra cost per attended KV token
+    aasd_reference_kv: int           # KV length included in aasd_step_frac
+    projector_ms: float              # one-off KV projector application
+
+    def validate(self) -> None:
+        numeric = (
+            self.target_step_ms,
+            self.prefill_ms,
+            self.verify_base_frac,
+            self.verify_per_token_frac,
+            self.draft_step_frac,
+            self.draft_prefill_frac,
+            self.aasd_step_frac,
+            self.aasd_per_kv_token_frac,
+            self.projector_ms,
+        )
+        if any(v < 0 for v in numeric):
+            raise ConfigError(f"cost profile {self.name!r} has negative constants")
+        if self.target_step_ms <= 0:
+            raise ConfigError("target_step_ms must be positive")
+
+
+#: 7B calibration: 31.5 tok/s autoregressive; see module docstring.
+_SIM_7B = CostProfile(
+    name="sim-7b",
+    target_step_ms=1000.0 / 31.5,
+    prefill_ms=2.0 * (1000.0 / 31.5),
+    verify_base_frac=0.40,
+    verify_per_token_frac=0.05,
+    draft_step_frac=0.25,
+    draft_prefill_frac=0.50,
+    aasd_step_frac=0.225,
+    aasd_per_kv_token_frac=0.0009,
+    aasd_reference_kv=48,
+    projector_ms=0.20 * (1000.0 / 31.5),
+)
+
+#: 13B calibration: 31.7 tok/s autoregressive; the same relative draft cost
+#: against a pricier target step is what lifts omega slightly, as in Table 1.
+_SIM_13B = replace(
+    _SIM_7B,
+    name="sim-13b",
+    target_step_ms=1000.0 / 31.7,
+    prefill_ms=2.0 * (1000.0 / 31.7),
+    draft_step_frac=0.235,
+    aasd_step_frac=0.21,
+    projector_ms=0.20 * (1000.0 / 31.7),
+)
+
+PROFILES: Dict[str, CostProfile] = {p.name: p for p in (_SIM_7B, _SIM_13B)}
+
+
+def get_profile(name: str) -> CostProfile:
+    if name not in PROFILES:
+        raise ConfigError(f"unknown cost profile {name!r}; choose from {sorted(PROFILES)}")
+    return PROFILES[name]
+
+
+class CostModel:
+    """Charges simulated milliseconds for each decoding operation."""
+
+    def __init__(self, profile: CostProfile) -> None:
+        profile.validate()
+        self.profile = profile
+
+    # -- target ---------------------------------------------------------
+    def target_prefill(self) -> float:
+        return self.profile.prefill_ms
+
+    def target_step(self) -> float:
+        return self.profile.target_step_ms
+
+    def target_verify(self, n_tokens: int) -> float:
+        """One parallel forward over ``n_tokens`` new tokens."""
+        if n_tokens <= 0:
+            raise ConfigError(f"verify needs at least one token, got {n_tokens}")
+        frac = self.profile.verify_base_frac + self.profile.verify_per_token_frac * n_tokens
+        return frac * self.profile.target_step_ms
+
+    # -- independent draft (FT/DT-LLaMA, FT/DT-LLaVA) --------------------
+    def draft_prefill(self) -> float:
+        return self.profile.draft_prefill_frac * self.profile.target_step_ms
+
+    def draft_step(self) -> float:
+        return self.profile.draft_step_frac * self.profile.target_step_ms
+
+    def draft_sync(self, n_tokens: int) -> float:
+        """Draft-side parallel forward over accepted tokens (cache sync)."""
+        if n_tokens <= 0:
+            return 0.0
+        frac = self.profile.draft_step_frac * (0.5 + 0.1 * n_tokens)
+        return frac * self.profile.target_step_ms
+
+    # -- AASD speculating module -----------------------------------------
+    def projector(self) -> float:
+        return self.profile.projector_ms
+
+    def aasd_step(self, kv_len: int) -> float:
+        """One draft-head step attending over ``kv_len`` hybrid KV tokens."""
+        if kv_len < 0:
+            raise ConfigError(f"kv_len must be >= 0, got {kv_len}")
+        extra = max(0, kv_len - self.profile.aasd_reference_kv)
+        frac = self.profile.aasd_step_frac + self.profile.aasd_per_kv_token_frac * extra
+        return frac * self.profile.target_step_ms

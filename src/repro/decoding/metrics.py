@@ -1,0 +1,117 @@
+"""Speculative-decoding metrics: the four numbers the paper reports.
+
+* walltime speedup  (omega) — AR time / SD time for the same generations,
+* acceptance rate   (alpha) — mean fraction of draft tokens accepted,
+* block efficiency  (tau)   — mean tokens emitted per target forward,
+* decoding speed    (delta) — tokens per (simulated) second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import DecodingError
+
+__all__ = ["BlockRecord", "DecodeRecord", "SpeedupReport", "aggregate_metrics"]
+
+
+@dataclass(frozen=True)
+class BlockRecord:
+    """One draft-then-verify round."""
+
+    n_draft: int       # gamma tokens proposed
+    n_accepted: int    # of those, how many the target accepted
+    n_emitted: int     # tokens committed this round (accepted + 1)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.n_accepted <= self.n_draft:
+            raise DecodingError(
+                f"invalid block: {self.n_accepted} accepted of {self.n_draft} drafted"
+            )
+
+
+@dataclass
+class DecodeRecord:
+    """Everything measured while decoding one sample."""
+
+    token_ids: List[int] = field(default_factory=list)
+    sim_time_ms: float = 0.0
+    wall_time_s: float = 0.0
+    blocks: List[BlockRecord] = field(default_factory=list)
+    n_target_forwards: int = 0
+    text: str = ""
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self.token_ids)
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Aggregate of paired AR/SD runs over a dataset (paper metric names)."""
+
+    walltime_speedup: float    # omega
+    acceptance_rate: float     # alpha
+    block_efficiency: float    # tau
+    decoding_speed: float      # delta, tokens / simulated second
+    ar_decoding_speed: float   # baseline tokens / simulated second
+    n_samples: int
+    n_tokens_sd: int
+    n_tokens_ar: int
+    wall_speedup_raw: float    # real Python wall-time ratio (secondary)
+
+    def row(self) -> dict:
+        """Flat dict used by the table renderers."""
+        return {
+            "omega": self.walltime_speedup,
+            "alpha": self.acceptance_rate,
+            "tau": self.block_efficiency,
+            "delta": self.decoding_speed,
+        }
+
+
+def aggregate_metrics(
+    sd_records: Sequence[DecodeRecord],
+    ar_records: Sequence[DecodeRecord],
+) -> SpeedupReport:
+    """Combine per-sample records into the paper's four metrics.
+
+    ``sd_records`` and ``ar_records`` must cover the same samples in the
+    same order (under greedy decoding their token streams are identical, as
+    speculative decoding is lossless).
+    """
+    if len(sd_records) != len(ar_records):
+        raise DecodingError(
+            f"paired runs required: {len(sd_records)} SD vs {len(ar_records)} AR records"
+        )
+    if not sd_records:
+        raise DecodingError("cannot aggregate zero records")
+
+    sd_time = sum(r.sim_time_ms for r in sd_records)
+    ar_time = sum(r.sim_time_ms for r in ar_records)
+    sd_wall = sum(r.wall_time_s for r in sd_records)
+    ar_wall = sum(r.wall_time_s for r in ar_records)
+    sd_tokens = sum(r.n_tokens for r in sd_records)
+    ar_tokens = sum(r.n_tokens for r in ar_records)
+
+    blocks = [b for r in sd_records for b in r.blocks]
+    if not blocks:
+        raise DecodingError("SD records contain no blocks")
+    acceptance = sum(b.n_accepted / b.n_draft for b in blocks) / len(blocks)
+    block_eff = sum(b.n_emitted for b in blocks) / len(blocks)
+
+    if sd_time <= 0 or ar_time <= 0:
+        raise DecodingError("simulated times must be positive")
+
+    return SpeedupReport(
+        walltime_speedup=ar_time / sd_time,
+        acceptance_rate=acceptance,
+        block_efficiency=block_eff,
+        decoding_speed=sd_tokens / (sd_time / 1000.0),
+        ar_decoding_speed=ar_tokens / (ar_time / 1000.0),
+        n_samples=len(sd_records),
+        n_tokens_sd=sd_tokens,
+        n_tokens_ar=ar_tokens,
+        wall_speedup_raw=(ar_wall / sd_wall) if sd_wall > 0 else float("nan"),
+    )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "TokenizerError",
+    "ShapeError",
+    "DecodingError",
+    "TrainingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration."""
+
+
+class TokenizerError(ReproError):
+    """Tokenizer vocabulary or encoding failure."""
+
+
+class ShapeError(ReproError):
+    """Tensor shape mismatch detected at an API boundary."""
+
+
+class DecodingError(ReproError):
+    """Invalid decoding request or internal decoding inconsistency."""
+
+
+class TrainingError(ReproError):
+    """Training loop failure (diverged loss, empty dataset, ...)."""

@@ -1,0 +1,65 @@
+"""Evaluation harness: runner, baselines, experiments, renderers."""
+
+from .analysis import (
+    PositionalAcceptance,
+    acceptance_by_position,
+    block_length_histogram,
+    per_task_breakdown,
+)
+from .baselines import TABLE1_ROWS, build_aasd_engine, build_row_decoder
+from .experiments import (
+    EXPERIMENTS,
+    run_figure3,
+    run_figure4,
+    run_table1,
+    run_table2,
+)
+from .figures import render_bars, render_figure3, render_figure4
+from .paper_reference import (
+    FIGURE3_EXPECTATION,
+    FIGURE4_EXPECTATION,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+)
+from .quality import QualityReport, evaluate_quality, image_grounding_score
+from .reporting import load_results, results_to_json, save_results
+from .runner import EvalConfig, ExperimentRunner, MeanReport, mean_of_reports
+from .svg import grouped_bar_chart, save_svg
+from .tables import render_comparison, render_table1, render_table2
+
+__all__ = [
+    "EvalConfig",
+    "ExperimentRunner",
+    "MeanReport",
+    "mean_of_reports",
+    "build_row_decoder",
+    "build_aasd_engine",
+    "TABLE1_ROWS",
+    "run_table1",
+    "run_table2",
+    "run_figure3",
+    "run_figure4",
+    "EXPERIMENTS",
+    "render_table1",
+    "render_table2",
+    "render_comparison",
+    "render_bars",
+    "render_figure3",
+    "render_figure4",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "FIGURE3_EXPECTATION",
+    "FIGURE4_EXPECTATION",
+    "results_to_json",
+    "save_results",
+    "load_results",
+    "per_task_breakdown",
+    "acceptance_by_position",
+    "PositionalAcceptance",
+    "block_length_histogram",
+    "grouped_bar_chart",
+    "save_svg",
+    "QualityReport",
+    "evaluate_quality",
+    "image_grounding_score",
+]

@@ -1,0 +1,77 @@
+"""CLI for regenerating the paper's tables and figures.
+
+Usage:
+    python -m repro.eval table1 [--profile full] [--samples 20] [--out results/table1]
+    python -m repro.eval table2 | figure3 | figure4 | all
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from ..zoo import ModelZoo, PROFILE_FULL, PROFILE_SMOKE
+from .experiments import EXPERIMENTS
+from .figures import render_figure3, render_figure4
+from .reporting import save_results
+from .runner import EvalConfig
+from .svg import grouped_bar_chart, save_svg
+from .tables import render_table1, render_table2
+
+_RENDERERS = {
+    "table1": render_table1,
+    "table2": render_table2,
+    "figure3": render_figure3,
+    "figure4": render_figure4,
+}
+
+
+def _figure_svg(name: str, results) -> str:
+    """Build the SVG counterpart of a figure experiment's bar chart."""
+    if name == "figure3":
+        metric, title = "omega", "Figure 3: ablation on target model's KV cache (walltime speedup)"
+        labels = ("w/o target kv", "w/ target kv")
+    else:
+        metric, title = "tau", "Figure 4: vision vs text KV importance (block efficiency)"
+        labels = ("full kv", "no image kv", "no text kv")
+    groups = sorted({(t, g) for t, g, _ in results})
+    series = {
+        label: [results.get((t, g, label), {}).get(metric, 0.0) for t, g in groups]
+        for label in labels
+    }
+    return grouped_bar_chart(
+        title,
+        [f"{t} γ={g}" for t, g in groups],
+        series,
+        y_label=metric,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    parser.add_argument("--profile", default="full", choices=["full", "smoke"])
+    parser.add_argument("--samples", type=int, default=20)
+    parser.add_argument("--max-new-tokens", type=int, default=48)
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args()
+
+    zoo = ModelZoo(PROFILE_FULL if args.profile == "full" else PROFILE_SMOKE)
+    config = EvalConfig(
+        samples_per_dataset=args.samples, max_new_tokens=args.max_new_tokens
+    )
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        results = EXPERIMENTS[name](zoo, config)
+        rendered = _RENDERERS[name](results)
+        print(rendered)
+        print()
+        save_results(results, Path(args.out) / name, rendered=rendered)
+        print(f"saved -> {Path(args.out) / name}.json")
+        if name in ("figure3", "figure4"):
+            svg_path = save_svg(_figure_svg(name, results), Path(args.out) / f"{name}.svg")
+            print(f"saved -> {svg_path}")
+
+
+if __name__ == "__main__":
+    main()

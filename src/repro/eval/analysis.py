@@ -1,0 +1,89 @@
+"""Deeper analysis utilities beyond the paper's headline metrics.
+
+* per-task metric breakdown (which workloads speculate well),
+* acceptance-by-draft-position curves (how fast trust decays within a
+  block — explains why tau saturates below gamma + 1),
+* sweeps over the compression width k and the speculation depth gamma
+  (design-choice ablations referenced by DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..data.tasks import MultimodalSample
+from ..decoding.base import Decoder
+from ..decoding.metrics import DecodeRecord, aggregate_metrics
+from ..errors import DecodingError
+
+__all__ = [
+    "per_task_breakdown",
+    "acceptance_by_position",
+    "PositionalAcceptance",
+    "block_length_histogram",
+]
+
+
+def per_task_breakdown(
+    decoder: Decoder,
+    baseline: Decoder,
+    samples: Sequence[MultimodalSample],
+) -> Dict[str, Dict[str, float]]:
+    """Metrics grouped by task family (caption / conversation / ...)."""
+    by_task: Dict[str, List[MultimodalSample]] = {}
+    for sample in samples:
+        by_task.setdefault(sample.task, []).append(sample)
+    out: Dict[str, Dict[str, float]] = {}
+    for task, group in sorted(by_task.items()):
+        sd = [decoder.decode(s) for s in group]
+        ar = [baseline.decode(s) for s in group]
+        out[task] = aggregate_metrics(sd, ar).row()
+    return out
+
+
+@dataclass(frozen=True)
+class PositionalAcceptance:
+    """P(position i of a block is accepted), for i = 1..gamma."""
+
+    rates: np.ndarray     # (gamma,)
+    counts: np.ndarray    # (gamma,) blocks that reached each position
+
+    @property
+    def gamma(self) -> int:
+        return len(self.rates)
+
+
+def acceptance_by_position(records: Sequence[DecodeRecord]) -> PositionalAcceptance:
+    """How acceptance decays with draft depth.
+
+    Position ``i`` (0-based) of a block is accepted iff ``n_accepted > i``.
+    Every block of length ``> i`` contributes one observation for position
+    ``i``, so rates are monotonically non-increasing by construction of
+    prefix acceptance.
+    """
+    blocks = [b for r in records for b in r.blocks]
+    if not blocks:
+        raise DecodingError("no blocks recorded")
+    gamma = max(b.n_draft for b in blocks)
+    accepted = np.zeros(gamma)
+    counts = np.zeros(gamma)
+    for b in blocks:
+        for i in range(b.n_draft):
+            counts[i] += 1
+            if b.n_accepted > i:
+                accepted[i] += 1
+    with np.errstate(invalid="ignore"):
+        rates = np.where(counts > 0, accepted / np.maximum(counts, 1), 0.0)
+    return PositionalAcceptance(rates=rates, counts=counts)
+
+
+def block_length_histogram(records: Sequence[DecodeRecord]) -> Dict[int, int]:
+    """Histogram of accepted-prefix lengths across all blocks."""
+    hist: Dict[int, int] = {}
+    for record in records:
+        for block in record.blocks:
+            hist[block.n_accepted] = hist.get(block.n_accepted, 0) + 1
+    return dict(sorted(hist.items()))

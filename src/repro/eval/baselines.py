@@ -1,0 +1,83 @@
+"""Factories building every Table-1 row decoder from zoo artifacts."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.engine import AASDEngine, AASDEngineConfig
+from ..decoding.base import Decoder
+from ..decoding.cost_model import CostModel
+from ..decoding.sampling import SamplerConfig
+from ..decoding.speculative import LlamaTextDraft, LlavaDraft, SpeculativeDecoder
+from ..errors import ConfigError
+from ..zoo import ModelZoo
+from .paper_reference import TABLE1_ROWS
+
+__all__ = ["build_row_decoder", "build_aasd_engine", "TABLE1_ROWS"]
+
+
+def build_aasd_engine(
+    zoo: ModelZoo,
+    target_name: str,
+    gamma: int,
+    cost_model: CostModel,
+    max_new_tokens: int = 48,
+    use_kv_projector: bool = True,
+    use_target_kv: bool = True,
+    disable_image_kv: bool = False,
+    disable_text_kv: bool = False,
+    sampler_config: Optional[SamplerConfig] = None,
+    seed: int = 0,
+) -> AASDEngine:
+    """Assemble an AASD engine (possibly an ablation variant)."""
+    return AASDEngine(
+        zoo.target(target_name),
+        zoo.aasd_head(target_name, use_kv_projector=use_kv_projector, use_target_kv=use_target_kv),
+        zoo.tokenizer(),
+        cost_model,
+        AASDEngineConfig(
+            gamma=gamma,
+            max_new_tokens=max_new_tokens,
+            disable_image_kv=disable_image_kv,
+            disable_text_kv=disable_text_kv,
+        ),
+        sampler_config=sampler_config,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def build_row_decoder(
+    row: str,
+    zoo: ModelZoo,
+    target_name: str,
+    gamma: int,
+    cost_model: CostModel,
+    max_new_tokens: int = 48,
+    sampler_config: Optional[SamplerConfig] = None,
+    seed: int = 0,
+) -> Decoder:
+    """Build the decoder for one Table-1 row label."""
+    if row not in TABLE1_ROWS:
+        raise ConfigError(f"unknown Table 1 row {row!r}; choose from {TABLE1_ROWS}")
+    if row == "Ours":
+        return build_aasd_engine(
+            zoo, target_name, gamma, cost_model,
+            max_new_tokens=max_new_tokens, sampler_config=sampler_config, seed=seed,
+        )
+    variant = "ft" if row.startswith("FT") else "dt"
+    if row.endswith("LLaMA"):
+        draft = LlamaTextDraft(zoo.text_draft(variant, target_name), label=row.lower())
+    else:
+        draft = LlavaDraft(zoo.llava_draft(variant, target_name), label=row.lower())
+    return SpeculativeDecoder(
+        zoo.target(target_name),
+        draft,
+        zoo.tokenizer(),
+        cost_model,
+        gamma=gamma,
+        max_new_tokens=max_new_tokens,
+        sampler_config=sampler_config,
+        rng=np.random.default_rng(seed),
+    )

@@ -1,0 +1,145 @@
+"""Experiment registry: one function per paper table/figure.
+
+Each function returns a plain dict of measured rows keyed exactly like the
+corresponding paper-reference tables, so the renderers can put measured and
+published numbers side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..zoo import ModelZoo
+from .baselines import TABLE1_ROWS, build_aasd_engine, build_row_decoder
+from .runner import EvalConfig, ExperimentRunner
+
+__all__ = [
+    "run_table1",
+    "run_table2",
+    "run_figure3",
+    "run_figure4",
+    "EXPERIMENTS",
+]
+
+DEFAULT_TARGETS: Tuple[str, ...] = ("sim-7b", "sim-13b")
+DEFAULT_GAMMAS: Tuple[int, ...] = (3, 5)
+
+RowKey = Tuple[str, int, str]
+Metrics = Dict[str, float]
+
+
+def _runner(zoo: ModelZoo, config: Optional[EvalConfig]) -> ExperimentRunner:
+    return ExperimentRunner(zoo, config or EvalConfig())
+
+
+def run_table1(
+    zoo: ModelZoo,
+    config: Optional[EvalConfig] = None,
+    targets: Sequence[str] = DEFAULT_TARGETS,
+    gammas: Sequence[int] = DEFAULT_GAMMAS,
+    rows: Sequence[str] = TABLE1_ROWS,
+) -> Dict[RowKey, Metrics]:
+    """Table 1: AASD vs FT/DT independent drafts, all four metrics."""
+    runner = _runner(zoo, config)
+    results: Dict[RowKey, Metrics] = {}
+    for target_name in targets:
+        cost_model = runner.cost_model(target_name)
+        for gamma in gammas:
+            for row in rows:
+                decoder = build_row_decoder(
+                    row, zoo, target_name, gamma, cost_model,
+                    max_new_tokens=runner.config.max_new_tokens,
+                )
+                report = runner.evaluate(decoder, target_name)
+                results[(target_name, gamma, row)] = report.row()
+    return results
+
+
+def run_table2(
+    zoo: ModelZoo,
+    config: Optional[EvalConfig] = None,
+    targets: Sequence[str] = DEFAULT_TARGETS,
+    gammas: Sequence[int] = DEFAULT_GAMMAS,
+) -> Dict[RowKey, Metrics]:
+    """Table 2: Vision KV Projector ablation (w/ vs w/o)."""
+    runner = _runner(zoo, config)
+    results: Dict[RowKey, Metrics] = {}
+    for target_name in targets:
+        cost_model = runner.cost_model(target_name)
+        for gamma in gammas:
+            for label, use_proj in (("w/o", False), ("w/", True)):
+                engine = build_aasd_engine(
+                    zoo, target_name, gamma, cost_model,
+                    max_new_tokens=runner.config.max_new_tokens,
+                    use_kv_projector=use_proj,
+                )
+                report = runner.evaluate(engine, target_name)
+                results[(target_name, gamma, label)] = report.row()
+    return results
+
+
+def run_figure3(
+    zoo: ModelZoo,
+    config: Optional[EvalConfig] = None,
+    targets: Sequence[str] = DEFAULT_TARGETS,
+    gammas: Sequence[int] = DEFAULT_GAMMAS,
+) -> Dict[RowKey, Metrics]:
+    """Figure 3: effect of reusing the target model's KV cache.
+
+    Rows 'w/ target kv' vs 'w/o target kv'; the paper plots walltime
+    speedup, we keep all four metrics.
+    """
+    runner = _runner(zoo, config)
+    results: Dict[RowKey, Metrics] = {}
+    for target_name in targets:
+        cost_model = runner.cost_model(target_name)
+        for gamma in gammas:
+            for label, use_tkv in (("w/o target kv", False), ("w/ target kv", True)):
+                engine = build_aasd_engine(
+                    zoo, target_name, gamma, cost_model,
+                    max_new_tokens=runner.config.max_new_tokens,
+                    use_target_kv=use_tkv,
+                )
+                report = runner.evaluate(engine, target_name)
+                results[(target_name, gamma, label)] = report.row()
+    return results
+
+
+def run_figure4(
+    zoo: ModelZoo,
+    config: Optional[EvalConfig] = None,
+    targets: Sequence[str] = DEFAULT_TARGETS,
+    gammas: Sequence[int] = (3,),
+) -> Dict[RowKey, Metrics]:
+    """Figure 4: disable the image or text KV segments at inference.
+
+    The paper plots block efficiency for [full, no image KV, no text KV].
+    """
+    runner = _runner(zoo, config)
+    variants = (
+        ("full kv", False, False),
+        ("no image kv", True, False),
+        ("no text kv", False, True),
+    )
+    results: Dict[RowKey, Metrics] = {}
+    for target_name in targets:
+        cost_model = runner.cost_model(target_name)
+        for gamma in gammas:
+            for label, no_img, no_txt in variants:
+                engine = build_aasd_engine(
+                    zoo, target_name, gamma, cost_model,
+                    max_new_tokens=runner.config.max_new_tokens,
+                    disable_image_kv=no_img,
+                    disable_text_kv=no_txt,
+                )
+                report = runner.evaluate(engine, target_name)
+                results[(target_name, gamma, label)] = report.row()
+    return results
+
+
+EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+}

@@ -1,0 +1,75 @@
+"""Render Figure 3 / Figure 4 data as ASCII bar charts plus raw series."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+__all__ = ["render_bars", "render_figure3", "render_figure4"]
+
+RowKey = Tuple[str, int, str]
+
+
+def render_bars(
+    title: str,
+    series: Mapping[str, float],
+    unit: str = "",
+    width: int = 40,
+) -> str:
+    """One labelled horizontal bar per entry, scaled to the max value."""
+    lines = [title, "-" * len(title)]
+    peak = max(series.values()) if series else 1.0
+    peak = peak if peak > 0 else 1.0
+    label_w = max((len(k) for k in series), default=4)
+    for label, value in series.items():
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(f"{label:>{label_w}} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def render_figure3(
+    measured: Mapping[RowKey, Dict[str, float]],
+    targets: Sequence[str] = ("sim-7b", "sim-13b"),
+    gammas: Sequence[int] = (3, 5),
+) -> str:
+    """Figure 3: walltime speedup with vs without the target KV cache."""
+    blocks = []
+    for target in targets:
+        for gamma in gammas:
+            series = {}
+            for label in ("w/o target kv", "w/ target kv"):
+                row = measured.get((target, gamma, label))
+                if row:
+                    series[label] = row["omega"]
+            if series:
+                blocks.append(
+                    render_bars(
+                        f"Figure 3 — {target}, γ={gamma}: walltime speedup ω",
+                        series,
+                        unit="x",
+                    )
+                )
+    return "\n\n".join(blocks)
+
+
+def render_figure4(
+    measured: Mapping[RowKey, Dict[str, float]],
+    targets: Sequence[str] = ("sim-7b", "sim-13b"),
+    gammas: Sequence[int] = (3,),
+) -> str:
+    """Figure 4: block efficiency with modality KV segments disabled."""
+    blocks = []
+    for target in targets:
+        for gamma in gammas:
+            series = {}
+            for label in ("full kv", "no image kv", "no text kv"):
+                row = measured.get((target, gamma, label))
+                if row:
+                    series[label] = row["tau"]
+            if series:
+                blocks.append(
+                    render_bars(
+                        f"Figure 4 — {target}, γ={gamma}: block efficiency τ",
+                        series,
+                    )
+                )
+    return "\n\n".join(blocks)

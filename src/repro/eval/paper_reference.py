@@ -1,0 +1,71 @@
+"""The paper's published numbers, used as reference columns in our reports.
+
+All values are transcribed from the AASD paper (DAC 2025): Table 1 (main
+comparison), Table 2 (Vision KV Projector ablation), and the qualitative
+shapes of Figures 3 and 4.  Keys: (target, gamma, row) -> metric dict with
+the paper's metric names omega/alpha/tau/delta.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "TABLE1_ROWS",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "FIGURE3_EXPECTATION",
+    "FIGURE4_EXPECTATION",
+]
+
+TABLE1_ROWS = ("FT-LLaMA", "DT-LLaMA", "FT-LLaVA", "DT-LLaVA", "Ours")
+
+Metric = Dict[str, float]
+Key = Tuple[str, int, str]
+
+PAPER_TABLE1: Dict[Key, Metric] = {
+    # LLaVA-7B, gamma=3
+    ("sim-7b", 3, "FT-LLaMA"): {"omega": 1.39, "alpha": 0.35, "tau": 1.93, "delta": 46.13},
+    ("sim-7b", 3, "DT-LLaMA"): {"omega": 1.33, "alpha": 0.34, "tau": 1.96, "delta": 45.00},
+    ("sim-7b", 3, "FT-LLaVA"): {"omega": 1.27, "alpha": 0.28, "tau": 1.68, "delta": 40.57},
+    ("sim-7b", 3, "DT-LLaVA"): {"omega": 1.25, "alpha": 0.27, "tau": 1.69, "delta": 39.50},
+    ("sim-7b", 3, "Ours"): {"omega": 2.02, "alpha": 0.62, "tau": 2.72, "delta": 63.59},
+    # LLaVA-7B, gamma=5
+    ("sim-7b", 5, "FT-LLaMA"): {"omega": 1.37, "alpha": 0.34, "tau": 2.55, "delta": 42.77},
+    ("sim-7b", 5, "DT-LLaMA"): {"omega": 1.37, "alpha": 0.34, "tau": 2.54, "delta": 43.71},
+    ("sim-7b", 5, "FT-LLaVA"): {"omega": 1.21, "alpha": 0.28, "tau": 2.22, "delta": 38.35},
+    ("sim-7b", 5, "DT-LLaVA"): {"omega": 1.21, "alpha": 0.28, "tau": 2.21, "delta": 38.34},
+    ("sim-7b", 5, "Ours"): {"omega": 2.06, "alpha": 0.62, "tau": 3.92, "delta": 65.02},
+    # LLaVA-13B, gamma=3
+    ("sim-13b", 3, "FT-LLaMA"): {"omega": 1.46, "alpha": 0.35, "tau": 1.89, "delta": 46.06},
+    ("sim-13b", 3, "DT-LLaMA"): {"omega": 1.44, "alpha": 0.34, "tau": 1.87, "delta": 45.20},
+    ("sim-13b", 3, "FT-LLaVA"): {"omega": 1.36, "alpha": 0.30, "tau": 1.75, "delta": 42.46},
+    ("sim-13b", 3, "DT-LLaVA"): {"omega": 1.35, "alpha": 0.29, "tau": 1.71, "delta": 41.83},
+    ("sim-13b", 3, "Ours"): {"omega": 2.14, "alpha": 0.63, "tau": 2.74, "delta": 67.78},
+    # LLaVA-13B, gamma=5
+    ("sim-13b", 5, "FT-LLaMA"): {"omega": 1.44, "alpha": 0.35, "tau": 2.60, "delta": 45.29},
+    ("sim-13b", 5, "DT-LLaMA"): {"omega": 1.44, "alpha": 0.35, "tau": 2.61, "delta": 45.66},
+    ("sim-13b", 5, "FT-LLaVA"): {"omega": 1.32, "alpha": 0.30, "tau": 2.35, "delta": 42.20},
+    ("sim-13b", 5, "DT-LLaVA"): {"omega": 1.31, "alpha": 0.29, "tau": 2.37, "delta": 41.64},
+    ("sim-13b", 5, "Ours"): {"omega": 2.24, "alpha": 0.62, "tau": 3.99, "delta": 70.45},
+}
+
+#: (target, gamma, "w/"|"w/o") -> metrics.
+PAPER_TABLE2: Dict[Key, Metric] = {
+    ("sim-7b", 3, "w/o"): {"omega": 1.64, "alpha": 0.49, "tau": 2.33, "delta": 51.48},
+    ("sim-7b", 3, "w/"): {"omega": 2.02, "alpha": 0.62, "tau": 2.72, "delta": 63.59},
+    ("sim-7b", 5, "w/o"): {"omega": 1.56, "alpha": 0.47, "tau": 3.21, "delta": 48.98},
+    ("sim-7b", 5, "w/"): {"omega": 2.06, "alpha": 0.62, "tau": 3.92, "delta": 65.02},
+    ("sim-13b", 3, "w/o"): {"omega": 1.72, "alpha": 0.49, "tau": 2.30, "delta": 54.27},
+    ("sim-13b", 3, "w/"): {"omega": 2.14, "alpha": 0.63, "tau": 2.74, "delta": 67.78},
+    ("sim-13b", 5, "w/o"): {"omega": 1.70, "alpha": 0.48, "tau": 3.26, "delta": 53.69},
+    ("sim-13b", 5, "w/"): {"omega": 2.24, "alpha": 0.62, "tau": 3.99, "delta": 70.45},
+}
+
+#: Figure 3 is a bar chart without printed values; the claim is a large
+#: walltime-speedup gain from reusing the target KV cache.
+FIGURE3_EXPECTATION = "with target KV cache >> without, in walltime speedup"
+
+#: Figure 4's claim: disabling the text KV hurts block efficiency far more
+#: than disabling the image KV.
+FIGURE4_EXPECTATION = "tau(full) >= tau(no image KV) >> tau(no text KV)"

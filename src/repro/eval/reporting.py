@@ -1,0 +1,43 @@
+"""Persist experiment results: JSON dumps and rendered reports."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Tuple
+
+__all__ = ["results_to_json", "save_results", "load_results"]
+
+RowKey = Tuple[str, int, str]
+
+
+def results_to_json(results: Mapping[RowKey, Dict[str, float]]) -> str:
+    """Serialise keyed results; tuple keys become 'target|gamma|row'."""
+    payload = {
+        f"{target}|{gamma}|{row}": metrics
+        for (target, gamma, row), metrics in results.items()
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def save_results(
+    results: Mapping[RowKey, Dict[str, float]],
+    path: Path,
+    rendered: str = "",
+) -> None:
+    """Write ``<path>.json`` (data) and optionally ``<path>.txt`` (report)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.with_suffix(".json").write_text(results_to_json(results), encoding="utf-8")
+    if rendered:
+        path.with_suffix(".txt").write_text(rendered + "\n", encoding="utf-8")
+
+
+def load_results(path: Path) -> Dict[RowKey, Dict[str, float]]:
+    """Inverse of :func:`save_results` for the JSON file."""
+    payload = json.loads(Path(path).with_suffix(".json").read_text(encoding="utf-8"))
+    out: Dict[RowKey, Dict[str, float]] = {}
+    for key, metrics in payload.items():
+        target, gamma, row = key.split("|", 2)
+        out[(target, int(gamma), row)] = metrics
+    return out

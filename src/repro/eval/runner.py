@@ -1,0 +1,115 @@
+"""Experiment runner: paired AR/SD evaluation over the three datasets.
+
+The paper reports, for each configuration, the *mean of each metric across
+the three datasets* (LLaVA-Bench-in-the-wild, COCO captions, ScienceQA).
+The runner evaluates a decoder dataset-by-dataset against the shared
+autoregressive baseline, caches the AR records (they do not depend on the
+draft), and averages per-dataset reports metric-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.tasks import DATASET_NAMES, TaskDataset
+from ..decoding.autoregressive import AutoregressiveDecoder
+from ..decoding.base import Decoder
+from ..decoding.cost_model import CostModel, get_profile
+from ..decoding.metrics import DecodeRecord, SpeedupReport, aggregate_metrics
+from ..errors import DecodingError
+from ..zoo import ModelZoo
+
+__all__ = ["EvalConfig", "MeanReport", "ExperimentRunner", "mean_of_reports"]
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """Shared evaluation parameters."""
+
+    datasets: Sequence[str] = DATASET_NAMES
+    samples_per_dataset: int = 20
+    max_new_tokens: int = 48
+
+    def __post_init__(self) -> None:
+        if self.samples_per_dataset <= 0:
+            raise DecodingError("samples_per_dataset must be positive")
+
+
+@dataclass
+class MeanReport:
+    """Per-dataset reports plus their metric-wise mean (the paper's cells)."""
+
+    per_dataset: Dict[str, SpeedupReport] = field(default_factory=dict)
+
+    def mean(self, metric: str) -> float:
+        values = [getattr(r, metric) for r in self.per_dataset.values()]
+        return float(np.mean(values))
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "omega": self.mean("walltime_speedup"),
+            "alpha": self.mean("acceptance_rate"),
+            "tau": self.mean("block_efficiency"),
+            "delta": self.mean("decoding_speed"),
+        }
+
+
+def mean_of_reports(reports: Dict[str, SpeedupReport]) -> MeanReport:
+    return MeanReport(per_dataset=dict(reports))
+
+
+class ExperimentRunner:
+    """Evaluates decoders against cached autoregressive baselines."""
+
+    def __init__(self, zoo: ModelZoo, config: Optional[EvalConfig] = None) -> None:
+        self.zoo = zoo
+        self.config = config or EvalConfig()
+        self._ar_cache: Dict[tuple, List[DecodeRecord]] = {}
+        self._dataset_cache: Dict[str, TaskDataset] = {}
+
+    # ------------------------------------------------------------------
+    def dataset(self, name: str) -> TaskDataset:
+        if name not in self._dataset_cache:
+            self._dataset_cache[name] = self.zoo.eval_dataset(
+                name, self.config.samples_per_dataset
+            )
+        return self._dataset_cache[name]
+
+    def cost_model(self, target_name: str) -> CostModel:
+        return CostModel(get_profile(target_name))
+
+    def ar_records(self, target_name: str, dataset_name: str) -> List[DecodeRecord]:
+        """Autoregressive records for (target, dataset), computed once."""
+        key = (target_name, dataset_name)
+        if key not in self._ar_cache:
+            decoder = AutoregressiveDecoder(
+                self.zoo.target(target_name),
+                self.zoo.tokenizer(),
+                self.cost_model(target_name),
+                max_new_tokens=self.config.max_new_tokens,
+            )
+            self._ar_cache[key] = [decoder.decode(s) for s in self.dataset(dataset_name)]
+        return self._ar_cache[key]
+
+    # ------------------------------------------------------------------
+    def evaluate(self, decoder: Decoder, target_name: str) -> MeanReport:
+        """Run ``decoder`` over every dataset; aggregate vs the AR baseline."""
+        reports: Dict[str, SpeedupReport] = {}
+        for dataset_name in self.config.datasets:
+            ar = self.ar_records(target_name, dataset_name)
+            sd = [decoder.decode(s) for s in self.dataset(dataset_name)]
+            reports[dataset_name] = aggregate_metrics(sd, ar)
+        return mean_of_reports(reports)
+
+    def check_lossless(self, decoder: Decoder, target_name: str, n: int = 5) -> bool:
+        """Greedy SD must reproduce the AR token stream exactly."""
+        dataset_name = self.config.datasets[0]
+        ar = self.ar_records(target_name, dataset_name)[:n]
+        for ar_record, sample in zip(ar, self.dataset(dataset_name)):
+            sd_record = decoder.decode(sample)
+            if sd_record.token_ids != ar_record.token_ids:
+                return False
+        return True

@@ -1,0 +1,116 @@
+"""Minimal SVG chart writer (no plotting dependencies available offline).
+
+Produces grouped bar charts good enough to eyeball Figure 3 / Figure 4
+reproductions; written as plain strings, viewable in any browser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Mapping, Sequence
+
+__all__ = ["grouped_bar_chart", "save_svg"]
+
+_PALETTE = ("#4878a8", "#e49444", "#5ba053", "#d1605e", "#857aab", "#64b5cd")
+
+
+def _esc(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    y_label: str = "",
+    width: int = 640,
+    height: int = 360,
+) -> str:
+    """Render a grouped bar chart to an SVG string.
+
+    ``groups`` are x-axis clusters (e.g. "sim-7b γ=3"); ``series`` maps a
+    legend label to one value per group.
+    """
+    for label, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(
+                f"series {label!r} has {len(values)} values for {len(groups)} groups"
+            )
+    margin_l, margin_r, margin_t, margin_b = 60, 20, 48, 64
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    peak = max((max(v) for v in series.values()), default=1.0)
+    peak = peak * 1.15 if peak > 0 else 1.0
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="24" text-anchor="middle" font-size="16" '
+        f'font-weight="bold">{_esc(title)}</text>',
+    ]
+
+    # y axis with 4 gridlines
+    for i in range(5):
+        frac = i / 4
+        y = margin_t + plot_h * (1 - frac)
+        value = peak * frac
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{width - margin_r}" y2="{y:.1f}" '
+            f'stroke="#dddddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-size="11">{value:.2f}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="14" y="{margin_t + plot_h / 2}" font-size="12" text-anchor="middle" '
+            f'transform="rotate(-90 14 {margin_t + plot_h / 2})">{_esc(y_label)}</text>'
+        )
+
+    n_groups = len(groups)
+    n_series = max(1, len(series))
+    group_w = plot_w / max(1, n_groups)
+    bar_w = group_w * 0.8 / n_series
+
+    for gi, group in enumerate(groups):
+        gx = margin_l + gi * group_w
+        for si, (label, values) in enumerate(series.items()):
+            value = values[gi]
+            bar_h = plot_h * value / peak
+            x = gx + group_w * 0.1 + si * bar_w
+            y = margin_t + plot_h - bar_h
+            color = _PALETTE[si % len(_PALETTE)]
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w * 0.92:.1f}" '
+                f'height="{bar_h:.1f}" fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{x + bar_w * 0.46:.1f}" y="{y - 4:.1f}" text-anchor="middle" '
+                f'font-size="10">{value:.2f}</text>'
+            )
+        parts.append(
+            f'<text x="{gx + group_w / 2:.1f}" y="{margin_t + plot_h + 16}" '
+            f'text-anchor="middle" font-size="11">{_esc(group)}</text>'
+        )
+
+    # legend
+    lx = margin_l
+    ly = height - 18
+    for si, label in enumerate(series):
+        color = _PALETTE[si % len(_PALETTE)]
+        parts.append(f'<rect x="{lx}" y="{ly - 10}" width="12" height="12" fill="{color}"/>')
+        parts.append(f'<text x="{lx + 16}" y="{ly}" font-size="11">{_esc(label)}</text>')
+        lx += 16 + 8 * len(label) + 24
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg: str, path: Path) -> Path:
+    """Write an SVG string to disk, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(svg, encoding="utf-8")
+    return path

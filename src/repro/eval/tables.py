@@ -1,0 +1,91 @@
+"""Render measured-vs-paper tables as aligned text (and markdown)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from .paper_reference import PAPER_TABLE1, PAPER_TABLE2, TABLE1_ROWS
+
+__all__ = ["render_table1", "render_table2", "render_comparison"]
+
+METRICS = ("omega", "alpha", "tau", "delta")
+_HEADERS = {"omega": "ω", "alpha": "α", "tau": "τ", "delta": "δ"}
+
+RowKey = Tuple[str, int, str]
+
+
+def _fmt(value: Optional[float], metric: str) -> str:
+    if value is None:
+        return "   -  "
+    if metric == "delta":
+        return f"{value:6.2f}"
+    return f"{value:6.2f}"
+
+
+def render_comparison(
+    title: str,
+    measured: Mapping[RowKey, Dict[str, float]],
+    reference: Mapping[RowKey, Dict[str, float]],
+    row_order: Sequence[RowKey],
+) -> str:
+    """Side-by-side measured vs paper values for each row/metric."""
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{'target':>9} {'γ':>2} {'draft':>14} | "
+        + " ".join(f"{_HEADERS[m]:>6}" for m in METRICS)
+        + " | "
+        + " ".join(f"{_HEADERS[m] + '†':>6}" for m in METRICS)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for key in row_order:
+        target, gamma, row = key
+        ours = measured.get(key)
+        paper = reference.get(key)
+        if ours is None:
+            continue
+        cells = " ".join(_fmt(ours.get(m), m) for m in METRICS)
+        refs = " ".join(
+            _fmt(paper.get(m) if paper else None, m) for m in METRICS
+        )
+        lines.append(f"{target:>9} {gamma:>2} {row:>14} | {cells} | {refs}")
+    lines.append("† = values published in the paper (GPU hardware).")
+    return "\n".join(lines)
+
+
+def render_table1(
+    measured: Mapping[RowKey, Dict[str, float]],
+    targets: Sequence[str] = ("sim-7b", "sim-13b"),
+    gammas: Sequence[int] = (3, 5),
+) -> str:
+    order = [
+        (t, g, row)
+        for t in targets
+        for g in gammas
+        for row in TABLE1_ROWS
+    ]
+    return render_comparison(
+        "Table 1: comparison with usual methods (mean of 3 datasets)",
+        measured,
+        PAPER_TABLE1,
+        order,
+    )
+
+
+def render_table2(
+    measured: Mapping[RowKey, Dict[str, float]],
+    targets: Sequence[str] = ("sim-7b", "sim-13b"),
+    gammas: Sequence[int] = (3, 5),
+) -> str:
+    order = [
+        (t, g, label)
+        for t in targets
+        for g in gammas
+        for label in ("w/o", "w/")
+    ]
+    return render_comparison(
+        "Table 2: ablation on Vision KV Projector (mean of 3 datasets)",
+        measured,
+        PAPER_TABLE2,
+        order,
+    )

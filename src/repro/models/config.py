@@ -1,0 +1,134 @@
+"""Model configurations and the named-size registry.
+
+The registry mirrors the paper's model lineup at simulator scale:
+
+* ``sim-7b`` / ``sim-13b`` — targets standing in for LLaVA-7B/13B,
+* ``sim-112m`` — the 112M-parameter draft LM used for FT/DT-LLaMA and as
+  the language backbone of FT/DT-LLaVA,
+* ``sim-112m-llava`` — the tiny multimodal draft (112M-sim LM plus a
+  reduced CLIP-ViT stand-in).
+
+Sizes scale together (the 13B sim really is ~2x the 7B sim, and the draft
+is ~1/20 of the 7B sim), so cost-model ratios stay meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict
+
+from ..errors import ConfigError
+
+__all__ = ["LlamaConfig", "VisionConfig", "LlavaConfig", "get_config", "MODEL_REGISTRY"]
+
+
+@dataclass(frozen=True)
+class LlamaConfig:
+    """Decoder-only LM backbone configuration (LLaMA-style)."""
+
+    vocab_size: int
+    dim: int = 96
+    n_layers: int = 6
+    n_heads: int = 6
+    mlp_hidden: int = 256
+    rope_base: float = 10000.0
+
+    def __post_init__(self) -> None:
+        if self.dim % self.n_heads != 0:
+            raise ConfigError(f"dim {self.dim} not divisible by n_heads {self.n_heads}")
+        if (self.dim // self.n_heads) % 2 != 0:
+            raise ConfigError("head_dim must be even for RoPE")
+        if min(self.vocab_size, self.dim, self.n_layers, self.n_heads, self.mlp_hidden) <= 0:
+            raise ConfigError("all LlamaConfig sizes must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        return self.dim // self.n_heads
+
+
+@dataclass(frozen=True)
+class VisionConfig:
+    """Patch-embedding ViT encoder configuration."""
+
+    image_size: int = 48
+    patch_size: int = 8
+    dim: int = 64
+    n_layers: int = 3
+    n_heads: int = 4
+    mlp_hidden: int = 160
+
+    def __post_init__(self) -> None:
+        if self.image_size % self.patch_size != 0:
+            raise ConfigError(
+                f"image_size {self.image_size} not divisible by patch_size {self.patch_size}"
+            )
+        if self.dim % self.n_heads != 0:
+            raise ConfigError(f"vision dim {self.dim} not divisible by n_heads {self.n_heads}")
+
+    @property
+    def n_patches(self) -> int:
+        side = self.image_size // self.patch_size
+        return side * side
+
+    @property
+    def patch_dim(self) -> int:
+        return self.patch_size * self.patch_size * 3
+
+
+@dataclass(frozen=True)
+class LlavaConfig:
+    """Full MLLM: vision encoder + connector + LM backbone."""
+
+    llama: LlamaConfig
+    vision: VisionConfig = field(default_factory=VisionConfig)
+    connector_hidden: int = 128
+
+    @property
+    def n_vision_tokens(self) -> int:
+        return self.vision.n_patches
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "LlavaConfig":
+        return cls(
+            llama=LlamaConfig(**payload["llama"]),
+            vision=VisionConfig(**payload["vision"]),
+            connector_hidden=payload.get("connector_hidden", 128),
+        )
+
+
+def _registry(vocab_size: int) -> Dict[str, Any]:
+    vision = VisionConfig(image_size=48, patch_size=8, dim=64, n_layers=3, n_heads=4)
+    vision_tiny = VisionConfig(
+        image_size=48, patch_size=16, dim=32, n_layers=1, n_heads=2, mlp_hidden=64
+    )
+    return {
+        "sim-7b": LlavaConfig(
+            llama=LlamaConfig(vocab_size=vocab_size, dim=96, n_layers=6, n_heads=6, mlp_hidden=256),
+            vision=vision,
+        ),
+        "sim-13b": LlavaConfig(
+            llama=LlamaConfig(vocab_size=vocab_size, dim=128, n_layers=8, n_heads=8, mlp_hidden=352),
+            vision=vision,
+        ),
+        "sim-112m": LlamaConfig(
+            vocab_size=vocab_size, dim=48, n_layers=2, n_heads=4, mlp_hidden=128
+        ),
+        "sim-112m-llava": LlavaConfig(
+            llama=LlamaConfig(vocab_size=vocab_size, dim=48, n_layers=2, n_heads=4, mlp_hidden=128),
+            vision=vision_tiny,
+        ),
+    }
+
+
+MODEL_REGISTRY = tuple(_registry(1).keys())
+
+
+def get_config(name: str, vocab_size: int):
+    """Look up a named configuration for a given vocabulary size."""
+    registry = _registry(vocab_size)
+    if name not in registry:
+        raise ConfigError(f"unknown model name {name!r}; choose from {sorted(registry)}")
+    return registry[name]

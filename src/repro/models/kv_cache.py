@@ -1,0 +1,138 @@
+"""Per-layer KV cache with modality segments.
+
+The cache stores post-RoPE key/value arrays per layer, plus the absolute
+positions of the cached tokens and the boundaries of the vision / prompt /
+generated segments.  AASD consumes the *last layer's* slice, and the
+Figure 4 ablations mask individual segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["KVCache", "Segments"]
+
+
+@dataclass(frozen=True)
+class Segments:
+    """Token index ranges (half-open) of the modality segments."""
+
+    vision: Tuple[int, int]
+    prompt: Tuple[int, int]
+
+    @property
+    def n_vision(self) -> int:
+        return self.vision[1] - self.vision[0]
+
+    @property
+    def n_prompt(self) -> int:
+        return self.prompt[1] - self.prompt[0]
+
+    @property
+    def prefix_len(self) -> int:
+        return self.prompt[1]
+
+
+class KVCache:
+    """Append/truncate KV store for one generation session.
+
+    Arrays have shape ``(B, H, T, Dh)`` per layer.  Appending grows T;
+    truncation (used when draft tokens are rejected) shrinks it.  All data
+    is plain numpy — the cache is an inference-side object and never carries
+    gradients.
+    """
+
+    def __init__(self, n_layers: int) -> None:
+        if n_layers <= 0:
+            raise ValueError(f"n_layers must be positive, got {n_layers}")
+        self.n_layers = n_layers
+        self._keys: List[Optional[np.ndarray]] = [None] * n_layers
+        self._values: List[Optional[np.ndarray]] = [None] * n_layers
+        self.positions: np.ndarray = np.empty((0,), dtype=np.int64)
+        self.segments: Optional[Segments] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def seq_len(self) -> int:
+        return 0 if self._keys[0] is None else self._keys[0].shape[2]
+
+    @property
+    def batch_size(self) -> int:
+        if self._keys[0] is None:
+            raise ShapeError("cache is empty")
+        return self._keys[0].shape[0]
+
+    def layer(self, idx: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (K, V) for layer ``idx``."""
+        k, v = self._keys[idx], self._values[idx]
+        if k is None or v is None:
+            raise ShapeError(f"layer {idx} cache is empty")
+        return k, v
+
+    def last_layer(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The slice AASD's speculating module consumes."""
+        return self.layer(self.n_layers - 1)
+
+    # ------------------------------------------------------------------
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Append new-token K/V ``(B, H, Tnew, Dh)`` to one layer."""
+        k = np.asarray(k)
+        v = np.asarray(v)
+        if k.shape != v.shape:
+            raise ShapeError(f"K/V shape mismatch: {k.shape} vs {v.shape}")
+        if self._keys[layer] is None:
+            self._keys[layer] = k.copy()
+            self._values[layer] = v.copy()
+        else:
+            if k.shape[:2] != self._keys[layer].shape[:2] or k.shape[3] != self._keys[layer].shape[3]:
+                raise ShapeError(
+                    f"append shape {k.shape} incompatible with cache {self._keys[layer].shape}"
+                )
+            self._keys[layer] = np.concatenate([self._keys[layer], k], axis=2)
+            self._values[layer] = np.concatenate([self._values[layer], v], axis=2)
+
+    def extend_positions(self, positions: np.ndarray) -> None:
+        """Record absolute positions for tokens just appended to all layers."""
+        self.positions = np.concatenate(
+            [self.positions, np.asarray(positions, dtype=np.int64)]
+        )
+
+    def truncate(self, new_len: int) -> None:
+        """Drop cached entries beyond ``new_len`` (rejected draft rollback)."""
+        if new_len > self.seq_len:
+            raise ShapeError(f"cannot truncate cache of len {self.seq_len} to {new_len}")
+        if new_len == self.seq_len:
+            return
+        prefix = self.segments.prefix_len if self.segments is not None else 0
+        if new_len < prefix:
+            raise ShapeError(
+                f"truncation to {new_len} would cut into the prefill prefix ({prefix})"
+            )
+        for i in range(self.n_layers):
+            if self._keys[i] is not None:
+                self._keys[i] = self._keys[i][:, :, :new_len, :]
+                self._values[i] = self._values[i][:, :, :new_len, :]
+        self.positions = self.positions[:new_len]
+
+    def set_segments(self, n_vision: int, n_prompt: int) -> None:
+        """Mark the vision/prompt boundaries right after prefill."""
+        self.segments = Segments(vision=(0, n_vision), prompt=(n_vision, n_vision + n_prompt))
+
+    # ------------------------------------------------------------------
+    def next_position(self) -> int:
+        """Absolute position the next token should occupy."""
+        return 0 if self.positions.size == 0 else int(self.positions[-1]) + 1
+
+    def clone(self) -> "KVCache":
+        """Deep copy (used by tests and what-if rollouts)."""
+        out = KVCache(self.n_layers)
+        out._keys = [None if k is None else k.copy() for k in self._keys]
+        out._values = [None if v is None else v.copy() for v in self._values]
+        out.positions = self.positions.copy()
+        out.segments = self.segments
+        return out

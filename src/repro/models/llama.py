@@ -1,0 +1,131 @@
+"""MiniLlama: a LLaMA-style decoder-only LM (RoPE, RMSNorm, SwiGLU).
+
+Used in three roles: the LM backbone of the target MLLM, the standalone
+language-only draft baseline (FT/DT-LLaMA), and the backbone of the tiny
+LLaVA draft baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..nn.layers import Embedding
+from ..nn.module import Module
+from ..nn.normalization import RMSNorm
+from ..nn.rope import RotaryEmbedding
+from ..nn.tensor import Tensor
+from ..nn.transformer import DecoderBlock
+from .config import LlamaConfig
+from .kv_cache import KVCache
+
+__all__ = ["MiniLlama", "LlamaOutput"]
+
+
+@dataclass
+class LlamaOutput:
+    """Forward-pass result for the new tokens only."""
+
+    logits: Tensor              # (B, T, vocab)
+    hidden: Tensor              # (B, T, dim) final-norm hidden states
+    new_kv: List[Tuple[Tensor, Tensor]]  # per layer, (B, H, T, Dh)
+
+    @property
+    def last_layer_kv(self) -> Tuple[Tensor, Tensor]:
+        """The slice of fresh KV that AASD's draft head consumes."""
+        return self.new_kv[-1]
+
+
+class MiniLlama(Module):
+    """Decoder-only causal LM with a tied embedding/LM head."""
+
+    def __init__(self, config: LlamaConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.config = config
+        self.embed = Embedding(config.vocab_size, config.dim, rng=gen)
+        self.rope = RotaryEmbedding(config.head_dim, base=config.rope_base)
+        self.blocks = [
+            DecoderBlock(config.dim, config.n_heads, config.mlp_hidden, rope=self.rope, rng=gen)
+            for _ in range(config.n_layers)
+        ]
+        self.norm = RMSNorm(config.dim)
+
+    # ------------------------------------------------------------------
+    def embed_tokens(self, token_ids: np.ndarray) -> Tensor:
+        """``(B, T)`` int ids -> ``(B, T, dim)`` embeddings."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        return self.embed(token_ids)
+
+    def lm_head(self, hidden: Tensor) -> Tensor:
+        """Tied head: hidden states -> vocabulary logits."""
+        return hidden @ self.embed.weight.swapaxes(0, 1)
+
+    # ------------------------------------------------------------------
+    def forward_embeds(
+        self,
+        x: Tensor,
+        positions: np.ndarray,
+        cache: Optional[KVCache] = None,
+        update_cache: bool = True,
+    ) -> LlamaOutput:
+        """Run the decoder stack over pre-computed embeddings.
+
+        When ``cache`` is non-empty the new tokens attend to the cached
+        context; with ``update_cache`` the fresh KV is appended.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if x.ndim != 3:
+            raise ShapeError(f"expected (B, T, D) embeddings, got {x.shape}")
+        if positions.shape[0] != x.shape[1]:
+            raise ShapeError(
+                f"positions length {positions.shape[0]} != sequence length {x.shape[1]}"
+            )
+        use_cache = cache is not None and cache.seq_len > 0
+        key_positions = cache.positions if use_cache else None
+
+        new_kv: List[Tuple[Tensor, Tensor]] = []
+        hidden = x
+        for layer_idx, block in enumerate(self.blocks):
+            past = cache.layer(layer_idx) if use_cache else None
+            hidden, k_new, v_new = block(
+                hidden,
+                positions=positions,
+                past_kv=past,
+                key_positions=key_positions,
+            )
+            new_kv.append((k_new, v_new))
+            if cache is not None and update_cache:
+                cache.append(layer_idx, k_new.data, v_new.data)
+
+        if cache is not None and update_cache:
+            cache.extend_positions(positions)
+
+        normed = self.norm(hidden)
+        return LlamaOutput(logits=self.lm_head(normed), hidden=normed, new_kv=new_kv)
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        positions: Optional[np.ndarray] = None,
+        cache: Optional[KVCache] = None,
+        update_cache: bool = True,
+    ) -> LlamaOutput:
+        """Decoder forward over token ids (see :meth:`forward_embeds`)."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        if positions is None:
+            start = cache.next_position() if cache is not None else 0
+            positions = np.arange(start, start + token_ids.shape[1], dtype=np.int64)
+        return self.forward_embeds(
+            self.embed_tokens(token_ids), positions, cache=cache, update_cache=update_cache
+        )
+
+    def new_cache(self) -> KVCache:
+        return KVCache(self.config.n_layers)

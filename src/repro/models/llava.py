@@ -1,0 +1,144 @@
+"""MiniLlava: vision encoder + connector + MiniLlama backbone.
+
+The input layout matches LLaVA: ``[vision tokens][bos][text tokens...]``,
+with vision tokens occupying positions ``0 .. n_vision-1``.  The KV cache
+records the modality segment boundaries so AASD can compress the vision
+slice and the ablations can mask segments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..nn.tensor import Tensor, concat
+from .config import LlavaConfig
+from .connector import Connector
+from .kv_cache import KVCache
+from .llama import LlamaOutput, MiniLlama
+from .vision import VisionEncoder
+
+__all__ = ["MiniLlava"]
+
+
+class MiniLlava:
+    """The target MLLM (and, at tiny scale, the LLaVA draft baseline).
+
+    Not a Module subclass itself; it owns three modules and exposes a
+    combined parameter list, which keeps the state-dict layout explicit.
+    """
+
+    def __init__(self, config: LlavaConfig, rng: Optional[np.random.Generator] = None) -> None:
+        gen = rng if rng is not None else np.random.default_rng()
+        self.config = config
+        self.vision = VisionEncoder(config.vision, rng=gen)
+        self.connector = Connector(
+            config.vision.dim, config.llama.dim, hidden=config.connector_hidden, rng=gen
+        )
+        self.llama = MiniLlama(config.llama, rng=gen)
+
+    # ------------------------------------------------------------------
+    # Parameter plumbing
+    # ------------------------------------------------------------------
+    def named_parameters(self):
+        yield from self.vision.named_parameters(prefix="vision.")
+        yield from self.connector.named_parameters(prefix="connector.")
+        yield from self.llama.named_parameters(prefix="llama.")
+
+    def parameters(self):
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    def state_dict(self):
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state, strict: bool = True) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if name in state:
+                value = np.asarray(state[name])
+                if value.shape != param.data.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"
+                    )
+                param.data = value.astype(param.data.dtype, copy=True)
+
+    def train(self, mode: bool = True) -> "MiniLlava":
+        self.vision.train(mode)
+        self.connector.train(mode)
+        self.llama.train(mode)
+        return self
+
+    def eval(self) -> "MiniLlava":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Forward paths
+    # ------------------------------------------------------------------
+    @property
+    def n_vision_tokens(self) -> int:
+        return self.config.n_vision_tokens
+
+    def encode_image(self, images: np.ndarray) -> Tensor:
+        """Images -> vision embeddings in LM space ``(B, n_vision, dim)``."""
+        return self.connector(self.vision(images))
+
+    def build_input_embeds(self, images: np.ndarray, text_ids: np.ndarray) -> Tensor:
+        """Concatenate vision embeddings and text token embeddings."""
+        vis = self.encode_image(images)
+        txt = self.llama.embed_tokens(text_ids)
+        if vis.shape[0] != txt.shape[0]:
+            raise ShapeError(
+                f"batch mismatch: {vis.shape[0]} images vs {txt.shape[0]} text rows"
+            )
+        return concat([vis, txt], axis=1)
+
+    def prefill(self, images: np.ndarray, text_ids: np.ndarray) -> Tuple[KVCache, np.ndarray]:
+        """Process image + prompt; returns the primed cache and last logits.
+
+        ``text_ids``: ``(B, Tp)`` or ``(Tp,)`` prompt ids (bos included by
+        the caller).  Returns ``(cache, logits_last)`` where ``logits_last``
+        is the ``(B, vocab)`` distribution for the first generated token.
+        """
+        text_ids = np.asarray(text_ids, dtype=np.int64)
+        if text_ids.ndim == 1:
+            text_ids = text_ids[None, :]
+        x = self.build_input_embeds(images, text_ids)
+        cache = self.llama.new_cache()
+        total = x.shape[1]
+        out = self.llama.forward_embeds(x, np.arange(total, dtype=np.int64), cache=cache)
+        cache.set_segments(self.n_vision_tokens, text_ids.shape[1])
+        return cache, out.logits.data[:, -1, :]
+
+    def decode(self, token_ids: np.ndarray, cache: KVCache, update_cache: bool = True) -> LlamaOutput:
+        """Decode new tokens against the cache (verification / AR steps)."""
+        return self.llama.forward(token_ids, cache=cache, update_cache=update_cache)
+
+    def forward_train(self, images: np.ndarray, text_ids: np.ndarray) -> LlamaOutput:
+        """Full teacher-forced pass (no cache) for training and KV harvest.
+
+        The returned logits/hidden cover vision + text positions; use
+        :meth:`text_slice` to index the text part.
+        """
+        x = self.build_input_embeds(images, text_ids)
+        return self.llama.forward_embeds(
+            x, np.arange(x.shape[1], dtype=np.int64), cache=None
+        )
+
+    def text_slice(self, tensor: Tensor) -> Tensor:
+        """Slice positions belonging to text out of a full-sequence tensor."""
+        return tensor[:, self.n_vision_tokens :, ...]

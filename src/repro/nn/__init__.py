@@ -1,0 +1,59 @@
+"""``repro.nn`` — a small numpy autodiff NN framework.
+
+Substrate for the AASD reproduction: tensors with reverse-mode autodiff,
+LLaMA-style layers (RMSNorm, RoPE, SwiGLU, KV-cached attention), optimizers,
+schedules and checkpoint I/O.
+"""
+
+from . import functional
+from .attention import MultiHeadAttention, causal_mask, merge_heads, split_heads
+from .layers import MLP, Dropout, Embedding, Linear, Sequential
+from .module import Module, Parameter
+from .normalization import LayerNorm, RMSNorm
+from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from .rope import RotaryEmbedding, apply_rope
+from .schedule import apply_schedule, constant, warmup_cosine, warmup_linear
+from .serialization import load_checkpoint, load_state_dict, save_checkpoint, save_state_dict
+from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack, where
+from .transformer import DecoderBlock, SwiGLU
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "concat",
+    "stack",
+    "where",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "LayerNorm",
+    "RMSNorm",
+    "MultiHeadAttention",
+    "causal_mask",
+    "split_heads",
+    "merge_heads",
+    "RotaryEmbedding",
+    "apply_rope",
+    "DecoderBlock",
+    "SwiGLU",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "constant",
+    "warmup_cosine",
+    "warmup_linear",
+    "apply_schedule",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,149 @@
+"""Functional NN ops built from :mod:`repro.nn.tensor` primitives.
+
+Everything here is differentiable (where it makes sense) and numerically
+stabilised: softmax-family ops subtract a detached row max before
+exponentiation, so the same code path is safe for logits of any magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, is_grad_enabled
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "kl_divergence",
+    "nll_loss",
+    "mse_loss",
+    "gelu",
+    "silu",
+    "relu",
+    "embedding",
+    "dropout",
+    "one_hot",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - x.data.max(axis=axis, keepdims=True)
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - x.data.max(axis=axis, keepdims=True)
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    ignore_index: Optional[int] = None,
+) -> Tensor:
+    """Mean token-level cross entropy.
+
+    Parameters
+    ----------
+    logits:
+        ``(..., vocab)`` unnormalised scores.
+    targets:
+        Integer array broadcastable to ``logits.shape[:-1]``.
+    ignore_index:
+        Target value whose positions contribute zero loss (e.g. padding).
+    """
+    targets = np.asarray(targets)
+    logp = log_softmax(logits, axis=-1)
+    flat_logp = logp.reshape(-1, logp.shape[-1])
+    flat_targets = targets.reshape(-1)
+    if ignore_index is not None:
+        keep = flat_targets != ignore_index
+        if not keep.any():
+            raise ValueError("cross_entropy: every target equals ignore_index")
+        safe_targets = np.where(keep, flat_targets, 0)
+        picked = flat_logp.take_along_axis(safe_targets[:, None], axis=1)
+        picked = picked.masked_fill(~keep[:, None], 0.0)
+        return -picked.sum() * (1.0 / float(keep.sum()))
+    picked = flat_logp.take_along_axis(flat_targets[:, None], axis=1)
+    return -picked.mean()
+
+
+def nll_loss(logp: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log likelihood given log-probabilities."""
+    targets = np.asarray(targets).reshape(-1)
+    flat = logp.reshape(-1, logp.shape[-1])
+    picked = flat.take_along_axis(targets[:, None], axis=1)
+    return -picked.mean()
+
+
+def kl_divergence(teacher_logits: Tensor, student_logits: Tensor, axis: int = -1) -> Tensor:
+    """Mean KL(teacher || student) over all leading dims.
+
+    The teacher distribution is detached: only the student receives
+    gradients, which is the standard distillation setup.
+    """
+    teacher_p = softmax(as_tensor(teacher_logits).detach(), axis=axis)
+    teacher_logp = log_softmax(as_tensor(teacher_logits).detach(), axis=axis)
+    student_logp = log_softmax(student_logits, axis=axis)
+    per_elem = teacher_p * (teacher_logp - student_logp)
+    per_row = per_elem.sum(axis=axis)
+    return per_row.mean()
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = as_tensor(pred) - as_tensor(target)
+    return (diff * diff).mean()
+
+
+_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    x = as_tensor(x)
+    inner = (x + (x * x * x) * 0.044715) * _SQRT_2_OVER_PI
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def silu(x: Tensor) -> Tensor:
+    """SiLU / swish activation used by LLaMA-style MLPs."""
+    x = as_tensor(x)
+    return x * x.sigmoid()
+
+
+def relu(x: Tensor) -> Tensor:
+    return as_tensor(x).relu()
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Differentiable embedding lookup ``weight[indices]``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    return weight[indices]
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    gen = rng if rng is not None else np.random.default_rng()
+    mask = (gen.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:
+    """Plain-numpy one-hot encoding (no gradient involved)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros(indices.shape + (depth,), dtype=np.float32)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out

@@ -1,0 +1,52 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so model
+construction is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["normal", "uniform", "xavier_uniform", "kaiming_normal", "zeros", "ones"]
+
+
+def normal(rng: np.random.Generator, shape: Sequence[int], std: float = 0.02) -> np.ndarray:
+    """Gaussian init with the GPT-style default std of 0.02."""
+    return (rng.standard_normal(tuple(shape)) * std).astype(np.float32)
+
+
+def uniform(rng: np.random.Generator, shape: Sequence[int], bound: float) -> np.ndarray:
+    return rng.uniform(-bound, bound, tuple(shape)).astype(np.float32)
+
+
+def _fan(shape: Sequence[int]) -> Tuple[int, int]:
+    if len(shape) < 2:
+        return int(shape[0]), int(shape[0])
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = int(shape[0])
+    return fan_in, fan_out
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Sequence[int], gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform initialization."""
+    fan_in, fan_out = _fan(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return uniform(rng, shape, bound)
+
+
+def kaiming_normal(rng: np.random.Generator, shape: Sequence[int]) -> np.ndarray:
+    """He-normal initialization for ReLU-family activations."""
+    fan_in, _ = _fan(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return normal(rng, shape, std=std)
+
+
+def zeros(shape: Sequence[int]) -> np.ndarray:
+    return np.zeros(tuple(shape), dtype=np.float32)
+
+
+def ones(shape: Sequence[int]) -> np.ndarray:
+    return np.ones(tuple(shape), dtype=np.float32)

@@ -1,0 +1,41 @@
+"""Normalization layers: LayerNorm and RMSNorm (LLaMA-style)."""
+
+from __future__ import annotations
+
+from .module import Module, Parameter
+from .tensor import Tensor
+from . import initializers as init
+
+__all__ = ["LayerNorm", "RMSNorm"]
+
+
+class LayerNorm(Module):
+    """Standard layer normalization over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(init.ones((dim,)), name="weight")
+        self.bias = Parameter(init.zeros((dim,)), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.weight + self.bias
+
+
+class RMSNorm(Module):
+    """Root-mean-square normalization, the LLaMA default."""
+
+    def __init__(self, dim: int, eps: float = 1e-6) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(init.ones((dim,)), name="weight")
+
+    def forward(self, x: Tensor) -> Tensor:
+        ms = (x * x).mean(axis=-1, keepdims=True)
+        return x / (ms + self.eps).sqrt() * self.weight

@@ -1,0 +1,53 @@
+"""Learning-rate schedules as plain callables ``step -> lr``."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+__all__ = ["constant", "warmup_cosine", "warmup_linear", "apply_schedule"]
+
+Schedule = Callable[[int], float]
+
+
+def constant(lr: float) -> Schedule:
+    """Constant learning rate."""
+    def fn(step: int) -> float:
+        return lr
+    return fn
+
+
+def warmup_cosine(lr: float, warmup_steps: int, total_steps: int, min_lr: float = 0.0) -> Schedule:
+    """Linear warmup then cosine decay to ``min_lr``."""
+    if total_steps <= warmup_steps:
+        raise ValueError("total_steps must exceed warmup_steps")
+
+    def fn(step: int) -> float:
+        if step < warmup_steps:
+            return lr * (step + 1) / max(1, warmup_steps)
+        progress = (step - warmup_steps) / max(1, total_steps - warmup_steps)
+        progress = min(1.0, progress)
+        return min_lr + 0.5 * (lr - min_lr) * (1.0 + math.cos(math.pi * progress))
+
+    return fn
+
+
+def warmup_linear(lr: float, warmup_steps: int, total_steps: int) -> Schedule:
+    """Linear warmup then linear decay to zero."""
+    if total_steps <= warmup_steps:
+        raise ValueError("total_steps must exceed warmup_steps")
+
+    def fn(step: int) -> float:
+        if step < warmup_steps:
+            return lr * (step + 1) / max(1, warmup_steps)
+        remaining = max(0.0, 1.0 - (step - warmup_steps) / (total_steps - warmup_steps))
+        return lr * remaining
+
+    return fn
+
+
+def apply_schedule(optimizer, schedule: Schedule, step: int) -> float:
+    """Set ``optimizer.lr`` from the schedule and return the value."""
+    lr = schedule(step)
+    optimizer.lr = lr
+    return lr

@@ -1,0 +1,48 @@
+"""Checkpoint I/O: module state dicts as ``.npz`` plus JSON metadata."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_state_dict", "load_state_dict"]
+
+_META_KEY = "__meta_json__"
+
+
+def save_state_dict(path: Path, state: Dict[str, np.ndarray], meta: Optional[Dict[str, Any]] = None) -> None:
+    """Write a state dict (and optional JSON-serialisable metadata) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(state)
+    if meta is not None:
+        payload[_META_KEY] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **payload)
+
+
+def load_state_dict(path: Path) -> Tuple[Dict[str, np.ndarray], Optional[Dict[str, Any]]]:
+    """Read ``(state_dict, meta)`` back from ``path``."""
+    path = Path(path)
+    with np.load(path) as archive:
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+        meta = None
+        if _META_KEY in archive.files:
+            meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+    return state, meta
+
+
+def save_checkpoint(path: Path, module: Module, meta: Optional[Dict[str, Any]] = None) -> None:
+    """Save a module's parameters and metadata."""
+    save_state_dict(path, module.state_dict(), meta=meta)
+
+
+def load_checkpoint(path: Path, module: Module, strict: bool = True) -> Optional[Dict[str, Any]]:
+    """Load parameters into ``module``; returns the stored metadata."""
+    state, meta = load_state_dict(path)
+    module.load_state_dict(state, strict=strict)
+    return meta

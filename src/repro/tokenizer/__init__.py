@@ -1,0 +1,15 @@
+"""Word-level tokenizer and vocabulary for the synthetic language."""
+
+from .tokenizer import WordTokenizer
+from .vocab import BOS, EOS, IMAGE, PAD, SPECIAL_TOKENS, UNK, Vocab
+
+__all__ = [
+    "WordTokenizer",
+    "Vocab",
+    "SPECIAL_TOKENS",
+    "PAD",
+    "BOS",
+    "EOS",
+    "UNK",
+    "IMAGE",
+]

@@ -1,0 +1,104 @@
+"""Word-level tokenizer for the synthetic multimodal world.
+
+The synthetic language generators emit lowercase words and a small set of
+punctuation marks, so a word-level tokenizer is lossless here and keeps the
+vocabulary tiny (~200 entries) — the analogue of the 32k-piece LLaMA
+tokenizer for our scaled-down models.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import TokenizerError
+from .vocab import IMAGE, Vocab
+
+__all__ = ["WordTokenizer"]
+
+_TOKEN_RE = re.compile(r"<image>|[a-z0-9']+|[.,:;?!]")
+
+
+class WordTokenizer:
+    """Tokenizes text into lowercase words / punctuation / ``<image>`` marks."""
+
+    def __init__(self, vocab: Vocab) -> None:
+        self.vocab = vocab
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_texts(cls, texts: Iterable[str]) -> "WordTokenizer":
+        """Build a tokenizer whose vocab covers every word in ``texts``."""
+        seen: List[str] = []
+        seen_set = set()
+        for text in texts:
+            for tok in cls.split(text):
+                if tok not in seen_set and tok != IMAGE:
+                    seen_set.add(tok)
+                    seen.append(tok)
+        return cls(Vocab(sorted(seen)))
+
+    @staticmethod
+    def split(text: str) -> List[str]:
+        """Split raw text into token strings."""
+        return _TOKEN_RE.findall(text.lower())
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding
+    # ------------------------------------------------------------------
+    def encode(
+        self,
+        text: str,
+        add_bos: bool = False,
+        add_eos: bool = False,
+    ) -> List[int]:
+        """Encode ``text`` to a list of token ids."""
+        ids = [self.vocab.id_of(tok) for tok in self.split(text)]
+        if add_bos:
+            ids.insert(0, self.vocab.bos_id)
+        if add_eos:
+            ids.append(self.vocab.eos_id)
+        return ids
+
+    def encode_array(self, text: str, add_bos: bool = False, add_eos: bool = False) -> np.ndarray:
+        return np.asarray(self.encode(text, add_bos=add_bos, add_eos=add_eos), dtype=np.int64)
+
+    def decode(self, ids: Sequence[int], skip_special: bool = True) -> str:
+        """Decode ids back to a readable string."""
+        words: List[str] = []
+        special = {self.vocab.pad_id, self.vocab.bos_id, self.vocab.eos_id}
+        for idx in np.asarray(ids, dtype=np.int64).reshape(-1):
+            idx = int(idx)
+            if skip_special and idx in special:
+                continue
+            words.append(self.vocab.token_of(idx))
+        out: List[str] = []
+        for word in words:
+            if word in {".", ",", ":", ";", "?", "!"} and out:
+                out[-1] = out[-1] + word
+            else:
+                out.append(word)
+        return " ".join(out)
+
+    # ------------------------------------------------------------------
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    def save(self, path: Path) -> None:
+        self.vocab.save(path)
+
+    @classmethod
+    def load(cls, path: Path) -> "WordTokenizer":
+        return cls(Vocab.load(path))
+
+    def assert_covers(self, text: str) -> None:
+        """Raise if ``text`` contains out-of-vocabulary words."""
+        missing = [tok for tok in self.split(text) if tok not in self.vocab and tok != IMAGE]
+        if missing:
+            raise TokenizerError(f"out-of-vocabulary tokens: {sorted(set(missing))}")

@@ -1,0 +1,89 @@
+"""Vocabulary: bidirectional token <-> id mapping with special tokens."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from ..errors import TokenizerError
+
+__all__ = ["Vocab", "SPECIAL_TOKENS", "PAD", "BOS", "EOS", "UNK", "IMAGE"]
+
+PAD = "<pad>"
+BOS = "<bos>"
+EOS = "<eos>"
+UNK = "<unk>"
+IMAGE = "<image>"
+
+#: Specials come first so their ids are stable across vocab rebuilds.
+SPECIAL_TOKENS: List[str] = [PAD, BOS, EOS, UNK, IMAGE]
+
+
+class Vocab:
+    """Immutable token <-> id table.
+
+    Ids 0..4 are always the special tokens in :data:`SPECIAL_TOKENS` order.
+    """
+
+    def __init__(self, tokens: Iterable[str]) -> None:
+        self._id_to_token: List[str] = list(SPECIAL_TOKENS)
+        seen = set(self._id_to_token)
+        for tok in tokens:
+            if tok in seen:
+                continue
+            seen.add(tok)
+            self._id_to_token.append(tok)
+        self._token_to_id: Dict[str, int] = {t: i for i, t in enumerate(self._id_to_token)}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def id_of(self, token: str) -> int:
+        """Return the id for ``token``, falling back to ``<unk>``."""
+        return self._token_to_id.get(token, self._token_to_id[UNK])
+
+    def token_of(self, idx: int) -> str:
+        if not 0 <= idx < len(self._id_to_token):
+            raise TokenizerError(f"token id {idx} out of range [0, {len(self)})")
+        return self._id_to_token[idx]
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[EOS]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK]
+
+    @property
+    def image_id(self) -> int:
+        return self._token_to_id[IMAGE]
+
+    def tokens(self) -> List[str]:
+        return list(self._id_to_token)
+
+    # ------------------------------------------------------------------
+    def save(self, path: Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self._id_to_token, indent=0), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path) -> "Vocab":
+        tokens = json.loads(Path(path).read_text(encoding="utf-8"))
+        if tokens[: len(SPECIAL_TOKENS)] != SPECIAL_TOKENS:
+            raise TokenizerError("vocab file does not start with the canonical special tokens")
+        return cls(tokens[len(SPECIAL_TOKENS):])

@@ -1,0 +1,32 @@
+"""Training pipelines: pretrain, finetune, distill, AASD draft training."""
+
+from .distill import distill_llava_draft, distill_text_draft, generate_distillation_data
+from .draft_training import DraftTrainConfig, train_draft_head
+from .finetune import (
+    finetune_llava_draft,
+    finetune_multimodal_staged,
+    finetune_target,
+    finetune_text_draft,
+)
+from .losses import masked_cross_entropy, masked_kl_divergence, response_mask
+from .pretrain import pretrain_lm
+from .trainer import TrainConfig, TrainResult, run_training
+
+__all__ = [
+    "TrainConfig",
+    "TrainResult",
+    "run_training",
+    "pretrain_lm",
+    "finetune_target",
+    "finetune_multimodal_staged",
+    "finetune_llava_draft",
+    "finetune_text_draft",
+    "generate_distillation_data",
+    "distill_text_draft",
+    "distill_llava_draft",
+    "DraftTrainConfig",
+    "train_draft_head",
+    "masked_cross_entropy",
+    "masked_kl_divergence",
+    "response_mask",
+]

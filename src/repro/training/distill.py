@@ -1,0 +1,75 @@
+"""Sequence-level knowledge distillation (Kim & Rush, 2016).
+
+The DT-* baselines are trained on the *target model's own greedy outputs*
+instead of ground-truth responses: first generate a distillation corpus,
+then finetune the draft on it with the usual objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Sequence
+
+import numpy as np
+
+from ..data.tasks import MultimodalSample
+from ..models.generation import GenerationLimits, greedy_generate
+from ..models.llava import MiniLlava
+from ..tokenizer import WordTokenizer
+from .finetune import finetune_llava_draft, finetune_text_draft
+from .trainer import TrainConfig, TrainResult
+
+__all__ = ["generate_distillation_data", "distill_text_draft", "distill_llava_draft"]
+
+
+def generate_distillation_data(
+    target: MiniLlava,
+    tokenizer: WordTokenizer,
+    samples: Sequence[MultimodalSample],
+    max_new_tokens: int = 64,
+) -> List[MultimodalSample]:
+    """Replace each sample's response with the target's greedy output."""
+    limits = GenerationLimits(max_new_tokens=max_new_tokens, eos_id=tokenizer.vocab.eos_id)
+    distilled: List[MultimodalSample] = []
+    for s in samples:
+        prompt_ids = np.asarray(
+            [tokenizer.vocab.bos_id] + tokenizer.encode(s.prompt), dtype=np.int64
+        )
+        generated = greedy_generate(target, s.image, prompt_ids, limits)
+        text = tokenizer.decode(generated)
+        if not text.strip():
+            # Degenerate generation: keep the ground-truth response rather
+            # than training the draft on empty strings.
+            text = s.response
+        distilled.append(
+            MultimodalSample(
+                image=s.image, prompt=s.prompt, response=text, task=s.task, scene=s.scene
+            )
+        )
+    return distilled
+
+
+def distill_text_draft(
+    model,
+    target: MiniLlava,
+    tokenizer: WordTokenizer,
+    samples: Sequence[MultimodalSample],
+    config: TrainConfig,
+    max_new_tokens: int = 64,
+) -> TrainResult:
+    """Seq-level distillation of the language-only draft."""
+    data = generate_distillation_data(target, tokenizer, samples, max_new_tokens)
+    return finetune_text_draft(model, tokenizer, data, replace(config, seed=config.seed + 1))
+
+
+def distill_llava_draft(
+    model: MiniLlava,
+    target: MiniLlava,
+    tokenizer: WordTokenizer,
+    samples: Sequence[MultimodalSample],
+    config: TrainConfig,
+    max_new_tokens: int = 64,
+) -> TrainResult:
+    """Seq-level distillation of the tiny multimodal draft."""
+    data = generate_distillation_data(target, tokenizer, samples, max_new_tokens)
+    return finetune_llava_draft(model, tokenizer, data, replace(config, seed=config.seed + 1))

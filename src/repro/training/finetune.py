@@ -1,0 +1,161 @@
+"""Instruction finetuning: the target MLLM and the draft baselines.
+
+Three entry points sharing one loop:
+
+* :func:`finetune_target` — trains MiniLlava end to end on image-grounded
+  prompt/response pairs (loss on the response region only),
+* :func:`finetune_llava_draft` — same objective for the tiny LLaVA draft,
+* :func:`finetune_text_draft` — the language-only draft, trained on the
+  *text* of the same pairs without ever seeing an image (Gagrani et al.'s
+  language-only-draft recipe).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..data.dataloader import IGNORE_INDEX, collate_multimodal
+from ..data.tasks import MultimodalSample
+from ..models.llama import MiniLlama
+from ..models.llava import MiniLlava
+from ..nn.tensor import Tensor
+from ..tokenizer import WordTokenizer
+from ..utils.rng import derive
+from .losses import masked_cross_entropy
+from .trainer import TrainConfig, TrainResult, run_training
+
+__all__ = [
+    "finetune_target",
+    "finetune_multimodal_staged",
+    "finetune_llava_draft",
+    "finetune_text_draft",
+]
+
+
+def _sample_batch(samples: Sequence[MultimodalSample], size: int, gen: np.random.Generator):
+    idx = gen.integers(0, len(samples), size=min(size, len(samples)))
+    return [samples[int(i)] for i in idx]
+
+
+def _multimodal_loss(model: MiniLlava, batch) -> Tensor:
+    out = model.forward_train(batch.images, batch.text_ids)
+    text_logits = model.text_slice(out.logits)
+    return masked_cross_entropy(text_logits, batch.labels)
+
+
+def finetune_target(
+    model: MiniLlava,
+    tokenizer: WordTokenizer,
+    samples: Sequence[MultimodalSample],
+    config: TrainConfig,
+) -> TrainResult:
+    """Train the target MLLM on image-grounded instruction data."""
+    rng = derive(config.seed, "finetune-target")
+
+    def loss_fn(step: int, gen: np.random.Generator) -> Tensor:
+        batch = collate_multimodal(
+            _sample_batch(samples, config.batch_size, gen), tokenizer
+        )
+        return _multimodal_loss(model, batch)
+
+    return run_training(model.parameters(), loss_fn, config, rng)
+
+
+def finetune_multimodal_staged(
+    model: MiniLlava,
+    tokenizer: WordTokenizer,
+    samples: Sequence[MultimodalSample],
+    align_config: TrainConfig,
+    joint_config: TrainConfig,
+) -> List[TrainResult]:
+    """LLaVA's two-stage visual instruction tuning.
+
+    Stage 1 (*feature alignment*): freeze the LM backbone and train only the
+    vision encoder and connector, so visual features are forced to carry the
+    image information (otherwise the language prior wins and the model learns
+    to ignore the image — the classic MLLM training failure).
+    Stage 2 (*joint finetune*): unfreeze everything.
+
+    The LM backbone is expected to be language-pretrained already (see
+    :func:`repro.training.pretrain.pretrain_lm`).
+    """
+    results: List[TrainResult] = []
+    rng_align = derive(align_config.seed, "staged-align")
+
+    def align_loss(step: int, gen: np.random.Generator) -> Tensor:
+        batch = collate_multimodal(
+            _sample_batch(samples, align_config.batch_size, gen), tokenizer
+        )
+        return _multimodal_loss(model, batch)
+
+    align_params = [*model.vision.parameters(), *model.connector.parameters()]
+    results.append(run_training(align_params, align_loss, align_config, rng_align))
+
+    rng_joint = derive(joint_config.seed, "staged-joint")
+
+    def joint_loss(step: int, gen: np.random.Generator) -> Tensor:
+        batch = collate_multimodal(
+            _sample_batch(samples, joint_config.batch_size, gen), tokenizer
+        )
+        return _multimodal_loss(model, batch)
+
+    results.append(run_training(model.parameters(), joint_loss, joint_config, rng_joint))
+    return results
+
+
+def finetune_llava_draft(
+    model: MiniLlava,
+    tokenizer: WordTokenizer,
+    samples: Sequence[MultimodalSample],
+    config: TrainConfig,
+) -> TrainResult:
+    """Train the tiny multimodal draft (same objective, smaller model)."""
+    rng = derive(config.seed, "finetune-llava-draft")
+
+    def loss_fn(step: int, gen: np.random.Generator) -> Tensor:
+        batch = collate_multimodal(
+            _sample_batch(samples, config.batch_size, gen), tokenizer
+        )
+        return _multimodal_loss(model, batch)
+
+    return run_training(model.parameters(), loss_fn, config, rng)
+
+
+def _encode_text_rows(
+    samples: Sequence[MultimodalSample], tokenizer: WordTokenizer
+) -> List[np.ndarray]:
+    rows = []
+    for s in samples:
+        prompt = [tokenizer.vocab.bos_id] + tokenizer.encode(s.prompt)
+        response = tokenizer.encode(s.response) + [tokenizer.vocab.eos_id]
+        rows.append((np.asarray(prompt + response, dtype=np.int64), len(prompt)))
+    return rows
+
+
+def finetune_text_draft(
+    model: MiniLlama,
+    tokenizer: WordTokenizer,
+    samples: Sequence[MultimodalSample],
+    config: TrainConfig,
+) -> TrainResult:
+    """Train the language-only draft on the text of the pairs (no images)."""
+    rng = derive(config.seed, "finetune-text-draft")
+    rows = _encode_text_rows(samples, tokenizer)
+    pad = tokenizer.vocab.pad_id
+
+    def loss_fn(step: int, gen: np.random.Generator) -> Tensor:
+        idx = gen.integers(0, len(rows), size=min(config.batch_size, len(rows)))
+        chosen = [rows[int(i)] for i in idx]
+        max_len = max(len(r) for r, _ in chosen)
+        ids = np.full((len(chosen), max_len), pad, dtype=np.int64)
+        labels = np.full((len(chosen), max_len), IGNORE_INDEX, dtype=np.int64)
+        for b, (row, p_len) in enumerate(chosen):
+            ids[b, : len(row)] = row
+            for t in range(p_len - 1, len(row) - 1):
+                labels[b, t] = row[t + 1]
+        out = model.forward(ids)
+        return masked_cross_entropy(out.logits, labels)
+
+    return run_training(model.parameters(), loss_fn, config, rng)

@@ -1,0 +1,47 @@
+"""Loss functions for target training, draft finetuning and distillation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.dataloader import IGNORE_INDEX
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+__all__ = ["masked_cross_entropy", "masked_kl_divergence", "response_mask"]
+
+
+def response_mask(labels: np.ndarray) -> np.ndarray:
+    """Boolean mask of positions that carry a supervised label."""
+    return np.asarray(labels) != IGNORE_INDEX
+
+
+def masked_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Cross entropy over positions where ``labels != IGNORE_INDEX``."""
+    return F.cross_entropy(logits, labels, ignore_index=IGNORE_INDEX)
+
+
+def masked_kl_divergence(
+    teacher_logits: np.ndarray,
+    student_logits: Tensor,
+    mask: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Mean KL(teacher || student) restricted to masked positions.
+
+    ``teacher_logits`` is plain numpy (no gradient to the teacher); the mean
+    is over unmasked positions only.
+    """
+    teacher = Tensor(np.asarray(teacher_logits))
+    teacher_p = F.softmax(teacher, axis=-1)
+    teacher_logp = F.log_softmax(teacher, axis=-1)
+    student_logp = F.log_softmax(student_logits, axis=-1)
+    per_pos = (teacher_p * (teacher_logp - student_logp)).sum(axis=-1)
+    if mask is None:
+        return per_pos.mean()
+    mask = np.asarray(mask, dtype=bool)
+    count = float(mask.sum())
+    if count == 0:
+        raise ValueError("masked_kl_divergence: empty mask")
+    return per_pos.masked_fill(~mask, 0.0).sum() * (1.0 / count)

@@ -1,0 +1,42 @@
+"""Causal-LM pretraining on the text-only corpus (RedPajama stand-in).
+
+Used to initialise the small LLaMA draft baselines before instruction
+finetuning or distillation, mirroring the paper's pipeline of pretraining a
+112M LLaMA-2 on RedPajama-Data-1T-Sample.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data.dataloader import pack_documents
+from ..models.llama import MiniLlama
+from ..nn import functional as F
+from ..tokenizer import WordTokenizer
+from ..utils.rng import derive
+from .trainer import TrainConfig, TrainResult, run_training
+
+__all__ = ["pretrain_lm"]
+
+
+def pretrain_lm(
+    model: MiniLlama,
+    tokenizer: WordTokenizer,
+    documents: Sequence[str],
+    config: TrainConfig,
+    seq_len: int = 48,
+) -> TrainResult:
+    """Next-token pretraining over packed documents."""
+    rows = pack_documents(documents, tokenizer, seq_len=seq_len)
+    rng = derive(config.seed, "pretrain")
+
+    def loss_fn(step: int, gen: np.random.Generator):
+        idx = gen.integers(0, rows.shape[0], size=min(config.batch_size, rows.shape[0]))
+        batch = rows[idx]
+        inputs, targets = batch[:, :-1], batch[:, 1:]
+        out = model.forward(inputs)
+        return F.cross_entropy(out.logits, targets)
+
+    return run_training(model.parameters(), loss_fn, config, rng)

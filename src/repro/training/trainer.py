@@ -1,0 +1,84 @@
+"""Generic training-loop scaffolding shared by every trainer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..errors import TrainingError
+from ..nn.optim import Adam, clip_grad_norm
+from ..nn.schedule import Schedule, warmup_cosine
+from ..nn.tensor import Tensor
+
+__all__ = ["TrainConfig", "TrainResult", "run_training"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters shared by all trainers."""
+
+    steps: int = 300
+    batch_size: int = 8
+    lr: float = 3e-3
+    warmup_steps: int = 20
+    clip_norm: float = 1.0
+    seed: int = 0
+    log_every: int = 0   # 0 = silent
+
+    def __post_init__(self) -> None:
+        if self.steps <= 0 or self.batch_size <= 0:
+            raise TrainingError("steps and batch_size must be positive")
+        if self.warmup_steps >= self.steps:
+            raise TrainingError("warmup_steps must be smaller than steps")
+
+
+@dataclass
+class TrainResult:
+    """Loss curve and summary of one training run."""
+
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise TrainingError("no training steps were run")
+        tail = self.losses[-10:]
+        return float(np.mean(tail))
+
+
+def run_training(
+    parameters,
+    loss_fn: Callable[[int, np.random.Generator], Tensor],
+    config: TrainConfig,
+    rng: np.random.Generator,
+    schedule: Optional[Schedule] = None,
+) -> TrainResult:
+    """Drive ``steps`` optimisation steps of ``loss_fn``.
+
+    ``loss_fn(step, rng)`` builds a fresh batch and returns a scalar loss
+    tensor; this helper owns the optimizer, LR schedule, clipping and
+    divergence checks.
+    """
+    parameters = list(parameters)
+    optimizer = Adam(parameters, lr=config.lr)
+    if schedule is None:
+        schedule = warmup_cosine(config.lr, config.warmup_steps, config.steps, min_lr=config.lr * 0.1)
+
+    result = TrainResult()
+    for step in range(config.steps):
+        optimizer.lr = schedule(step)
+        optimizer.zero_grad()
+        loss = loss_fn(step, rng)
+        value = loss.item()
+        if not np.isfinite(value):
+            raise TrainingError(f"loss diverged to {value} at step {step}")
+        loss.backward()
+        if config.clip_norm > 0:
+            clip_grad_norm(parameters, config.clip_norm)
+        optimizer.step()
+        result.losses.append(value)
+        if config.log_every and step % config.log_every == 0:
+            print(f"step {step:5d}  loss {value:.4f}  lr {optimizer.lr:.2e}")
+    return result

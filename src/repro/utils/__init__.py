@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG streams and clocks."""
+
+from .rng import derive, seed_sequence
+from .timing import SimulatedClock, WallTimer
+
+__all__ = ["derive", "seed_sequence", "SimulatedClock", "WallTimer"]

@@ -1,0 +1,27 @@
+"""Deterministic RNG management.
+
+Every stochastic component in the library takes an explicit
+``numpy.random.Generator``.  :func:`derive` produces independent child
+generators from a root seed and a string tag, so "the tokenizer corpus",
+"model init", and "sampling" streams never interact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive", "seed_sequence"]
+
+
+def seed_sequence(seed: int, tag: str = "") -> np.random.SeedSequence:
+    """Build a SeedSequence from an integer seed and an optional tag."""
+    digest = hashlib.sha256(f"{seed}:{tag}".encode("utf-8")).digest()
+    entropy = int.from_bytes(digest[:16], "little")
+    return np.random.SeedSequence(entropy)
+
+
+def derive(seed: int, tag: str = "") -> np.random.Generator:
+    """Return a Generator deterministically derived from (seed, tag)."""
+    return np.random.default_rng(seed_sequence(seed, tag))

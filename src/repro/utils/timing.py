@@ -1,0 +1,48 @@
+"""Clocks: real wall time and the simulated latency clock.
+
+Speculative-decoding speedups on 1M-parameter numpy models do not reflect
+7B-on-GPU behaviour, so the benchmark harness charges time to a
+:class:`SimulatedClock` using the calibrated cost model in
+:mod:`repro.decoding.cost_model`, while also keeping real wall time for
+reference.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["SimulatedClock", "WallTimer"]
+
+
+@dataclass
+class SimulatedClock:
+    """Accumulates simulated seconds, broken down by named category."""
+
+    total: float = 0.0
+    by_category: Dict[str, float] = field(default_factory=dict)
+
+    def charge(self, seconds: float, category: str = "other") -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        self.total += seconds
+        self.by_category[category] = self.by_category.get(category, 0.0) + seconds
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.by_category.clear()
+
+
+class WallTimer:
+    """Context manager measuring wall time in seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start

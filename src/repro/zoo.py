@@ -1,0 +1,405 @@
+"""Model zoo: builds and caches every trained artifact the experiments use.
+
+The paper's experiment matrix needs, per target size:
+
+* the target MLLM itself (``sim-7b`` / ``sim-13b``),
+* four independent-draft baselines (FT/DT-LLaMA, FT/DT-LLaVA) sharing a
+  pretrained 112M-sim language backbone,
+* the AASD speculating module, plus its two ablation variants
+  (no KV projector — Table 2; no target KV — Figure 3).
+
+Training tiny numpy models still takes minutes, so every artifact is
+cached on disk under a profile-specific directory and rebuilt only when
+missing.  Two profiles exist: ``full`` (benchmark quality) and ``smoke``
+(fast budgets for integration tests).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .core.draft_head import AASDDraftHead, DraftHeadConfig
+from .data.corpus import build_reference_texts, text_only_corpus
+from .data.tasks import DATASET_NAMES, MultimodalSample, TaskDataset, make_dataset
+from .errors import ConfigError
+from .models.config import LlavaConfig, get_config
+from .models.llama import MiniLlama
+from .models.llava import MiniLlava
+from .nn.serialization import load_state_dict, save_state_dict
+from .tokenizer import WordTokenizer
+from .training.distill import distill_text_draft, generate_distillation_data
+from .training.draft_training import DraftTrainConfig, train_draft_head
+from .training.finetune import finetune_multimodal_staged, finetune_text_draft
+from .training.pretrain import pretrain_lm
+from .training.trainer import TrainConfig
+from .utils.rng import derive
+
+__all__ = ["ZooProfile", "ModelZoo", "PROFILE_FULL", "PROFILE_SMOKE", "default_cache_dir"]
+
+TARGET_NAMES = ("sim-7b", "sim-13b")
+
+
+@dataclass(frozen=True)
+class ZooProfile:
+    """Training budgets for one quality tier.
+
+    Targets follow the LLaVA recipe: language pretraining of the backbone,
+    then feature alignment (vision + connector only), then joint visual
+    instruction tuning — without the alignment stage the language prior
+    wins and the model learns to ignore the image.
+    """
+
+    name: str
+    pretrain_steps: int        # text-only LM pretraining (backbones)
+    target_align_steps: int    # stage 1: vision + connector only
+    target_joint_steps: int    # stage 2: everything
+    finetune_steps: int        # FT/DT text drafts
+    llava_align_steps: int     # tiny LLaVA draft, stage 1
+    llava_joint_steps: int     # tiny LLaVA draft, stage 2
+    aasd_steps: int            # speculating-module training
+    batch_size: int = 8
+    train_pool_size: int = 1200
+    distill_pool_size: int = 400   # samples the teacher labels for DT drafts
+    seed: int = 0
+
+    def tag(self) -> str:
+        return f"{self.name}-seed{self.seed}"
+
+
+PROFILE_FULL = ZooProfile(
+    name="full",
+    pretrain_steps=250,
+    target_align_steps=800,
+    target_joint_steps=900,
+    finetune_steps=500,
+    llava_align_steps=300,
+    llava_joint_steps=400,
+    aasd_steps=400,
+    distill_pool_size=400,
+)
+
+PROFILE_SMOKE = ZooProfile(
+    name="smoke",
+    pretrain_steps=40,
+    target_align_steps=50,
+    target_joint_steps=60,
+    finetune_steps=50,
+    llava_align_steps=25,
+    llava_joint_steps=30,
+    aasd_steps=80,
+    train_pool_size=120,
+)
+
+_PROFILES = {p.name: p for p in (PROFILE_FULL, PROFILE_SMOKE)}
+
+
+def default_cache_dir() -> Path:
+    """Zoo cache location; override with the REPRO_CACHE_DIR env var."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[2] / ".cache" / "zoo"
+
+
+class ModelZoo:
+    """Lazy, disk-cached factory for all trained models."""
+
+    def __init__(
+        self,
+        profile: ZooProfile = PROFILE_FULL,
+        cache_dir: Optional[Path] = None,
+        verbose: bool = True,
+    ) -> None:
+        if isinstance(profile, str):
+            if profile not in _PROFILES:
+                raise ConfigError(f"unknown zoo profile {profile!r}")
+            profile = _PROFILES[profile]
+        self.profile = profile
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir() / profile.tag()
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.verbose = verbose
+        self._tokenizer: Optional[WordTokenizer] = None
+        self._memo: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Infrastructure
+    # ------------------------------------------------------------------
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[zoo:{self.profile.name}] {message}")
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.npz"
+
+    def _load_into(self, key: str, model) -> bool:
+        path = self._path(key)
+        if not path.exists():
+            return False
+        state, _ = load_state_dict(path)
+        model.load_state_dict(state)
+        return True
+
+    def _save(self, key: str, model, meta: Optional[dict] = None) -> None:
+        save_state_dict(self._path(key), model.state_dict(), meta=meta)
+
+    # ------------------------------------------------------------------
+    # Tokenizer and data pools
+    # ------------------------------------------------------------------
+    def tokenizer(self) -> WordTokenizer:
+        if self._tokenizer is None:
+            vocab_path = self.cache_dir / "vocab.json"
+            if vocab_path.exists():
+                self._tokenizer = WordTokenizer.load(vocab_path)
+            else:
+                self._tokenizer = WordTokenizer.from_texts(build_reference_texts())
+                self._tokenizer.save(vocab_path)
+        return self._tokenizer
+
+    def train_pool(self) -> List[MultimodalSample]:
+        """Mixed-task training samples (disjoint seed region from eval)."""
+        key = "train_pool"
+        if key not in self._memo:
+            per = self.profile.train_pool_size // len(DATASET_NAMES)
+            pool: List[MultimodalSample] = []
+            for i, name in enumerate(DATASET_NAMES):
+                pool.extend(make_dataset(name, per, seed=1000 + self.profile.seed + i).samples)
+            rng = derive(self.profile.seed, "zoo:train-pool")
+            rng.shuffle(pool)
+            self._memo[key] = pool
+        return self._memo[key]
+
+    def eval_dataset(self, name: str, size: int) -> TaskDataset:
+        """Evaluation split (seeds disjoint from the train pool)."""
+        return make_dataset(name, size, seed=self.profile.seed)
+
+    # ------------------------------------------------------------------
+    # Targets
+    # ------------------------------------------------------------------
+    def target(self, name: str) -> MiniLlava:
+        if name not in TARGET_NAMES:
+            raise ConfigError(f"unknown target {name!r}; choose from {TARGET_NAMES}")
+        memo_key = f"target:{name}"
+        if memo_key in self._memo:
+            return self._memo[memo_key]
+
+        tok = self.tokenizer()
+        config: LlavaConfig = get_config(name, tok.vocab_size)
+        model = MiniLlava(config, rng=derive(self.profile.seed, f"init:{name}"))
+        key = f"target-{name}"
+        if not self._load_into(key, model):
+            p = self.profile
+            self._log(
+                f"training target {name} ({model.num_parameters()} params; "
+                f"{p.pretrain_steps}+{p.target_align_steps}+{p.target_joint_steps} steps)"
+            )
+            pretrain_lm(
+                model.llama,
+                tok,
+                text_only_corpus(seed=p.seed, n_documents=400),
+                TrainConfig(
+                    steps=p.pretrain_steps,
+                    batch_size=16,
+                    lr=3e-3,
+                    warmup_steps=min(20, p.pretrain_steps // 4),
+                    seed=p.seed,
+                ),
+            )
+            finetune_multimodal_staged(
+                model,
+                tok,
+                self.train_pool(),
+                TrainConfig(
+                    steps=p.target_align_steps,
+                    batch_size=p.batch_size,
+                    lr=3e-3,
+                    warmup_steps=min(30, p.target_align_steps // 4),
+                    seed=p.seed,
+                ),
+                TrainConfig(
+                    steps=p.target_joint_steps,
+                    batch_size=p.batch_size,
+                    lr=1e-3,
+                    warmup_steps=min(30, p.target_joint_steps // 4),
+                    seed=p.seed,
+                ),
+            )
+            self._save(key, model, meta={"name": name})
+        model.eval()
+        self._memo[memo_key] = model
+        return model
+
+    # ------------------------------------------------------------------
+    # Independent draft baselines
+    # ------------------------------------------------------------------
+    def _pretrained_base(self) -> MiniLlama:
+        """Pretrained 112M-sim LM shared by all FT/DT drafts."""
+        memo_key = "base:112m"
+        if memo_key in self._memo:
+            return self._memo[memo_key]
+        tok = self.tokenizer()
+        model = MiniLlama(get_config("sim-112m", tok.vocab_size),
+                          rng=derive(self.profile.seed, "init:112m"))
+        key = "pretrained-112m"
+        if not self._load_into(key, model):
+            self._log(f"pretraining sim-112m base ({self.profile.pretrain_steps} steps)")
+            pretrain_lm(
+                model,
+                tok,
+                text_only_corpus(seed=self.profile.seed, n_documents=400),
+                TrainConfig(
+                    steps=self.profile.pretrain_steps,
+                    batch_size=16,
+                    lr=3e-3,
+                    warmup_steps=min(20, self.profile.pretrain_steps // 4),
+                    seed=self.profile.seed,
+                ),
+            )
+            self._save(key, model)
+        self._memo[memo_key] = model
+        return model
+
+    def _fresh_112m(self) -> MiniLlama:
+        """A new 112M-sim model initialised from the pretrained base."""
+        tok = self.tokenizer()
+        model = MiniLlama(get_config("sim-112m", tok.vocab_size),
+                          rng=derive(self.profile.seed, "init:112m"))
+        model.load_state_dict(self._pretrained_base().state_dict())
+        return model
+
+    def text_draft(self, variant: str, target_name: str) -> MiniLlama:
+        """FT-LLaMA or DT-LLaMA (language-only draft)."""
+        if variant not in ("ft", "dt"):
+            raise ConfigError(f"variant must be 'ft' or 'dt', got {variant!r}")
+        key = f"{variant}-llama" + (f"-{target_name}" if variant == "dt" else "")
+        if key in self._memo:
+            return self._memo[key]
+        tok = self.tokenizer()
+        model = self._fresh_112m()
+        if not self._load_into(key, model):
+            cfg = TrainConfig(
+                steps=self.profile.finetune_steps,
+                batch_size=self.profile.batch_size,
+                lr=3e-3,
+                warmup_steps=min(20, self.profile.finetune_steps // 4),
+                seed=self.profile.seed,
+            )
+            if variant == "ft":
+                self._log(f"finetuning FT-LLaMA ({cfg.steps} steps)")
+                finetune_text_draft(model, tok, self.train_pool(), cfg)
+            else:
+                self._log(f"distilling DT-LLaMA from {target_name} ({cfg.steps} steps)")
+                distill_text_draft(
+                    model,
+                    self.target(target_name),
+                    tok,
+                    self.train_pool()[: self.profile.distill_pool_size],
+                    cfg,
+                )
+            self._save(key, model)
+        model.eval()
+        self._memo[key] = model
+        return model
+
+    def llava_draft(self, variant: str, target_name: str) -> MiniLlava:
+        """FT-LLaVA or DT-LLaVA (tiny multimodal draft)."""
+        if variant not in ("ft", "dt"):
+            raise ConfigError(f"variant must be 'ft' or 'dt', got {variant!r}")
+        key = f"{variant}-llava" + (f"-{target_name}" if variant == "dt" else "")
+        if key in self._memo:
+            return self._memo[key]
+        tok = self.tokenizer()
+        model = MiniLlava(get_config("sim-112m-llava", tok.vocab_size),
+                          rng=derive(self.profile.seed, "init:112m-llava"))
+        # The language tower starts from the pretrained base.
+        base = self._pretrained_base().state_dict()
+        model.llama.load_state_dict(base)
+        if not self._load_into(key, model):
+            p = self.profile
+            align_cfg = TrainConfig(
+                steps=p.llava_align_steps,
+                batch_size=p.batch_size,
+                lr=3e-3,
+                warmup_steps=min(20, p.llava_align_steps // 4),
+                seed=p.seed,
+            )
+            joint_cfg = TrainConfig(
+                steps=p.llava_joint_steps,
+                batch_size=p.batch_size,
+                lr=1e-3,
+                warmup_steps=min(20, p.llava_joint_steps // 4),
+                seed=p.seed,
+            )
+            if variant == "ft":
+                self._log(f"finetuning FT-LLaVA ({align_cfg.steps}+{joint_cfg.steps} steps)")
+                data = self.train_pool()
+            else:
+                self._log(
+                    f"distilling DT-LLaVA from {target_name} "
+                    f"({align_cfg.steps}+{joint_cfg.steps} steps)"
+                )
+                data = generate_distillation_data(
+                    self.target(target_name),
+                    tok,
+                    self.train_pool()[: self.profile.distill_pool_size],
+                )
+            finetune_multimodal_staged(model, tok, data, align_cfg, joint_cfg)
+            self._save(key, model)
+        model.eval()
+        self._memo[key] = model
+        return model
+
+    # ------------------------------------------------------------------
+    # AASD speculating modules
+    # ------------------------------------------------------------------
+    def aasd_head(
+        self,
+        target_name: str,
+        use_kv_projector: bool = True,
+        use_target_kv: bool = True,
+    ) -> AASDDraftHead:
+        """The trained speculating module (or an ablation variant)."""
+        suffix = ""
+        if not use_kv_projector:
+            suffix += "-noproj"
+        if not use_target_kv:
+            suffix += "-notargetkv"
+        key = f"aasd-{target_name}{suffix}"
+        if key in self._memo:
+            return self._memo[key]
+
+        tok = self.tokenizer()
+        target = self.target(target_name)
+        head_config = DraftHeadConfig.for_target(
+            target.config.llama,
+            n_vision_tokens=target.n_vision_tokens,
+            use_kv_projector=use_kv_projector,
+            use_target_kv=use_target_kv,
+        )
+        head = AASDDraftHead(head_config, rng=derive(self.profile.seed, f"init:{key}"))
+        head.init_from_target(target.llama)
+        if not self._load_into(key, head):
+            self._log(f"training AASD head {key} ({self.profile.aasd_steps} steps)")
+            train_draft_head(
+                head,
+                target,
+                tok,
+                self.train_pool(),
+                DraftTrainConfig(
+                    steps=self.profile.aasd_steps,
+                    batch_size=self.profile.batch_size,
+                    lr=2e-3,
+                    warmup_steps=min(30, self.profile.aasd_steps // 4),
+                    seed=self.profile.seed,
+                    gamma_train=5,
+                    kl_weight=0.5,
+                ),
+            )
+            self._save(key, head, meta={"target": target_name})
+        head.eval()
+        self._memo[key] = head
+        return head

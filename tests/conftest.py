@@ -1,0 +1,27 @@
+"""Shared fixtures: RNG streams, tokenizer, and the smoke-profile zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import build_reference_texts
+from repro.tokenizer import WordTokenizer
+from repro.zoo import ModelZoo, PROFILE_SMOKE
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tokenizer() -> WordTokenizer:
+    return WordTokenizer.from_texts(build_reference_texts())
+
+
+@pytest.fixture(scope="session")
+def smoke_zoo() -> ModelZoo:
+    """Smoke-profile zoo (fast budgets); artifacts are disk-cached, so the
+    first test session trains them (~1 min) and later sessions just load."""
+    return ModelZoo(PROFILE_SMOKE, verbose=False)

@@ -1,0 +1,65 @@
+"""KV Projector tests (paper Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kv_projector import KVProjector, _pooling_init
+from repro.errors import ConfigError, ShapeError
+from repro.nn.tensor import Tensor
+
+
+class TestInit:
+    def test_bad_k(self, rng):
+        with pytest.raises(ConfigError):
+            KVProjector(10, 0, rng=rng)
+        with pytest.raises(ConfigError):
+            KVProjector(10, 11, rng=rng)
+
+    def test_pooling_init_rows_sum_to_one(self, rng):
+        w = _pooling_init(4, 12, rng, noise=0.0)
+        assert np.allclose(w.sum(axis=1), 1.0)
+        # Block structure: each row covers a distinct contiguous span.
+        assert np.allclose(w[0, :3], 1 / 3)
+        assert np.allclose(w[0, 3:], 0.0)
+
+    def test_compression_ratio(self, rng):
+        proj = KVProjector(36, 8, rng=rng)
+        assert proj.compression_ratio == pytest.approx(1 - 8 / 36)
+
+
+class TestForward:
+    def test_shapes(self, rng):
+        proj = KVProjector(12, 4, rng=rng)
+        k = rng.standard_normal((2, 3, 12, 8)).astype(np.float32)
+        v = rng.standard_normal((2, 3, 12, 8)).astype(np.float32)
+        k_c, v_c = proj(k, v)
+        assert k_c.shape == (2, 3, 4, 8)
+        assert v_c.shape == (2, 3, 4, 8)
+
+    def test_wrong_length_raises(self, rng):
+        proj = KVProjector(12, 4, rng=rng)
+        with pytest.raises(ShapeError):
+            proj(np.zeros((1, 2, 10, 8)), np.zeros((1, 2, 10, 8)))
+
+    def test_noise_free_pooling_preserves_constant(self, rng):
+        proj = KVProjector(12, 4, rng=rng)
+        proj.w_k.data = _pooling_init(4, 12, rng, noise=0.0)
+        k = np.full((1, 1, 12, 6), 2.5, dtype=np.float32)
+        k_c, _ = proj(k, k)
+        assert np.allclose(k_c.data, 2.5, atol=1e-5)
+
+    def test_gradients_reach_projection_weights(self, rng):
+        proj = KVProjector(12, 4, rng=rng)
+        k = Tensor(rng.standard_normal((1, 2, 12, 8)))
+        v = Tensor(rng.standard_normal((1, 2, 12, 8)))
+        k_c, v_c = proj(k, v)
+        (k_c.sum() + v_c.sum()).backward()
+        assert proj.w_k.grad is not None
+        assert proj.w_v.grad is not None
+
+    def test_k_and_v_use_distinct_weights(self, rng):
+        proj = KVProjector(12, 4, rng=rng)
+        same = np.ones((1, 1, 12, 4), dtype=np.float32)
+        k_c, v_c = proj(same, same)
+        # Different noise in w_k / w_v leads to different compressions.
+        assert not np.allclose(k_c.data, v_c.data)

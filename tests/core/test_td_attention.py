@@ -1,0 +1,148 @@
+"""Target-Draft Attention: masks, fused vs naive equivalence, gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.td_attention import (
+    naive_target_draft_attention,
+    target_draft_attention,
+    td_attention_masks,
+)
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor
+
+
+def random_inputs(rng, b=1, h=2, n=6, dh=4, n_static=3):
+    mk = lambda *s: rng.standard_normal(s).astype(np.float32)
+    return (
+        mk(b, h, n, dh),      # q
+        mk(b, h, n, dh),      # k_target
+        mk(b, h, n, dh),      # v_target
+        mk(b, h, n, dh),      # k_draft
+        mk(b, h, n, dh),      # v_draft
+        mk(b, h, n_static, dh),  # k_static
+        mk(b, h, n_static, dh),  # v_static
+    )
+
+
+class TestMasks:
+    def test_s1_base_case(self):
+        """s=1: target history strictly before i, draft key exactly at i."""
+        bt, bd = td_attention_masks(4, s=1)
+        for i in range(4):
+            assert not bt[i, :i].any()       # target j <= i-1 visible
+            assert bt[i, i:].all()           # target j >= i blocked
+            assert not bd[i, i]              # own key visible
+            assert bd[i, :i].all()           # earlier draft keys blocked
+            assert bd[i, i + 1 :].all()
+
+    def test_general_s(self):
+        n, s = 7, 3
+        bt, bd = td_attention_masks(n, s)
+        for i in range(n):
+            for j in range(n):
+                assert bt[i, j] == (j > i - s)
+                assert bd[i, j] == (j <= i - s or j > i)
+
+    def test_every_query_sees_at_least_one_key(self):
+        for s in range(1, 5):
+            bt, bd = td_attention_masks(6, s)
+            visible = (~bt) | (~bd)
+            assert visible.any(axis=1).all()
+
+    def test_invalid_s(self):
+        with pytest.raises(ShapeError):
+            td_attention_masks(4, 0)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("s", [1, 2, 3, 5])
+    def test_fused_matches_naive(self, rng, s):
+        q, kt, vt, kd, vd, ks, vs = random_inputs(rng, n=8)
+        fused = target_draft_attention(
+            Tensor(q), Tensor(kt), Tensor(vt), Tensor(kd), Tensor(vd),
+            s=s, k_static=Tensor(ks), v_static=Tensor(vs),
+        )
+        naive = naive_target_draft_attention(q, kt, vt, kd, vd, s=s, k_static=ks, v_static=vs)
+        assert np.abs(fused.data - naive).max() < 1e-5
+
+    def test_without_static(self, rng):
+        q, kt, vt, kd, vd, _, _ = random_inputs(rng)
+        fused = target_draft_attention(Tensor(q), Tensor(kt), Tensor(vt), Tensor(kd), Tensor(vd), s=2)
+        naive = naive_target_draft_attention(q, kt, vt, kd, vd, s=2)
+        assert np.abs(fused.data - naive).max() < 1e-5
+
+    def test_batched(self, rng):
+        q, kt, vt, kd, vd, ks, vs = random_inputs(rng, b=3, n=5)
+        fused = target_draft_attention(
+            Tensor(q), Tensor(kt), Tensor(vt), Tensor(kd), Tensor(vd),
+            s=1, k_static=Tensor(ks), v_static=Tensor(vs),
+        )
+        naive = naive_target_draft_attention(q, kt, vt, kd, vd, s=1, k_static=ks, v_static=vs)
+        assert np.abs(fused.data - naive).max() < 1e-5
+
+
+class TestSemantics:
+    def test_first_position_sees_only_self_and_static(self, rng):
+        """At i=0 with s=1 there is no target history: output must not
+        change when target values are perturbed."""
+        q, kt, vt, kd, vd, ks, vs = random_inputs(rng)
+        base = target_draft_attention(
+            Tensor(q), Tensor(kt), Tensor(vt), Tensor(kd), Tensor(vd),
+            s=1, k_static=Tensor(ks), v_static=Tensor(vs),
+        ).data
+        vt2 = vt.copy()
+        vt2[:, :, 0, :] += 100.0
+        out = target_draft_attention(
+            Tensor(q), Tensor(kt), Tensor(vt2), Tensor(kd), Tensor(vd),
+            s=1, k_static=Tensor(ks), v_static=Tensor(vs),
+        ).data
+        assert np.allclose(base[:, :, 0, :], out[:, :, 0, :], atol=1e-5)
+
+    def test_future_draft_keys_invisible(self, rng):
+        q, kt, vt, kd, vd, _, _ = random_inputs(rng)
+        base = target_draft_attention(Tensor(q), Tensor(kt), Tensor(vt), Tensor(kd), Tensor(vd), s=1).data
+        vd2 = vd.copy()
+        vd2[:, :, -1, :] += 100.0  # last draft value: only visible to query n-1
+        out = target_draft_attention(Tensor(q), Tensor(kt), Tensor(vt), Tensor(kd), Tensor(vd2), s=1).data
+        assert np.allclose(base[:, :, :-1, :], out[:, :, :-1, :], atol=1e-5)
+        assert not np.allclose(base[:, :, -1, :], out[:, :, -1, :])
+
+    def test_mismatched_lengths_raise(self, rng):
+        q, kt, vt, kd, vd, _, _ = random_inputs(rng)
+        with pytest.raises(ShapeError):
+            target_draft_attention(
+                Tensor(q), Tensor(kt[:, :, :3]), Tensor(vt[:, :, :3]), Tensor(kd), Tensor(vd)
+            )
+
+    def test_static_without_values_raises(self, rng):
+        q, kt, vt, kd, vd, ks, _ = random_inputs(rng)
+        with pytest.raises(ShapeError):
+            target_draft_attention(
+                Tensor(q), Tensor(kt), Tensor(vt), Tensor(kd), Tensor(vd),
+                k_static=Tensor(ks),
+            )
+
+    def test_gradients_flow_to_all_inputs(self, rng):
+        q, kt, vt, kd, vd, ks, vs = random_inputs(rng)
+        tensors = [Tensor(a, requires_grad=True) for a in (q, kt, vt, kd, vd, ks, vs)]
+        out = target_draft_attention(*tensors[:5], s=1, k_static=tensors[5], v_static=tensors[6])
+        (out * out).sum().backward()
+        # q, draft K/V, and static K/V must receive gradients; target history
+        # also participates (from position s onwards).
+        for t in tensors:
+            assert t.grad is not None
+            assert np.isfinite(t.grad).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10000), n=st.integers(2, 10), s=st.integers(1, 4))
+def test_equivalence_property(seed, n, s):
+    gen = np.random.default_rng(seed)
+    mk = lambda *sh: gen.standard_normal(sh).astype(np.float32)
+    q, kt, vt, kd, vd = (mk(1, 2, n, 4) for _ in range(5))
+    fused = target_draft_attention(Tensor(q), Tensor(kt), Tensor(vt), Tensor(kd), Tensor(vd), s=s)
+    naive = naive_target_draft_attention(q, kt, vt, kd, vd, s=s)
+    assert np.abs(fused.data - naive).max() < 1e-4

@@ -1,0 +1,34 @@
+"""Corpus generator tests."""
+
+from repro.data.corpus import BASE_WORDS, build_reference_texts, text_only_corpus
+from repro.tokenizer import WordTokenizer
+
+
+class TestReferenceTexts:
+    def test_first_text_covers_base_words(self):
+        texts = build_reference_texts(n_scenes=1)
+        first = set(texts[0].split())
+        assert set(BASE_WORDS) <= first
+
+    def test_deterministic(self):
+        assert build_reference_texts(seed=1, n_scenes=5) == build_reference_texts(seed=1, n_scenes=5)
+
+    def test_tokenizer_built_from_reference_covers_corpus(self):
+        tok = WordTokenizer.from_texts(build_reference_texts(n_scenes=20))
+        for doc in text_only_corpus(seed=9, n_documents=50):
+            tok.assert_covers(doc)
+
+
+class TestTextOnlyCorpus:
+    def test_size(self):
+        assert len(text_only_corpus(n_documents=17)) == 17
+
+    def test_documents_are_prompt_response_pairs(self):
+        docs = text_only_corpus(n_documents=10)
+        # Captions / questions end with response sentences ending in '.'
+        assert all(doc.strip().endswith(".") for doc in docs)
+
+    def test_task_variety(self):
+        docs = text_only_corpus(n_documents=10)
+        assert any("?" in d for d in docs)          # questions present
+        assert any("the image" in d for d in docs)  # image-description text present

@@ -1,0 +1,104 @@
+"""Collation and packing tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataloader import (
+    IGNORE_INDEX,
+    collate_multimodal,
+    iter_batches,
+    pack_documents,
+)
+from repro.data.tasks import make_dataset
+
+
+class TestCollate:
+    def test_shapes(self, tokenizer):
+        ds = make_dataset("llava-bench-sim", 4)
+        batch = collate_multimodal(ds.samples, tokenizer)
+        assert batch.images.shape[0] == 4
+        assert batch.text_ids.shape == batch.labels.shape
+        assert batch.batch_size == 4
+        assert batch.seq_len == batch.text_ids.shape[1]
+
+    def test_empty_raises(self, tokenizer):
+        with pytest.raises(ValueError):
+            collate_multimodal([], tokenizer)
+
+    def test_labels_align_next_token(self, tokenizer):
+        ds = make_dataset("coco-sim", 2)
+        batch = collate_multimodal(ds.samples, tokenizer)
+        for b in range(2):
+            p = batch.prompt_lengths[b]
+            row = batch.text_ids[b]
+            # Position p-1 (last prompt token) predicts the first response token.
+            assert batch.labels[b, p - 1] == row[p]
+            # Prompt interior carries no labels.
+            assert (batch.labels[b, : p - 1] == IGNORE_INDEX).all()
+
+    def test_labels_cover_until_eos(self, tokenizer):
+        ds = make_dataset("coco-sim", 1)
+        batch = collate_multimodal(ds.samples, tokenizer)
+        row = batch.text_ids[0]
+        eos = tokenizer.vocab.eos_id
+        eos_pos = int(np.where(row == eos)[0][0])
+        assert batch.labels[0, eos_pos - 1] == eos
+        assert (batch.labels[0, eos_pos:] == IGNORE_INDEX).all()
+
+    def test_padding_uses_pad_id(self, tokenizer):
+        ds = make_dataset("llava-bench-sim", 6)
+        batch = collate_multimodal(ds.samples, tokenizer)
+        lengths = [
+            len(tokenizer.encode(s.prompt)) + len(tokenizer.encode(s.response)) + 3
+            for s in ds.samples
+        ]
+        assert batch.seq_len == max(lengths) - 1 or batch.seq_len == max(lengths)
+        pad = tokenizer.vocab.pad_id
+        shortest = int(np.argmin(lengths))
+        assert (batch.text_ids[shortest] == pad).any()
+
+    def test_loss_on_prompt_flag(self, tokenizer):
+        ds = make_dataset("coco-sim", 1)
+        batch = collate_multimodal(ds.samples, tokenizer, loss_on_prompt=True)
+        assert batch.labels[0, 0] != IGNORE_INDEX
+
+
+class TestPackDocuments:
+    def test_shapes(self, tokenizer):
+        rows = pack_documents(["the circle is red."] * 50, tokenizer, seq_len=16)
+        assert rows.shape[1] == 17
+        assert rows.dtype == np.int64
+
+    def test_stream_continuity(self, tokenizer):
+        rows = pack_documents(["the circle is red."] * 50, tokenizer, seq_len=8)
+        flat = rows.reshape(-1)
+        bos, eos = tokenizer.vocab.bos_id, tokenizer.vocab.eos_id
+        assert (flat == bos).sum() > 0
+        assert (flat == eos).sum() > 0
+
+    def test_too_small_corpus_raises(self, tokenizer):
+        with pytest.raises(ValueError):
+            pack_documents(["hi"], tokenizer, seq_len=512)
+
+    def test_bad_seq_len(self, tokenizer):
+        with pytest.raises(ValueError):
+            pack_documents(["a b c"], tokenizer, seq_len=1)
+
+
+class TestIterBatches:
+    def test_covers_all_items(self, rng):
+        items = list(range(10))
+        seen = [x for batch in iter_batches(items, 3, rng) for x in batch]
+        assert sorted(seen) == items
+
+    def test_batch_sizes(self, rng):
+        sizes = [len(b) for b in iter_batches(list(range(10)), 4, rng)]
+        assert sizes == [4, 4, 2]
+
+    def test_no_shuffle_preserves_order(self, rng):
+        batches = list(iter_batches(list(range(6)), 2, rng, shuffle=False))
+        assert batches == [[0, 1], [2, 3], [4, 5]]
+
+    def test_bad_batch_size(self, rng):
+        with pytest.raises(ValueError):
+            list(iter_batches([1], 0, rng))

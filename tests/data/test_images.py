@@ -1,0 +1,95 @@
+"""Image renderer tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.images import ImageRenderer, _shape_mask
+from repro.data.scenes import COLORS, SHAPES, Scene, SceneObject
+
+
+def one_object_scene(shape="circle", color="red", size="large", position="center"):
+    return Scene(objects=(SceneObject(shape, color, size, position),))
+
+
+class TestRenderer:
+    def test_shape_and_range(self):
+        renderer = ImageRenderer(36)
+        img = renderer.render(one_object_scene())
+        assert img.shape == (36, 36, 3)
+        assert img.dtype == np.float32
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_image_size_divisible_by_three(self):
+        with pytest.raises(ValueError):
+            ImageRenderer(32)
+
+    def test_deterministic(self):
+        r = ImageRenderer(36)
+        scene = one_object_scene()
+        assert np.array_equal(r.render(scene), r.render(scene))
+
+    def test_object_color_present_in_cell(self):
+        r = ImageRenderer(36)
+        img = r.render(one_object_scene(color="blue", position="top left"))
+        tile = img[:12, :12]
+        blue = np.asarray(COLORS["blue"], dtype=np.float32)
+        assert (np.abs(tile - blue).sum(axis=-1) < 1e-5).any()
+
+    def test_empty_cells_are_background(self):
+        r = ImageRenderer(36)
+        img = r.render(one_object_scene(position="top left"))
+        # bottom-right cell untouched
+        assert np.allclose(img[24:, 24:], img[35, 35])
+
+    def test_size_changes_pixel_count(self):
+        r = ImageRenderer(36)
+        small = r.render(one_object_scene(size="small"))
+        large = r.render(one_object_scene(size="large"))
+        red = np.asarray(COLORS["red"], dtype=np.float32)
+        count = lambda img: int((np.abs(img - red).sum(axis=-1) < 1e-5).sum())
+        assert count(large) > count(small) > 0
+
+    def test_all_shapes_render_distinctly(self):
+        r = ImageRenderer(36)
+        images = {}
+        for shape in SHAPES:
+            images[shape] = r.render(one_object_scene(shape=shape))
+        shapes = list(SHAPES)
+        for i, a in enumerate(shapes):
+            for b in shapes[i + 1 :]:
+                assert not np.array_equal(images[a], images[b]), (a, b)
+
+    def test_multiple_objects(self):
+        scene = Scene(
+            objects=(
+                SceneObject("circle", "red", "small", "top left"),
+                SceneObject("square", "blue", "large", "bottom right"),
+            )
+        )
+        img = ImageRenderer(36).render(scene)
+        red = np.asarray(COLORS["red"], dtype=np.float32)
+        blue = np.asarray(COLORS["blue"], dtype=np.float32)
+        assert (np.abs(img[:12, :12] - red).sum(axis=-1) < 1e-5).any()
+        assert (np.abs(img[24:, 24:] - blue).sum(axis=-1) < 1e-5).any()
+
+    def test_radius_unknown_size(self):
+        with pytest.raises(ValueError):
+            ImageRenderer(36).radius_for("enormous")
+
+
+class TestShapeMasks:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_mask_nonempty_and_bounded(self, shape):
+        mask = _shape_mask(shape, 12, 4.0)
+        assert mask.shape == (12, 12)
+        assert mask.any()
+        assert not mask.all()
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError):
+            _shape_mask("hexagon", 12, 4.0)
+
+    def test_circle_symmetric(self):
+        mask = _shape_mask("circle", 13, 4.0)
+        assert np.array_equal(mask, mask.T)
+        assert np.array_equal(mask, mask[::-1, ::-1])

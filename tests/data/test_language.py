@@ -1,0 +1,121 @@
+"""Language generator tests: responses must be faithful to the scene."""
+
+import numpy as np
+import pytest
+
+from repro.data.language import (
+    NUMBER_WORDS,
+    caption_sample,
+    conversation_sample,
+    detail_sample,
+    reasoning_sample,
+    scienceqa_sample,
+)
+from repro.data.scenes import Scene, SceneObject, sample_scene
+
+
+def fixed_scene():
+    return Scene(
+        objects=(
+            SceneObject("circle", "red", "small", "top left"),
+            SceneObject("square", "blue", "large", "bottom right"),
+        )
+    )
+
+
+class TestCaption:
+    def test_mentions_every_object(self):
+        prompt, response = caption_sample(fixed_scene(), np.random.default_rng(0))
+        assert "red circle" in response
+        assert "blue square" in response
+        assert "top left" in response
+        assert "bottom right" in response
+
+    def test_deterministic_given_rng(self):
+        a = caption_sample(fixed_scene(), np.random.default_rng(3))
+        b = caption_sample(fixed_scene(), np.random.default_rng(3))
+        assert a == b
+
+
+class TestDetail:
+    def test_counts_objects(self):
+        _, response = detail_sample(fixed_scene(), np.random.default_rng(0))
+        assert "two objects" in response
+        assert response.count("there is") == 2
+
+    def test_singular_object(self):
+        scene = Scene(objects=(SceneObject("star", "cyan", "small", "center"),))
+        _, response = detail_sample(scene, np.random.default_rng(0))
+        assert "one object." in response
+
+
+class TestConversation:
+    def test_color_question_answer_consistent(self):
+        gen = np.random.default_rng(0)
+        for _ in range(20):
+            scene = sample_scene(gen)
+            prompt, response = conversation_sample(scene, gen)
+            # Find the queried shape and check the answer matches the scene.
+            for obj in scene:
+                if f"the {obj.shape}" in prompt:
+                    if "what color" in prompt:
+                        assert obj.color in response
+                    elif "where is" in prompt:
+                        assert obj.position in response
+                    elif "how big" in prompt:
+                        assert obj.size in response
+
+
+class TestReasoning:
+    def test_count_answer_correct(self):
+        gen = np.random.default_rng(1)
+        for _ in range(30):
+            scene = sample_scene(gen)
+            prompt, response = reasoning_sample(scene, gen)
+            if "how many" in prompt:
+                assert NUMBER_WORDS[len(scene)] in response
+
+    def test_spatial_answer_correct(self):
+        gen = np.random.default_rng(2)
+        seen_spatial = False
+        for _ in range(60):
+            scene = sample_scene(gen, min_objects=2, max_objects=3)
+            prompt, response = reasoning_sample(scene, gen)
+            if "to the left of" in prompt:
+                seen_spatial = True
+                words = prompt.split()
+                a_shape = words[words.index("the") + 1]
+                # answer must be yes/no and mentions both positions
+                assert response.endswith("yes.") or response.endswith("no.")
+        assert seen_spatial
+
+
+class TestScienceQA:
+    def test_answer_letter_is_correct(self):
+        gen = np.random.default_rng(3)
+        for _ in range(40):
+            scene = sample_scene(gen)
+            prompt, response = scienceqa_sample(scene, gen)
+            assert "question:" in prompt
+            assert "choices:" in prompt
+            assert "the answer is" in response
+            letter = response.rstrip(".").split()[-1]
+            assert letter in ("a", "b")
+            if "how many objects" in prompt:
+                # Extract the choice the letter points at and compare.
+                after = prompt.split("choices:")[1]
+                choice_a = after.split("a.")[1].split("b.")[0].strip()
+                choice_b = after.split("b.")[1].strip()
+                chosen = choice_a if letter == "a" else choice_b
+                assert chosen == NUMBER_WORDS[len(scene)]
+
+    def test_color_variant_correct(self):
+        gen = np.random.default_rng(4)
+        seen = False
+        for _ in range(60):
+            scene = sample_scene(gen, min_objects=2, max_objects=3)
+            prompt, response = scienceqa_sample(scene, gen)
+            if "which object is" in prompt:
+                seen = True
+                assert response.rstrip(".").endswith("a")  # construction puts truth at a
+        assert seen

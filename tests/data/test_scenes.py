@@ -1,0 +1,107 @@
+"""Scene-graph tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.scenes import (
+    COLORS,
+    GRID_POSITIONS,
+    SHAPES,
+    SIZES,
+    Scene,
+    SceneObject,
+    sample_scene,
+)
+
+
+class TestSceneObject:
+    def test_valid(self):
+        obj = SceneObject("circle", "red", "small", "top left")
+        assert obj.cell == (0, 0)
+        assert obj.phrase() == "a small red circle"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(shape="blob", color="red", size="small", position="top"),
+            dict(shape="circle", color="mauve", size="small", position="top"),
+            dict(shape="circle", color="red", size="medium", position="top"),
+            dict(shape="circle", color="red", size="small", position="nowhere"),
+        ],
+    )
+    def test_invalid_attribute_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            SceneObject(**kwargs)
+
+    def test_all_positions_have_cells(self):
+        for name, cell in GRID_POSITIONS:
+            obj = SceneObject("circle", "red", "small", name)
+            assert obj.cell == cell
+
+
+class TestScene:
+    def test_requires_objects(self):
+        with pytest.raises(ValueError):
+            Scene(objects=())
+
+    def test_rejects_cell_collision(self):
+        a = SceneObject("circle", "red", "small", "top")
+        b = SceneObject("square", "blue", "large", "top")
+        with pytest.raises(ValueError):
+            Scene(objects=(a, b))
+
+    def test_queries(self):
+        a = SceneObject("circle", "red", "small", "top left")
+        b = SceneObject("square", "red", "large", "bottom right")
+        scene = Scene(objects=(a, b))
+        assert scene.by_shape("circle") == [a]
+        assert scene.by_color("red") == [a, b]
+        assert scene.unique_shapes() == ["circle", "square"]
+        assert scene.left_of(a, b)
+        assert scene.above(a, b)
+
+    def test_len_iter(self):
+        a = SceneObject("circle", "red", "small", "top")
+        scene = Scene(objects=(a,))
+        assert len(scene) == 1
+        assert list(scene) == [a]
+
+
+class TestSampling:
+    def test_deterministic(self):
+        a = sample_scene(np.random.default_rng(5))
+        b = sample_scene(np.random.default_rng(5))
+        assert a == b
+
+    def test_respects_bounds(self):
+        gen = np.random.default_rng(0)
+        for _ in range(50):
+            scene = sample_scene(gen, min_objects=2, max_objects=3)
+            assert 2 <= len(scene) <= 3
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            sample_scene(np.random.default_rng(0), min_objects=0, max_objects=2)
+        with pytest.raises(ValueError):
+            sample_scene(np.random.default_rng(0), min_objects=3, max_objects=2)
+
+    def test_shapes_unique_within_scene(self):
+        gen = np.random.default_rng(1)
+        for _ in range(50):
+            scene = sample_scene(gen)
+            shapes = [o.shape for o in scene]
+            assert len(set(shapes)) == len(shapes)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 100000))
+def test_sampled_scene_invariants(seed):
+    scene = sample_scene(np.random.default_rng(seed))
+    cells = [o.cell for o in scene]
+    assert len(set(cells)) == len(cells)
+    for obj in scene:
+        assert obj.shape in SHAPES
+        assert obj.color in COLORS
+        assert obj.size in SIZES

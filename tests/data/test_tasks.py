@@ -1,0 +1,70 @@
+"""Task dataset tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.tasks import DATASET_NAMES, MultimodalSample, make_dataset
+
+
+class TestMakeDataset:
+    def test_names(self):
+        assert set(DATASET_NAMES) == {"coco-sim", "llava-bench-sim", "scienceqa-sim"}
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_dataset("imagenet", 4)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            make_dataset("coco-sim", 0)
+
+    def test_deterministic(self):
+        a = make_dataset("coco-sim", 5, seed=3)
+        b = make_dataset("coco-sim", 5, seed=3)
+        for sa, sb in zip(a, b):
+            assert sa.prompt == sb.prompt
+            assert sa.response == sb.response
+            assert np.array_equal(sa.image, sb.image)
+
+    def test_seed_changes_content(self):
+        a = make_dataset("coco-sim", 5, seed=0)
+        b = make_dataset("coco-sim", 5, seed=1)
+        assert any(sa.response != sb.response for sa, sb in zip(a, b))
+
+    def test_coco_all_captions(self):
+        ds = make_dataset("coco-sim", 6)
+        assert all(s.task == "caption" for s in ds)
+
+    def test_llava_bench_mixes_tasks(self):
+        ds = make_dataset("llava-bench-sim", 9)
+        assert {s.task for s in ds} == {"conversation", "detail", "reasoning"}
+
+    def test_scienceqa_tasks(self):
+        ds = make_dataset("scienceqa-sim", 4)
+        assert all(s.task == "scienceqa" for s in ds)
+
+    def test_image_matches_scene(self):
+        from repro.data.images import DEFAULT_IMAGE_SIZE, ImageRenderer
+        ds = make_dataset("coco-sim", 3, seed=7)
+        r = ImageRenderer(DEFAULT_IMAGE_SIZE)
+        for s in ds:
+            assert np.array_equal(s.image, r.render(s.scene))
+
+    def test_subset(self):
+        ds = make_dataset("coco-sim", 6)
+        sub = ds.subset(2)
+        assert len(sub) == 2
+        assert sub[0] is ds[0]
+
+    def test_full_text(self):
+        s = make_dataset("coco-sim", 1)[0]
+        assert s.full_text() == f"{s.prompt} {s.response}"
+
+    def test_image_size_parameter(self):
+        ds = make_dataset("coco-sim", 1, image_size=12)
+        assert ds[0].image.shape == (12, 12, 3)
+
+    def test_all_text_in_vocabulary(self, tokenizer):
+        for name in DATASET_NAMES:
+            for s in make_dataset(name, 10, seed=42):
+                tokenizer.assert_covers(s.full_text())

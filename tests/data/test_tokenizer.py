@@ -1,0 +1,121 @@
+"""Tokenizer and vocab tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TokenizerError
+from repro.tokenizer import BOS, EOS, IMAGE, PAD, SPECIAL_TOKENS, UNK, Vocab, WordTokenizer
+
+
+class TestVocab:
+    def test_specials_come_first(self):
+        v = Vocab(["cat", "dog"])
+        assert [v.token_of(i) for i in range(5)] == SPECIAL_TOKENS
+
+    def test_special_ids(self):
+        v = Vocab([])
+        assert v.pad_id == 0
+        assert v.bos_id == 1
+        assert v.eos_id == 2
+        assert v.unk_id == 3
+        assert v.image_id == 4
+
+    def test_unknown_maps_to_unk(self):
+        v = Vocab(["cat"])
+        assert v.id_of("zebra") == v.unk_id
+
+    def test_duplicates_ignored(self):
+        v = Vocab(["cat", "cat", "dog"])
+        assert len(v) == len(SPECIAL_TOKENS) + 2
+
+    def test_token_of_out_of_range(self):
+        with pytest.raises(TokenizerError):
+            Vocab([]).token_of(99)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        v = Vocab(["alpha", "beta"])
+        v.save(tmp_path / "v.json")
+        loaded = Vocab.load(tmp_path / "v.json")
+        assert loaded.tokens() == v.tokens()
+
+    def test_load_rejects_corrupt(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('["not", "special", "tokens", "x", "y"]')
+        with pytest.raises(TokenizerError):
+            Vocab.load(path)
+
+    def test_contains(self):
+        v = Vocab(["cat"])
+        assert "cat" in v
+        assert "<pad>" in v
+        assert "dog" not in v
+
+
+class TestWordTokenizer:
+    def test_split_lowercases_and_punctuation(self):
+        toks = WordTokenizer.split("The CAT sat, didn't it?")
+        assert toks == ["the", "cat", "sat", ",", "didn't", "it", "?"]
+
+    def test_roundtrip(self, tokenizer):
+        text = "the circle is in the top left."
+        ids = tokenizer.encode(text)
+        assert tokenizer.decode(ids) == text
+
+    def test_bos_eos_flags(self, tokenizer):
+        ids = tokenizer.encode("the circle", add_bos=True, add_eos=True)
+        assert ids[0] == tokenizer.vocab.bos_id
+        assert ids[-1] == tokenizer.vocab.eos_id
+
+    def test_decode_skips_specials(self, tokenizer):
+        ids = tokenizer.encode("yes", add_bos=True, add_eos=True)
+        assert tokenizer.decode(ids) == "yes"
+
+    def test_decode_keeps_specials_when_asked(self, tokenizer):
+        ids = tokenizer.encode("yes", add_eos=True)
+        assert "<eos>" in tokenizer.decode(ids, skip_special=False)
+
+    def test_encode_array_dtype(self, tokenizer):
+        arr = tokenizer.encode_array("the circle")
+        assert arr.dtype == np.int64
+
+    def test_assert_covers_raises_on_oov(self, tokenizer):
+        with pytest.raises(TokenizerError):
+            tokenizer.assert_covers("the xylophone")
+
+    def test_assert_covers_passes(self, tokenizer):
+        tokenizer.assert_covers("the large red circle is in the center.")
+
+    def test_save_load(self, tokenizer, tmp_path):
+        tokenizer.save(tmp_path / "tok.json")
+        loaded = WordTokenizer.load(tmp_path / "tok.json")
+        text = "how many objects are in the image?"
+        assert loaded.encode(text) == tokenizer.encode(text)
+
+    def test_from_texts_covers_sources(self):
+        tok = WordTokenizer.from_texts(["hello world", "world again"])
+        assert "hello" in tok.vocab
+        assert "again" in tok.vocab
+        assert tok.vocab_size == 5 + 3
+
+    def test_image_token_not_in_word_list(self):
+        tok = WordTokenizer.from_texts(["a <image> b"])
+        # <image> is a special; splitting recognises it as one token.
+        assert tok.vocab.id_of("<image>") == tok.vocab.image_id
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    words=st.lists(
+        st.sampled_from(["red", "circle", "the", "is", "top", "left", "two", "?"]),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_roundtrip_property(words, tokenizer):
+    """Any sentence made of in-vocab words round-trips through encode/decode
+    up to punctuation re-attachment."""
+    text = " ".join(words)
+    ids = tokenizer.encode(text)
+    assert tokenizer.decode(ids).replace(" ?", "?") == text.replace(" ?", "?")

@@ -1,0 +1,217 @@
+"""Decoder integration tests on small random models.
+
+Losslessness of greedy speculative decoding holds for *any* target/draft
+weights, so these tests use tiny untrained models and real datasets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.draft_head import AASDDraftHead, DraftHeadConfig
+from repro.core.engine import AASDEngine, AASDEngineConfig
+from repro.data.tasks import make_dataset
+from repro.decoding.autoregressive import AutoregressiveDecoder
+from repro.decoding.base import encode_prompt, trim_at_eos
+from repro.decoding.cost_model import CostModel, get_profile
+from repro.decoding.sampling import SamplerConfig
+from repro.decoding.speculative import LlamaTextDraft, LlavaDraft, SpeculativeDecoder
+from repro.errors import DecodingError
+from repro.models.config import LlamaConfig, LlavaConfig, VisionConfig
+from repro.models.llama import MiniLlama
+from repro.models.llava import MiniLlava
+
+
+@pytest.fixture(scope="module")
+def world(tokenizer):
+    """Tiny random target + drafts + dataset, shared across this module."""
+    rng = np.random.default_rng(0)
+    vocab = tokenizer.vocab_size
+    target = MiniLlava(
+        LlavaConfig(
+            llama=LlamaConfig(vocab_size=vocab, dim=24, n_layers=2, n_heads=2, mlp_hidden=48),
+            vision=VisionConfig(image_size=48, patch_size=8, dim=16, n_layers=1, n_heads=2, mlp_hidden=32),
+        ),
+        rng=rng,
+    )
+    text_draft = MiniLlama(
+        LlamaConfig(vocab_size=vocab, dim=16, n_layers=1, n_heads=2, mlp_hidden=32), rng=rng
+    )
+    llava_draft = MiniLlava(
+        LlavaConfig(
+            llama=LlamaConfig(vocab_size=vocab, dim=16, n_layers=1, n_heads=2, mlp_hidden=32),
+            vision=VisionConfig(image_size=48, patch_size=16, dim=8, n_layers=1, n_heads=2, mlp_hidden=16),
+        ),
+        rng=rng,
+    )
+    head = AASDDraftHead(
+        DraftHeadConfig(
+            vocab_size=vocab, dim=24, n_heads=2, mlp_hidden=32,
+            n_vision_tokens=36, k_compressed=8,
+        ),
+        rng=rng,
+    )
+    head.init_from_target(target.llama)
+    dataset = make_dataset("coco-sim", 3, seed=11)
+    cm = CostModel(get_profile("sim-7b"))
+    return dict(
+        target=target, text_draft=text_draft, llava_draft=llava_draft,
+        head=head, dataset=dataset, cm=cm, tokenizer=tokenizer,
+    )
+
+
+class TestBaseHelpers:
+    def test_encode_prompt_prepends_bos(self, world):
+        ids = encode_prompt(world["tokenizer"], world["dataset"][0])
+        assert ids[0] == world["tokenizer"].vocab.bos_id
+
+    def test_trim_at_eos(self):
+        assert trim_at_eos([5, 2, 7], eos_id=2) == [5, 2]
+        assert trim_at_eos([5, 7], eos_id=2) == [5, 7]
+
+
+class TestAutoregressive:
+    def test_record_contents(self, world):
+        ar = AutoregressiveDecoder(world["target"], world["tokenizer"], world["cm"], max_new_tokens=12)
+        rec = ar.decode(world["dataset"][0])
+        assert 1 <= rec.n_tokens <= 12
+        assert rec.sim_time_ms > 0
+        assert rec.n_target_forwards == rec.n_tokens  # prefill + N-1 steps
+        assert rec.text == world["tokenizer"].decode(rec.token_ids)
+
+    def test_deterministic(self, world):
+        ar = AutoregressiveDecoder(world["target"], world["tokenizer"], world["cm"], max_new_tokens=10)
+        a = ar.decode(world["dataset"][0])
+        b = ar.decode(world["dataset"][0])
+        assert a.token_ids == b.token_ids
+
+    def test_name(self, world):
+        ar = AutoregressiveDecoder(world["target"], world["tokenizer"], world["cm"])
+        assert ar.name == "autoregressive"
+
+
+class TestSpeculativeLossless:
+    @pytest.mark.parametrize("gamma", [1, 2, 3, 5])
+    def test_text_draft_lossless(self, world, gamma):
+        ar = AutoregressiveDecoder(world["target"], world["tokenizer"], world["cm"], max_new_tokens=16)
+        sd = SpeculativeDecoder(
+            world["target"], LlamaTextDraft(world["text_draft"]),
+            world["tokenizer"], world["cm"], gamma=gamma, max_new_tokens=16,
+        )
+        for sample in world["dataset"]:
+            assert sd.decode(sample).token_ids == ar.decode(sample).token_ids
+
+    def test_llava_draft_lossless(self, world):
+        ar = AutoregressiveDecoder(world["target"], world["tokenizer"], world["cm"], max_new_tokens=16)
+        sd = SpeculativeDecoder(
+            world["target"], LlavaDraft(world["llava_draft"]),
+            world["tokenizer"], world["cm"], gamma=3, max_new_tokens=16,
+        )
+        for sample in world["dataset"]:
+            assert sd.decode(sample).token_ids == ar.decode(sample).token_ids
+
+    def test_blocks_recorded(self, world):
+        sd = SpeculativeDecoder(
+            world["target"], LlamaTextDraft(world["text_draft"]),
+            world["tokenizer"], world["cm"], gamma=3, max_new_tokens=16,
+        )
+        rec = sd.decode(world["dataset"][0])
+        assert rec.blocks
+        assert all(b.n_draft == 3 for b in rec.blocks)
+        assert all(0 <= b.n_accepted <= 3 for b in rec.blocks)
+        # Emitted tokens across blocks equal the generated count (first
+        # token came from prefill; the last block may be trimmed by eos/cap).
+        emitted = sum(b.n_emitted for b in rec.blocks)
+        assert emitted >= rec.n_tokens - 1
+
+    def test_gamma_validation(self, world):
+        with pytest.raises(DecodingError):
+            SpeculativeDecoder(
+                world["target"], LlamaTextDraft(world["text_draft"]),
+                world["tokenizer"], world["cm"], gamma=0,
+            )
+
+    def test_name_includes_draft(self, world):
+        sd = SpeculativeDecoder(
+            world["target"], LlamaTextDraft(world["text_draft"], "ft-llama"),
+            world["tokenizer"], world["cm"],
+        )
+        assert "ft-llama" in sd.name
+
+
+class TestAASDEngineLossless:
+    @pytest.mark.parametrize("gamma", [1, 3, 5])
+    def test_lossless(self, world, gamma):
+        ar = AutoregressiveDecoder(world["target"], world["tokenizer"], world["cm"], max_new_tokens=16)
+        engine = AASDEngine(
+            world["target"], world["head"], world["tokenizer"], world["cm"],
+            AASDEngineConfig(gamma=gamma, max_new_tokens=16),
+        )
+        for sample in world["dataset"]:
+            assert engine.decode(sample).token_ids == ar.decode(sample).token_ids
+
+    @pytest.mark.parametrize(
+        "flags",
+        [dict(disable_image_kv=True), dict(disable_text_kv=True),
+         dict(disable_image_kv=True, disable_text_kv=True)],
+    )
+    def test_ablation_flags_still_lossless(self, world, flags):
+        """Masking draft context hurts acceptance, never correctness."""
+        ar = AutoregressiveDecoder(world["target"], world["tokenizer"], world["cm"], max_new_tokens=12)
+        engine = AASDEngine(
+            world["target"], world["head"], world["tokenizer"], world["cm"],
+            AASDEngineConfig(gamma=3, max_new_tokens=12, **flags),
+        )
+        sample = world["dataset"][0]
+        assert engine.decode(sample).token_ids == ar.decode(sample).token_ids
+
+    def test_no_target_kv_variant_runs(self, world):
+        head = AASDDraftHead(
+            DraftHeadConfig(
+                vocab_size=world["tokenizer"].vocab_size, dim=24, n_heads=2,
+                mlp_hidden=32, n_vision_tokens=36, k_compressed=8, use_target_kv=False,
+            ),
+            rng=np.random.default_rng(5),
+        )
+        ar = AutoregressiveDecoder(world["target"], world["tokenizer"], world["cm"], max_new_tokens=12)
+        engine = AASDEngine(
+            world["target"], head, world["tokenizer"], world["cm"],
+            AASDEngineConfig(gamma=3, max_new_tokens=12),
+        )
+        sample = world["dataset"][0]
+        assert engine.decode(sample).token_ids == ar.decode(sample).token_ids
+
+    def test_vision_token_mismatch_rejected(self, world):
+        head = AASDDraftHead(
+            DraftHeadConfig(
+                vocab_size=world["tokenizer"].vocab_size, dim=24, n_heads=2,
+                mlp_hidden=32, n_vision_tokens=9, k_compressed=4,
+            ),
+            rng=np.random.default_rng(5),
+        )
+        with pytest.raises(DecodingError):
+            AASDEngine(
+                world["target"], head, world["tokenizer"], world["cm"],
+                AASDEngineConfig(gamma=3),
+            )
+
+    def test_sampled_decoding_preserves_quality_contract(self, world):
+        """With sampling, SD output need not equal the AR stream, but it
+        must stay inside the vocabulary and respect the token cap."""
+        engine = AASDEngine(
+            world["target"], world["head"], world["tokenizer"], world["cm"],
+            AASDEngineConfig(gamma=3, max_new_tokens=10),
+            sampler_config=SamplerConfig(greedy=False, temperature=1.0),
+            rng=np.random.default_rng(3),
+        )
+        rec = engine.decode(world["dataset"][0])
+        assert 1 <= rec.n_tokens <= 10
+        assert all(0 <= t < world["tokenizer"].vocab_size for t in rec.token_ids)
+
+    def test_sim_time_accumulates(self, world):
+        engine = AASDEngine(
+            world["target"], world["head"], world["tokenizer"], world["cm"],
+            AASDEngineConfig(gamma=3, max_new_tokens=12),
+        )
+        rec = engine.decode(world["dataset"][0])
+        assert rec.sim_time_ms > world["cm"].target_prefill()
+        assert rec.n_target_forwards >= 1

@@ -1,0 +1,154 @@
+"""Sampling and speculative-verify tests, including the losslessness
+property of speculative sampling (Leviathan et al., 2023)."""
+
+import numpy as np
+import pytest
+
+from repro.decoding.sampling import (
+    Sampler,
+    SamplerConfig,
+    logits_to_probs,
+    speculative_verify,
+)
+from repro.errors import DecodingError
+
+
+class TestSamplerConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(DecodingError):
+            SamplerConfig(temperature=0.0)
+        with pytest.raises(DecodingError):
+            SamplerConfig(top_k=-1)
+        with pytest.raises(DecodingError):
+            SamplerConfig(top_p=0.0)
+        with pytest.raises(DecodingError):
+            SamplerConfig(top_p=1.5)
+
+
+class TestLogitsToProbs:
+    def test_greedy_one_hot(self, rng):
+        logits = rng.standard_normal(10)
+        probs = logits_to_probs(logits, SamplerConfig(greedy=True))
+        assert probs.sum() == 1.0
+        assert probs[np.argmax(logits)] == 1.0
+
+    def test_temperature_sharpens(self, rng):
+        logits = rng.standard_normal(10)
+        hot = logits_to_probs(logits, SamplerConfig(greedy=False, temperature=2.0))
+        cold = logits_to_probs(logits, SamplerConfig(greedy=False, temperature=0.25))
+        assert cold.max() > hot.max()
+
+    def test_top_k_zeroes_tail(self, rng):
+        logits = rng.standard_normal(10)
+        probs = logits_to_probs(logits, SamplerConfig(greedy=False, top_k=3))
+        assert (probs > 0).sum() == 3
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_top_p_keeps_smallest_covering_set(self):
+        logits = np.log(np.array([0.5, 0.3, 0.15, 0.05]))
+        probs = logits_to_probs(logits, SamplerConfig(greedy=False, top_p=0.7))
+        assert (probs > 0).sum() == 2
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_top_p_one_keeps_all(self, rng):
+        logits = rng.standard_normal(6)
+        probs = logits_to_probs(logits, SamplerConfig(greedy=False, top_p=1.0))
+        assert (probs > 0).all()
+
+
+class TestSampler:
+    def test_greedy_deterministic(self, rng):
+        sampler = Sampler(SamplerConfig(greedy=True), rng=rng)
+        logits = np.array([0.0, 5.0, 1.0])
+        assert sampler.sample(logits) == 1
+
+    def test_sampling_respects_distribution(self):
+        sampler = Sampler(SamplerConfig(greedy=False), rng=np.random.default_rng(0))
+        logits = np.log(np.array([0.8, 0.2]))
+        draws = [sampler.sample(logits) for _ in range(2000)]
+        assert np.mean(np.asarray(draws) == 0) == pytest.approx(0.8, abs=0.05)
+
+
+class TestGreedyVerify:
+    def make_logits(self, argmaxes, vocab=10):
+        rows = np.zeros((len(argmaxes), vocab))
+        for i, a in enumerate(argmaxes):
+            rows[i, a] = 5.0
+        return rows
+
+    def test_full_acceptance_emits_bonus(self, rng):
+        cfg = SamplerConfig(greedy=True)
+        draft = [3, 4, 5]
+        target = self.make_logits([3, 4, 5, 6])
+        out = speculative_verify(draft, np.zeros((3, 10)), target, cfg, rng)
+        assert out.accepted == (3, 4, 5)
+        assert out.next_token == 6
+        assert out.all_accepted
+        assert out.tokens_emitted == 4
+
+    def test_first_mismatch_truncates(self, rng):
+        cfg = SamplerConfig(greedy=True)
+        draft = [3, 9, 5]
+        target = self.make_logits([3, 4, 5, 6])
+        out = speculative_verify(draft, np.zeros((3, 10)), target, cfg, rng)
+        assert out.accepted == (3,)
+        assert out.next_token == 4
+        assert not out.all_accepted
+        assert out.tokens_emitted == 2
+
+    def test_zero_acceptance(self, rng):
+        cfg = SamplerConfig(greedy=True)
+        out = speculative_verify(
+            [9], np.zeros((1, 10)), self.make_logits([0, 1]), cfg, rng
+        )
+        assert out.accepted == ()
+        assert out.n_accepted == 0
+        assert out.next_token == 0
+
+    def test_row_count_validation(self, rng):
+        cfg = SamplerConfig(greedy=True)
+        with pytest.raises(DecodingError):
+            speculative_verify([1, 2], np.zeros((2, 10)), self.make_logits([1, 2]), cfg, rng)
+        with pytest.raises(DecodingError):
+            speculative_verify([1], np.zeros((2, 10)), self.make_logits([1, 2]), cfg, rng)
+
+
+class TestSpeculativeSamplingLossless:
+    def test_marginal_matches_target(self):
+        """One-position speculative sampling must reproduce the target
+        distribution exactly, whatever the draft distribution is."""
+        gen = np.random.default_rng(7)
+        vocab = 5
+        target_logits = gen.standard_normal(vocab) * 1.5
+        draft_probs = gen.dirichlet(np.ones(vocab))
+        cfg = SamplerConfig(greedy=False)
+        target_probs = logits_to_probs(target_logits, cfg)
+
+        counts = np.zeros(vocab)
+        trials = 6000
+        for _ in range(trials):
+            draft_token = int(gen.choice(vocab, p=draft_probs))
+            out = speculative_verify(
+                [draft_token],
+                draft_probs[None, :],
+                np.stack([target_logits, target_logits]),
+                cfg,
+                gen,
+            )
+            emitted = out.accepted[0] if out.accepted else out.next_token
+            counts[emitted] += 1
+        empirical = counts / trials
+        assert np.abs(empirical - target_probs).max() < 0.03
+
+    def test_identical_distributions_accept_almost_always(self):
+        gen = np.random.default_rng(1)
+        vocab = 4
+        logits = gen.standard_normal(vocab)
+        cfg = SamplerConfig(greedy=False)
+        probs = logits_to_probs(logits, cfg)
+        accepted = 0
+        for _ in range(500):
+            token = int(gen.choice(vocab, p=probs))
+            out = speculative_verify([token], probs[None], np.stack([logits, logits]), cfg, gen)
+            accepted += out.n_accepted
+        assert accepted == 500

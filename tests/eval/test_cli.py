@@ -1,0 +1,57 @@
+"""CLI wiring tests for ``python -m repro.eval`` (experiments stubbed)."""
+
+import sys
+
+import pytest
+
+import repro.eval.__main__ as cli
+
+
+@pytest.fixture()
+def fake_results():
+    return {
+        ("sim-7b", 3, "w/ target kv"): {"omega": 2.0, "alpha": 0.6, "tau": 2.7, "delta": 60.0},
+        ("sim-7b", 3, "w/o target kv"): {"omega": 1.2, "alpha": 0.3, "tau": 1.5, "delta": 35.0},
+    }
+
+
+class TestFigureSvgHelper:
+    def test_figure3_svg(self, fake_results):
+        svg = cli._figure_svg("figure3", fake_results)
+        assert svg.startswith("<svg")
+        assert "Figure 3" in svg
+
+    def test_figure4_svg(self):
+        results = {
+            ("sim-7b", 3, "full kv"): {"omega": 2, "alpha": 0.6, "tau": 2.7, "delta": 60},
+            ("sim-7b", 3, "no image kv"): {"omega": 1.8, "alpha": 0.5, "tau": 2.3, "delta": 55},
+            ("sim-7b", 3, "no text kv"): {"omega": 1.1, "alpha": 0.2, "tau": 1.2, "delta": 30},
+        }
+        svg = cli._figure_svg("figure4", results)
+        assert "Figure 4" in svg
+
+
+class TestMain:
+    def test_runs_stubbed_experiment(self, tmp_path, monkeypatch, fake_results):
+        calls = {}
+
+        def fake_experiment(zoo, config):
+            calls["config"] = config
+            return fake_results
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "figure3", fake_experiment)
+        monkeypatch.setattr(cli, "ModelZoo", lambda profile: object())
+        monkeypatch.setattr(
+            sys, "argv",
+            ["repro.eval", "figure3", "--samples", "4", "--out", str(tmp_path)],
+        )
+        cli.main()
+        assert calls["config"].samples_per_dataset == 4
+        assert (tmp_path / "figure3.json").exists()
+        assert (tmp_path / "figure3.txt").exists()
+        assert (tmp_path / "figure3.svg").exists()
+
+    def test_rejects_unknown_experiment(self, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["repro.eval", "table9"])
+        with pytest.raises(SystemExit):
+            cli.main()

@@ -1,0 +1,110 @@
+"""Eval-harness component tests (renderers, reporting, reference data)."""
+
+import pytest
+
+from repro.eval.figures import render_bars, render_figure3, render_figure4
+from repro.eval.paper_reference import PAPER_TABLE1, PAPER_TABLE2, TABLE1_ROWS
+from repro.eval.reporting import load_results, results_to_json, save_results
+from repro.eval.tables import render_comparison, render_table1, render_table2
+
+
+@pytest.fixture()
+def fake_table1():
+    return {
+        key: {"omega": 1.5, "alpha": 0.5, "tau": 2.0, "delta": 50.0}
+        for key in PAPER_TABLE1
+    }
+
+
+class TestPaperReference:
+    def test_table1_complete(self):
+        # 2 targets x 2 gammas x 5 rows
+        assert len(PAPER_TABLE1) == 20
+        for metrics in PAPER_TABLE1.values():
+            assert set(metrics) == {"omega", "alpha", "tau", "delta"}
+
+    def test_table2_complete(self):
+        assert len(PAPER_TABLE2) == 8
+
+    def test_ours_beats_baselines_in_paper(self):
+        for target in ("sim-7b", "sim-13b"):
+            for gamma in (3, 5):
+                ours = PAPER_TABLE1[(target, gamma, "Ours")]
+                for row in TABLE1_ROWS[:-1]:
+                    base = PAPER_TABLE1[(target, gamma, row)]
+                    assert ours["omega"] > base["omega"]
+                    assert ours["alpha"] > base["alpha"]
+
+    def test_projector_helps_in_paper(self):
+        for target in ("sim-7b", "sim-13b"):
+            for gamma in (3, 5):
+                assert (
+                    PAPER_TABLE2[(target, gamma, "w/")]["omega"]
+                    > PAPER_TABLE2[(target, gamma, "w/o")]["omega"]
+                )
+
+
+class TestTableRendering:
+    def test_table1_contains_rows_and_reference(self, fake_table1):
+        text = render_table1(fake_table1)
+        assert "Ours" in text
+        assert "FT-LLaMA" in text
+        assert "2.02" in text  # paper reference value shown
+        assert "1.50" in text  # measured value shown
+
+    def test_table2_renders(self):
+        measured = {
+            key: {"omega": 1.0, "alpha": 0.4, "tau": 2.0, "delta": 40.0}
+            for key in PAPER_TABLE2
+        }
+        text = render_table2(measured)
+        assert "w/o" in text and "w/" in text
+
+    def test_missing_rows_skipped(self):
+        text = render_comparison("T", {}, PAPER_TABLE1, list(PAPER_TABLE1))
+        assert "FT-LLaMA" not in text
+
+
+class TestFigureRendering:
+    def test_render_bars(self):
+        text = render_bars("demo", {"a": 1.0, "b": 2.0}, unit="x")
+        assert "a" in text and "b" in text
+        assert text.count("#") > 0
+        # longer bar for larger value
+        line_a = [l for l in text.splitlines() if l.strip().startswith("a")][0]
+        line_b = [l for l in text.splitlines() if l.strip().startswith("b")][0]
+        assert line_b.count("#") > line_a.count("#")
+
+    def test_figure3(self):
+        measured = {
+            ("sim-7b", 3, "w/ target kv"): {"omega": 2.0, "alpha": 0.6, "tau": 2.7, "delta": 60.0},
+            ("sim-7b", 3, "w/o target kv"): {"omega": 1.2, "alpha": 0.3, "tau": 1.5, "delta": 35.0},
+        }
+        text = render_figure3(measured, targets=("sim-7b",), gammas=(3,))
+        assert "w/ target kv" in text
+        assert "2.00x" in text
+
+    def test_figure4(self):
+        measured = {
+            ("sim-7b", 3, "full kv"): {"omega": 2, "alpha": 0.6, "tau": 2.7, "delta": 60},
+            ("sim-7b", 3, "no image kv"): {"omega": 1.8, "alpha": 0.5, "tau": 2.3, "delta": 55},
+            ("sim-7b", 3, "no text kv"): {"omega": 1.1, "alpha": 0.2, "tau": 1.2, "delta": 30},
+        }
+        text = render_figure4(measured, targets=("sim-7b",))
+        assert "block efficiency" in text
+        assert "no text kv" in text
+
+    def test_empty_series(self):
+        assert render_figure3({}, targets=("sim-7b",)) == ""
+
+
+class TestReporting:
+    def test_json_roundtrip(self, tmp_path, fake_table1):
+        save_results(fake_table1, tmp_path / "t1", rendered="hello")
+        loaded = load_results(tmp_path / "t1")
+        assert loaded == fake_table1
+        assert (tmp_path / "t1.txt").read_text().startswith("hello")
+
+    def test_json_keys_flat(self, fake_table1):
+        payload = results_to_json(fake_table1)
+        assert "sim-7b|3|Ours" in payload

@@ -1,0 +1,74 @@
+"""Quality-evaluation and ascii-art tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import ImageRenderer, image_to_ascii, make_dataset, sample_scene, scene_summary
+from repro.errors import DecodingError
+from repro.eval.quality import evaluate_quality, image_grounding_score
+from repro.models.config import LlamaConfig, LlavaConfig, VisionConfig
+from repro.models.llava import MiniLlava
+
+
+@pytest.fixture(scope="module")
+def tiny_target(tokenizer):
+    return MiniLlava(
+        LlavaConfig(
+            llama=LlamaConfig(vocab_size=tokenizer.vocab_size, dim=16, n_layers=1, n_heads=2, mlp_hidden=24),
+            vision=VisionConfig(image_size=48, patch_size=16, dim=8, n_layers=1, n_heads=2, mlp_hidden=16),
+        ),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestEvaluateQuality:
+    def test_report_fields(self, tiny_target, tokenizer):
+        samples = make_dataset("coco-sim", 4, seed=1).samples
+        report = evaluate_quality(tiny_target, tokenizer, samples, max_new_tokens=8)
+        assert 0.0 <= report.token_accuracy <= 1.0
+        assert 0.0 <= report.exact_match <= 1.0
+        assert report.n_samples == 4
+        assert "token accuracy" in str(report)
+
+    def test_untrained_model_scores_low(self, tiny_target, tokenizer):
+        samples = make_dataset("coco-sim", 4, seed=1).samples
+        report = evaluate_quality(tiny_target, tokenizer, samples, max_new_tokens=8)
+        assert report.exact_match < 0.5  # random weights can't match templates
+
+    def test_empty_raises(self, tiny_target, tokenizer):
+        with pytest.raises(DecodingError):
+            evaluate_quality(tiny_target, tokenizer, [])
+
+
+class TestGroundingScore:
+    def test_range(self, tiny_target, tokenizer):
+        samples = make_dataset("coco-sim", 3, seed=1).samples
+        score = image_grounding_score(tiny_target, tokenizer, samples, max_new_tokens=6)
+        assert 0.0 <= score <= 1.0
+
+    def test_needs_two_samples(self, tiny_target, tokenizer):
+        samples = make_dataset("coco-sim", 1, seed=1).samples
+        with pytest.raises(DecodingError):
+            image_grounding_score(tiny_target, tokenizer, samples)
+
+
+class TestAsciiArt:
+    def test_shapes_visible(self):
+        scene = sample_scene(np.random.default_rng(0), min_objects=2, max_objects=3)
+        art = image_to_ascii(ImageRenderer().render(scene))
+        # Every object's color initial appears somewhere.
+        for obj in scene:
+            assert obj.color[0] in art
+
+    def test_empty_background_blank(self):
+        import numpy as np
+        blank = np.full((48, 48, 3), 0.06, dtype=np.float32)
+        art = image_to_ascii(blank)
+        assert set(art) <= {" ", "\n"}
+
+    def test_scene_summary(self):
+        scene = sample_scene(np.random.default_rng(1))
+        summary = scene_summary(scene)
+        for obj in scene:
+            assert obj.shape in summary
+            assert obj.position in summary

@@ -1,0 +1,47 @@
+"""Training-effectiveness checks on the smoke zoo.
+
+Smoke budgets are tiny, so these assert *relative* improvements (trained
+beats untrained), not absolute quality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.quality import evaluate_quality, image_grounding_score
+from repro.models.llava import MiniLlava
+
+
+@pytest.fixture(scope="module")
+def eval_samples(smoke_zoo):
+    return smoke_zoo.eval_dataset("coco-sim", 6).samples
+
+
+def test_trained_target_beats_random_init(smoke_zoo, eval_samples):
+    tok = smoke_zoo.tokenizer()
+    trained = smoke_zoo.target("sim-7b")
+    random_model = MiniLlava(trained.config, rng=np.random.default_rng(999))
+    trained_report = evaluate_quality(trained, tok, eval_samples, max_new_tokens=24)
+    random_report = evaluate_quality(random_model, tok, eval_samples, max_new_tokens=24)
+    assert trained_report.token_accuracy > random_report.token_accuracy + 0.2
+
+
+def test_aasd_head_beats_untrained_on_acceptance(smoke_zoo):
+    from repro.core import AASDDraftHead, AASDEngine, AASDEngineConfig
+    from repro.decoding import AutoregressiveDecoder, CostModel, aggregate_metrics, get_profile
+
+    tok = smoke_zoo.tokenizer()
+    target = smoke_zoo.target("sim-7b")
+    trained_head = smoke_zoo.aasd_head("sim-7b")
+    untrained_head = AASDDraftHead(trained_head.config, rng=np.random.default_rng(3))
+    untrained_head.init_from_target(target.llama)
+
+    cm = CostModel(get_profile("sim-7b"))
+    samples = smoke_zoo.eval_dataset("llava-bench-sim", 4).samples
+    baseline = AutoregressiveDecoder(target, tok, cm, max_new_tokens=24)
+    ar = [baseline.decode(s) for s in samples]
+
+    def alpha(head):
+        engine = AASDEngine(target, head, tok, cm, AASDEngineConfig(gamma=3, max_new_tokens=24))
+        return aggregate_metrics([engine.decode(s) for s in samples], ar).acceptance_rate
+
+    assert alpha(trained_head) > alpha(untrained_head)

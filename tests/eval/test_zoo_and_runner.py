@@ -1,0 +1,119 @@
+"""Integration tests on the smoke-profile zoo: caching, runner, experiments.
+
+The smoke zoo trains tiny-budget artifacts on first use and caches them on
+disk, so only the first session pays the (~1 min) cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.decoding import AutoregressiveDecoder
+from repro.errors import ConfigError
+from repro.eval import EvalConfig, ExperimentRunner, build_aasd_engine, build_row_decoder
+from repro.eval.experiments import run_figure4, run_table1
+from repro.zoo import PROFILE_SMOKE, ModelZoo
+
+
+@pytest.fixture(scope="module")
+def runner(smoke_zoo):
+    return ExperimentRunner(smoke_zoo, EvalConfig(samples_per_dataset=3, max_new_tokens=24))
+
+
+class TestZoo:
+    def test_tokenizer_cached(self, smoke_zoo):
+        assert smoke_zoo.tokenizer() is smoke_zoo.tokenizer()
+        assert (smoke_zoo.cache_dir / "vocab.json").exists()
+
+    def test_unknown_target(self, smoke_zoo):
+        with pytest.raises(ConfigError):
+            smoke_zoo.target("sim-3b")
+
+    def test_unknown_variant(self, smoke_zoo):
+        with pytest.raises(ConfigError):
+            smoke_zoo.text_draft("xx", "sim-7b")
+
+    def test_target_cached_on_disk_and_memo(self, smoke_zoo):
+        model = smoke_zoo.target("sim-7b")
+        assert smoke_zoo.target("sim-7b") is model
+        assert (smoke_zoo.cache_dir / "target-sim-7b.npz").exists()
+
+    def test_second_zoo_loads_same_weights(self, smoke_zoo):
+        model = smoke_zoo.target("sim-7b")
+        other = ModelZoo(PROFILE_SMOKE, verbose=False).target("sim-7b")
+        a = dict(model.named_parameters())
+        b = dict(other.named_parameters())
+        for name in a:
+            assert np.allclose(a[name].data, b[name].data), name
+
+    def test_train_pool_deterministic_and_mixed(self, smoke_zoo):
+        pool = smoke_zoo.train_pool()
+        assert len(pool) == PROFILE_SMOKE.train_pool_size // 3 * 3
+        tasks = {s.task for s in pool}
+        assert "caption" in tasks and "scienceqa" in tasks
+
+    def test_eval_disjoint_from_train(self, smoke_zoo):
+        eval_ds = smoke_zoo.eval_dataset("coco-sim", 5)
+        train_prompompts = {s.response for s in smoke_zoo.train_pool()}
+        # responses may coincide by chance; require not all identical
+        overlap = sum(s.response in train_prompompts for s in eval_ds)
+        assert overlap < len(eval_ds)
+
+    def test_aasd_head_variants_distinct_keys(self, smoke_zoo):
+        smoke_zoo.aasd_head("sim-7b")
+        smoke_zoo.aasd_head("sim-7b", use_kv_projector=False)
+        assert (smoke_zoo.cache_dir / "aasd-sim-7b.npz").exists()
+        assert (smoke_zoo.cache_dir / "aasd-sim-7b-noproj.npz").exists()
+
+
+class TestRunner:
+    def test_ar_records_cached(self, runner):
+        a = runner.ar_records("sim-7b", "coco-sim")
+        b = runner.ar_records("sim-7b", "coco-sim")
+        assert a is b
+        assert len(a) == 3
+
+    def test_evaluate_aasd_reports_all_datasets(self, runner, smoke_zoo):
+        engine = build_aasd_engine(
+            smoke_zoo, "sim-7b", gamma=3, cost_model=runner.cost_model("sim-7b"),
+            max_new_tokens=24,
+        )
+        report = runner.evaluate(engine, "sim-7b")
+        assert set(report.per_dataset) == {"coco-sim", "llava-bench-sim", "scienceqa-sim"}
+        row = report.row()
+        assert row["omega"] > 0
+        assert 0 <= row["alpha"] <= 1
+
+    def test_lossless_check(self, runner, smoke_zoo):
+        engine = build_aasd_engine(
+            smoke_zoo, "sim-7b", gamma=3, cost_model=runner.cost_model("sim-7b"),
+            max_new_tokens=24,
+        )
+        assert runner.check_lossless(engine, "sim-7b", n=2)
+
+    def test_row_decoder_labels(self, runner, smoke_zoo):
+        cm = runner.cost_model("sim-7b")
+        for row in ("FT-LLaMA", "FT-LLaVA", "Ours"):
+            decoder = build_row_decoder(row, smoke_zoo, "sim-7b", 3, cm, max_new_tokens=24)
+            rec = decoder.decode(runner.dataset("coco-sim")[0])
+            assert rec.n_tokens >= 1
+
+    def test_unknown_row_rejected(self, runner, smoke_zoo):
+        with pytest.raises(ConfigError):
+            build_row_decoder("GPT-5", smoke_zoo, "sim-7b", 3, runner.cost_model("sim-7b"))
+
+
+class TestExperimentsSmoke:
+    def test_table1_subset(self, smoke_zoo):
+        config = EvalConfig(samples_per_dataset=2, max_new_tokens=16)
+        results = run_table1(
+            smoke_zoo, config, targets=("sim-7b",), gammas=(3,), rows=("FT-LLaMA", "Ours")
+        )
+        assert set(results) == {("sim-7b", 3, "FT-LLaMA"), ("sim-7b", 3, "Ours")}
+        for metrics in results.values():
+            assert metrics["omega"] > 0
+
+    def test_figure4_shape(self, smoke_zoo):
+        config = EvalConfig(samples_per_dataset=2, max_new_tokens=16)
+        results = run_figure4(smoke_zoo, config, targets=("sim-7b",), gammas=(3,))
+        labels = {key[2] for key in results}
+        assert labels == {"full kv", "no image kv", "no text kv"}

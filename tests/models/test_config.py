@@ -1,0 +1,81 @@
+"""Model config validation and registry tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.config import (
+    LlamaConfig,
+    LlavaConfig,
+    MODEL_REGISTRY,
+    VisionConfig,
+    get_config,
+)
+
+
+class TestLlamaConfig:
+    def test_head_dim(self):
+        cfg = LlamaConfig(vocab_size=100, dim=96, n_heads=6)
+        assert cfg.head_dim == 16
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ConfigError):
+            LlamaConfig(vocab_size=100, dim=100, n_heads=7)
+
+    def test_rejects_odd_head_dim(self):
+        with pytest.raises(ConfigError):
+            LlamaConfig(vocab_size=100, dim=10, n_heads=2)  # head_dim 5 odd
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            LlamaConfig(vocab_size=0, dim=8, n_heads=2)
+
+
+class TestVisionConfig:
+    def test_patch_counts(self):
+        cfg = VisionConfig(image_size=36, patch_size=6)
+        assert cfg.n_patches == 36
+        assert cfg.patch_dim == 6 * 6 * 3
+
+    def test_rejects_indivisible_patches(self):
+        with pytest.raises(ConfigError):
+            VisionConfig(image_size=36, patch_size=7)
+
+    def test_rejects_bad_heads(self):
+        with pytest.raises(ConfigError):
+            VisionConfig(dim=50, n_heads=3)
+
+
+class TestLlavaConfig:
+    def test_vision_token_count(self):
+        cfg = LlavaConfig(llama=LlamaConfig(vocab_size=10))
+        assert cfg.n_vision_tokens == cfg.vision.n_patches
+
+    def test_dict_roundtrip(self):
+        cfg = LlavaConfig(llama=LlamaConfig(vocab_size=42))
+        again = LlavaConfig.from_dict(cfg.to_dict())
+        assert again == cfg
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(MODEL_REGISTRY) == {"sim-7b", "sim-13b", "sim-112m", "sim-112m-llava"}
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            get_config("sim-70b", 100)
+
+    def test_13b_larger_than_7b(self):
+        a = get_config("sim-7b", 100)
+        b = get_config("sim-13b", 100)
+        assert b.llama.dim > a.llama.dim
+        assert b.llama.n_layers > a.llama.n_layers
+
+    def test_draft_much_smaller(self):
+        target = get_config("sim-7b", 100)
+        draft = get_config("sim-112m", 100)
+        assert draft.dim < target.llama.dim
+        assert draft.n_layers < target.llama.n_layers
+
+    def test_vocab_size_propagates(self):
+        cfg = get_config("sim-7b", 123)
+        assert cfg.llama.vocab_size == 123

@@ -1,0 +1,102 @@
+"""MiniLlava tests: multimodal forward paths and cache consistency."""
+
+import numpy as np
+import pytest
+
+from repro.models.config import LlamaConfig, LlavaConfig, VisionConfig
+from repro.models.llava import MiniLlava
+
+
+@pytest.fixture()
+def model(rng):
+    cfg = LlavaConfig(
+        llama=LlamaConfig(vocab_size=40, dim=24, n_layers=2, n_heads=2, mlp_hidden=48),
+        vision=VisionConfig(image_size=12, patch_size=6, dim=16, n_layers=1, n_heads=2, mlp_hidden=32),
+        connector_hidden=20,
+    )
+    return MiniLlava(cfg, rng=rng)
+
+
+@pytest.fixture()
+def image(rng):
+    return rng.random((1, 12, 12, 3)).astype(np.float32)
+
+
+class TestStructure:
+    def test_parameter_namespaces(self, model):
+        names = [n for n, _ in model.named_parameters()]
+        assert any(n.startswith("vision.") for n in names)
+        assert any(n.startswith("connector.") for n in names)
+        assert any(n.startswith("llama.") for n in names)
+
+    def test_state_dict_roundtrip(self, model, rng):
+        other = MiniLlava(model.config, rng=np.random.default_rng(123))
+        other.load_state_dict(model.state_dict())
+        for (na, pa), (_, pb) in zip(model.named_parameters(), other.named_parameters()):
+            assert np.allclose(pa.data, pb.data), na
+
+    def test_state_dict_strict(self, model):
+        state = model.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_n_vision_tokens(self, model):
+        assert model.n_vision_tokens == 4
+
+
+class TestForwardPaths:
+    def test_prefill_shapes_and_segments(self, model, image):
+        ids = np.array([[1, 5, 7]])
+        cache, logits = model.prefill(image, ids)
+        assert logits.shape == (1, 40)
+        assert cache.seq_len == 4 + 3
+        assert cache.segments.n_vision == 4
+        assert cache.segments.n_prompt == 3
+
+    def test_prefill_accepts_1d_ids(self, model, image):
+        cache, _ = model.prefill(image, np.array([1, 2]))
+        assert cache.seq_len == 6
+
+    def test_decode_extends_cache(self, model, image):
+        cache, _ = model.prefill(image, np.array([[1, 2]]))
+        out = model.decode(np.array([[3]]), cache)
+        assert out.logits.shape == (1, 1, 40)
+        assert cache.seq_len == 7
+
+    def test_prefill_decode_matches_full_forward(self, model, image, rng):
+        prompt = np.array([1, 4, 6])
+        extra = np.array([9, 2])
+        full_ids = np.concatenate([prompt, extra])
+        full = model.forward_train(image, full_ids[None])
+        cache, _ = model.prefill(image, prompt[None])
+        out1 = model.decode(np.array([[9]]), cache)
+        out2 = model.decode(np.array([[2]]), cache)
+        nv = model.n_vision_tokens
+        assert np.abs(full.logits.data[0, nv + 3] - out1.logits.data[0, -1]).max() < 1e-3
+        assert np.abs(full.logits.data[0, nv + 4] - out2.logits.data[0, -1]).max() < 1e-3
+
+    def test_batch_mismatch_raises(self, model, rng):
+        from repro.errors import ShapeError
+        imgs = rng.random((2, 12, 12, 3)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            model.build_input_embeds(imgs, np.array([[1, 2], [1, 2], [1, 2]]))
+
+    def test_text_slice(self, model, image):
+        out = model.forward_train(image, np.array([[1, 2, 3]]))
+        assert model.text_slice(out.logits).shape == (1, 3, 40)
+
+    def test_image_affects_logits(self, model, rng):
+        ids = np.array([[1, 2]])
+        a = model.forward_train(np.zeros((1, 12, 12, 3), dtype=np.float32), ids)
+        b = model.forward_train(np.ones((1, 12, 12, 3), dtype=np.float32), ids)
+        assert not np.allclose(a.logits.data, b.logits.data)
+
+
+class TestModes:
+    def test_train_eval(self, model):
+        model.eval()
+        assert not model.vision.training
+        assert not model.llama.training
+        model.train()
+        assert model.connector.training

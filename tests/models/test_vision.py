@@ -1,0 +1,71 @@
+"""Vision encoder tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.models.config import VisionConfig
+from repro.models.vision import VisionEncoder, patchify
+
+
+class TestPatchify:
+    def test_shapes(self, rng):
+        imgs = rng.random((2, 12, 12, 3)).astype(np.float32)
+        patches = patchify(imgs, 6)
+        assert patches.shape == (2, 4, 108)
+
+    def test_single_image_promoted(self, rng):
+        patches = patchify(rng.random((12, 12, 3)), 6)
+        assert patches.shape == (1, 4, 108)
+
+    def test_content_preserved(self):
+        img = np.arange(12 * 12 * 3, dtype=np.float32).reshape(1, 12, 12, 3)
+        patches = patchify(img, 6)
+        # First patch must equal the top-left 6x6 block, row-major.
+        expected = img[0, :6, :6, :].reshape(-1)
+        assert np.array_equal(patches[0, 0], expected)
+
+    def test_indivisible_raises(self, rng):
+        with pytest.raises(ShapeError):
+            patchify(rng.random((10, 10, 3)), 3)
+
+
+class TestVisionEncoder:
+    def make(self, rng):
+        return VisionEncoder(
+            VisionConfig(image_size=12, patch_size=6, dim=16, n_layers=1, n_heads=2, mlp_hidden=32),
+            rng=rng,
+        )
+
+    def test_output_shape(self, rng):
+        enc = self.make(rng)
+        out = enc(rng.random((3, 12, 12, 3)).astype(np.float32))
+        assert out.shape == (3, 4, 16)
+
+    def test_deterministic(self, rng):
+        enc = self.make(rng)
+        img = np.random.default_rng(1).random((1, 12, 12, 3)).astype(np.float32)
+        assert np.array_equal(enc(img).data, enc(img).data)
+
+    def test_different_images_different_features(self, rng):
+        enc = self.make(rng)
+        a = enc(np.zeros((1, 12, 12, 3), dtype=np.float32)).data
+        b = enc(np.ones((1, 12, 12, 3), dtype=np.float32)).data
+        assert not np.allclose(a, b)
+
+    def test_position_embedding_breaks_symmetry(self, rng):
+        """Identical patches still yield distinct tokens (positional info)."""
+        enc = self.make(rng)
+        out = enc(np.full((1, 12, 12, 3), 0.5, dtype=np.float32)).data
+        assert not np.allclose(out[0, 0], out[0, 1])
+
+    def test_wrong_size_raises(self, rng):
+        enc = self.make(rng)
+        with pytest.raises(ShapeError):
+            enc(np.zeros((1, 18, 18, 3), dtype=np.float32))
+
+    def test_gradients_flow(self, rng):
+        enc = self.make(rng)
+        out = enc(rng.random((1, 12, 12, 3)).astype(np.float32))
+        (out * out).sum().backward()
+        assert all(p.grad is not None for p in enc.parameters())

@@ -1,0 +1,118 @@
+"""Multi-head attention: masks, KV-cache equivalence, shapes."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention, causal_mask, merge_heads, split_heads
+from repro.nn.rope import RotaryEmbedding
+from repro.nn.tensor import Tensor
+
+
+class TestCausalMask:
+    def test_lower_triangular(self):
+        blocked = causal_mask(np.arange(4), np.arange(4))
+        assert np.array_equal(blocked, np.triu(np.ones((4, 4), bool), k=1))
+
+    def test_offset_queries(self):
+        blocked = causal_mask(np.array([3, 4]), np.arange(5))
+        assert not blocked[0, :4].any()
+        assert blocked[0, 4]
+        assert not blocked[1].any()
+
+    def test_nothing_visible_for_future_keys(self):
+        blocked = causal_mask(np.array([0]), np.array([5, 6]))
+        assert blocked.all()
+
+
+class TestHeadReshape:
+    def test_split_merge_roundtrip(self, rng):
+        x = Tensor(rng.standard_normal((2, 5, 12)))
+        assert np.allclose(merge_heads(split_heads(x, 3)).data, x.data)
+
+    def test_split_rejects_bad_heads(self, rng):
+        with pytest.raises(ValueError):
+            split_heads(Tensor(rng.standard_normal((1, 2, 10))), 3)
+
+
+class TestMultiHeadAttention:
+    def make(self, rng, dim=24, heads=4):
+        rope = RotaryEmbedding(dim // heads)
+        return MultiHeadAttention(dim, heads, rope=rope, rng=rng)
+
+    def test_bad_dim_heads(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3, rng=rng)
+
+    def test_output_shape_and_kv(self, rng):
+        attn = self.make(rng)
+        x = Tensor(rng.standard_normal((2, 6, 24)))
+        out, k, v = attn(x, positions=np.arange(6))
+        assert out.shape == (2, 6, 24)
+        assert k.shape == (2, 4, 6, 6)
+        assert v.shape == (2, 4, 6, 6)
+
+    def test_cache_equivalence(self, rng):
+        """Incremental decoding must equal one full forward pass."""
+        attn = self.make(rng)
+        x = Tensor(rng.standard_normal((1, 8, 24)))
+        full, _, _ = attn(x, positions=np.arange(8))
+        h1, k1, v1 = attn(x[:, :5, :], positions=np.arange(5))
+        h2, _, _ = attn(
+            x[:, 5:, :],
+            positions=np.arange(5, 8),
+            past_kv=(k1.data, v1.data),
+            key_positions=np.arange(5),
+        )
+        assert np.abs(full.data[:, 5:, :] - h2.data).max() < 1e-4
+
+    def test_token_by_token_equivalence(self, rng):
+        attn = self.make(rng)
+        x = Tensor(rng.standard_normal((1, 5, 24)))
+        full, _, _ = attn(x, positions=np.arange(5))
+        ks, vs = None, None
+        for t in range(5):
+            out, k, v = attn(
+                x[:, t : t + 1, :],
+                positions=np.array([t]),
+                past_kv=(ks, vs) if ks is not None else None,
+                key_positions=np.arange(t) if ks is not None else None,
+            )
+            ks = k.data if ks is None else np.concatenate([ks, k.data], axis=2)
+            vs = v.data if vs is None else np.concatenate([vs, v.data], axis=2)
+            assert np.abs(full.data[:, t, :] - out.data[:, 0, :]).max() < 1e-4
+
+    def test_causality(self, rng):
+        """Perturbing a future token must not change earlier outputs."""
+        attn = self.make(rng)
+        x0 = rng.standard_normal((1, 6, 24)).astype(np.float32)
+        x1 = x0.copy()
+        x1[0, 5] += 10.0
+        out0, _, _ = attn(Tensor(x0), positions=np.arange(6))
+        out1, _, _ = attn(Tensor(x1), positions=np.arange(6))
+        assert np.allclose(out0.data[:, :5], out1.data[:, :5], atol=1e-5)
+
+    def test_extra_blocked_mask(self, rng):
+        """Blocking all past keys makes each token attend only to itself."""
+        attn = self.make(rng)
+        x = Tensor(rng.standard_normal((1, 4, 24)))
+        full_block = ~np.eye(4, dtype=bool)
+        out_self, _, _ = attn(x, positions=np.arange(4), extra_blocked=full_block)
+        # Compare against per-token isolated attention.
+        for t in range(4):
+            solo, _, _ = attn(x[:, t : t + 1, :], positions=np.array([t]))
+            assert np.abs(solo.data[0, 0] - out_self.data[0, t]).max() < 1e-4
+
+    def test_attend_uniform_when_keys_equal(self, rng):
+        q = Tensor(rng.standard_normal((1, 1, 1, 4)))
+        k = Tensor(np.zeros((1, 1, 3, 4), dtype=np.float32))
+        v = Tensor(rng.standard_normal((1, 1, 3, 4)))
+        out = MultiHeadAttention.attend(q, k, v)
+        assert np.allclose(out.data[0, 0, 0], v.data[0, 0].mean(axis=0), atol=1e-5)
+
+    def test_gradients_reach_all_projections(self, rng):
+        attn = self.make(rng)
+        x = Tensor(rng.standard_normal((1, 4, 24)))
+        out, _, _ = attn(x, positions=np.arange(4))
+        out.sum().backward()
+        for layer in (attn.wq, attn.wk, attn.wv, attn.wo):
+            assert layer.weight.grad is not None

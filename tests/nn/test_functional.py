@@ -1,0 +1,161 @@
+"""Unit tests for functional ops (softmax family, losses, activations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 7)))
+        out = F.softmax(x).data
+        assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-6)
+        assert (out >= 0).all()
+
+    def test_large_logits_stable(self):
+        x = Tensor(np.array([[1000.0, 999.0, 0.0]]))
+        out = F.softmax(x).data
+        assert np.isfinite(out).all()
+        assert out[0, 0] > out[0, 1] > out[0, 2]
+
+    def test_matches_log_softmax(self, rng):
+        x = Tensor(rng.standard_normal((3, 5)))
+        assert np.allclose(np.log(F.softmax(x).data), F.log_softmax(x).data, atol=1e-5)
+
+    def test_axis_argument(self, rng):
+        x = Tensor(rng.standard_normal((3, 5)))
+        out = F.softmax(x, axis=0).data
+        assert np.allclose(out.sum(axis=0), 1.0, atol=1e-6)
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal((2, 6))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        assert np.allclose(a, b, atol=1e-5)
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, rng):
+        logits = rng.standard_normal((4, 6))
+        targets = rng.integers(0, 6, size=4)
+        loss = F.cross_entropy(Tensor(logits, requires_grad=True), targets)
+        logp = np.log(np.exp(logits - logits.max(-1, keepdims=True)).T
+                      / np.exp(logits - logits.max(-1, keepdims=True)).sum(-1)).T
+        manual = -logp[np.arange(4), targets].mean()
+        assert loss.item() == pytest.approx(manual, abs=1e-5)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 4), -20.0)
+        logits[0, 1] = 20.0
+        logits[1, 3] = 20.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 3]))
+        assert loss.item() < 1e-4
+
+    def test_ignore_index(self, rng):
+        logits = rng.standard_normal((4, 5))
+        targets = np.array([1, -100, 2, -100])
+        loss = F.cross_entropy(Tensor(logits), targets, ignore_index=-100)
+        ref = F.cross_entropy(Tensor(logits[[0, 2]]), targets[[0, 2]])
+        assert loss.item() == pytest.approx(ref.item(), abs=1e-5)
+
+    def test_all_ignored_raises(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.array([-100, -100]), ignore_index=-100)
+
+    def test_gradient_is_probs_minus_onehot(self, rng):
+        logits0 = rng.standard_normal((3, 5))
+        targets = np.array([0, 2, 4])
+        t = Tensor(np.float64(logits0), requires_grad=True)
+        F.cross_entropy(t, targets).backward()
+        probs = np.exp(logits0 - logits0.max(-1, keepdims=True))
+        probs /= probs.sum(-1, keepdims=True)
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(3), targets] = 1.0
+        assert np.abs(t.grad - (probs - onehot) / 3).max() < 1e-5
+
+
+class TestKL:
+    def test_zero_for_identical(self, rng):
+        logits = rng.standard_normal((3, 6))
+        kl = F.kl_divergence(Tensor(logits), Tensor(logits.copy(), requires_grad=True))
+        assert abs(kl.item()) < 1e-6
+
+    def test_positive_for_different(self, rng):
+        a = rng.standard_normal((3, 6))
+        b = rng.standard_normal((3, 6))
+        assert F.kl_divergence(Tensor(a), Tensor(b, requires_grad=True)).item() > 0
+
+    def test_teacher_gets_no_grad(self, rng):
+        teacher = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        student = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        F.kl_divergence(teacher, student).backward()
+        assert teacher.grad is None
+        assert student.grad is not None
+
+
+class TestActivations:
+    def test_gelu_properties(self):
+        x = Tensor(np.array([-10.0, 0.0, 10.0]))
+        out = F.gelu(x).data
+        assert out[0] == pytest.approx(0.0, abs=1e-3)
+        assert out[1] == pytest.approx(0.0, abs=1e-6)
+        assert out[2] == pytest.approx(10.0, abs=1e-3)
+
+    def test_silu_properties(self):
+        x = Tensor(np.array([0.0, 20.0, -20.0]))
+        out = F.silu(x).data
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(20.0, abs=1e-3)
+        assert abs(out[2]) < 1e-3
+
+    def test_relu(self):
+        out = F.relu(Tensor(np.array([-1.0, 2.0]))).data
+        assert np.allclose(out, [0.0, 2.0])
+
+
+class TestEmbeddingDropoutOneHot:
+    def test_embedding_lookup(self, rng):
+        w = Tensor(rng.standard_normal((10, 4)), requires_grad=True)
+        out = F.embedding(w, np.array([[1, 2], [3, 1]]))
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out.data[0, 0], w.data[1])
+
+    def test_embedding_grad_accumulates_repeats(self, rng):
+        w = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        F.embedding(w, np.array([1, 1, 1])).sum().backward()
+        assert np.allclose(w.grad[1], 3.0)
+        assert np.allclose(w.grad[0], 0.0)
+
+    def test_dropout_eval_identity(self, rng):
+        x = Tensor(rng.standard_normal((5, 5)))
+        out = F.dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_dropout_scales(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, training=True, rng=rng).data
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True)
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000), n=st.integers(2, 8))
+def test_nll_equals_cross_entropy(seed, n):
+    gen = np.random.default_rng(seed)
+    logits = gen.standard_normal((3, n))
+    targets = gen.integers(0, n, size=3)
+    ce = F.cross_entropy(Tensor(logits), targets).item()
+    nll = F.nll_loss(F.log_softmax(Tensor(logits)), targets).item()
+    assert ce == pytest.approx(nll, abs=1e-5)

@@ -1,0 +1,108 @@
+"""Layer unit tests: Linear, Embedding, Dropout, MLP."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import MLP, Dropout, Embedding, Linear, Sequential
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(4, 6, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 3, 4))))
+        assert out.shape == (2, 3, 6)
+
+    def test_matches_manual(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.standard_normal((5, 3)).astype(np.float32)
+        out = layer(Tensor(x)).data
+        manual = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(out, manual, atol=1e-5)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(list(layer.named_parameters())) == 1
+
+    def test_deterministic_init(self):
+        a = Linear(4, 4, rng=np.random.default_rng(7))
+        b = Linear(4, 4, rng=np.random.default_rng(7))
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_gradients_flow(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        out = layer(Tensor(rng.standard_normal((4, 3)), requires_grad=False))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 5, rng=rng)
+        assert emb(np.array([[1, 2, 3]])).shape == (1, 3, 5)
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(10, 5, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_repr(self, rng):
+        assert "Embedding" in repr(Embedding(3, 2, rng=rng))
+
+
+class TestDropout:
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+    def test_eval_mode_identity(self, rng):
+        d = Dropout(0.9, rng=rng)
+        d.eval()
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert d(x) is x
+
+    def test_train_mode_zeroes(self, rng):
+        d = Dropout(0.5, rng=rng)
+        out = d(Tensor(np.ones((100, 100)))).data
+        assert (out == 0).any()
+
+
+class TestMLP:
+    def test_forward_shape(self, rng):
+        mlp = MLP([4, 8, 2], rng=rng)
+        assert mlp(Tensor(rng.standard_normal((3, 4)))).shape == (3, 2)
+
+    def test_too_few_sizes_raises(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_custom_activation(self, rng):
+        mlp = MLP([2, 3, 2], activation=F.relu, rng=rng)
+        out = mlp(Tensor(rng.standard_normal((1, 2))))
+        assert out.shape == (1, 2)
+
+    def test_can_fit_xor(self):
+        from repro.nn.optim import Adam
+        gen = np.random.default_rng(0)
+        mlp = MLP([2, 16, 1], activation=F.tanh if hasattr(F, "tanh") else F.gelu, rng=gen)
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.float32)
+        y = np.array([[0], [1], [1], [0]], dtype=np.float32)
+        opt = Adam(mlp.parameters(), lr=1e-2)
+        for _ in range(400):
+            opt.zero_grad()
+            pred = mlp(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.03
+
+
+class TestSequential:
+    def test_chains(self, rng):
+        seq = Sequential(Linear(3, 5, rng=rng), Linear(5, 2, rng=rng))
+        assert seq(Tensor(rng.standard_normal((4, 3)))).shape == (4, 2)

@@ -1,0 +1,111 @@
+"""Module base-class behaviour: discovery, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Sequential
+from repro.nn.module import Module, Parameter
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones((2, 2)))
+
+    def forward(self, x):
+        return x
+
+
+class Tree(Module):
+    def __init__(self):
+        super().__init__()
+        self.left = Leaf()
+        self.items = [Leaf(), Leaf()]
+        self.bias = Parameter(np.zeros(3))
+
+    def forward(self, x):
+        return x
+
+
+class TestDiscovery:
+    def test_named_parameters_nested(self):
+        names = dict(Tree().named_parameters())
+        assert set(names) == {"left.w", "items.0.w", "items.1.w", "bias"}
+
+    def test_parameters_list(self):
+        assert len(Tree().parameters()) == 4
+
+    def test_num_parameters(self):
+        assert Tree().num_parameters() == 4 + 4 + 4 + 3
+
+    def test_modules_iterates_children(self):
+        mods = list(Tree().modules())
+        assert len(mods) == 4  # root + left + 2 list items
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a, b = Tree(), Tree()
+        for p in a.parameters():
+            p.data = rng.standard_normal(p.shape).astype(np.float32)
+        b.load_state_dict(a.state_dict())
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            assert np.allclose(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        m = Leaf()
+        state = m.state_dict()
+        state["w"][:] = 99.0
+        assert not np.allclose(m.w.data, 99.0)
+
+    def test_strict_missing_raises(self):
+        m = Tree()
+        state = m.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_strict_unexpected_raises(self):
+        m = Leaf()
+        state = m.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_non_strict_partial(self):
+        m = Tree()
+        m.load_state_dict({"bias": np.full(3, 5.0)}, strict=False)
+        assert np.allclose(m.bias.data, 5.0)
+
+    def test_shape_mismatch_raises(self):
+        m = Leaf()
+        with pytest.raises(ValueError):
+            m.load_state_dict({"w": np.zeros((3, 3))})
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        m = Tree()
+        m.eval()
+        assert all(not sub.training for sub in m.modules())
+        m.train()
+        assert all(sub.training for sub in m.modules())
+
+    def test_zero_grad(self):
+        m = Leaf()
+        m.w.grad = np.ones((2, 2))
+        m.zero_grad()
+        assert m.w.grad is None
+
+
+class TestSequentialIntegration:
+    def test_sequential_params_discovered(self, rng):
+        seq = Sequential(Linear(3, 4, rng=rng), Linear(4, 2, rng=rng))
+        assert len(seq.parameters()) == 4
+        assert len(seq) == 2
+        assert isinstance(seq[0], Linear)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward()

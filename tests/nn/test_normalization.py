@@ -1,0 +1,58 @@
+"""LayerNorm / RMSNorm tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.normalization import LayerNorm, RMSNorm
+from repro.nn.tensor import Tensor
+
+
+class TestLayerNorm:
+    def test_output_standardised(self, rng):
+        ln = LayerNorm(16)
+        out = ln(Tensor(rng.standard_normal((4, 16)) * 5 + 3)).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine_params_apply(self, rng):
+        ln = LayerNorm(4)
+        ln.weight.data = np.full(4, 2.0, dtype=np.float32)
+        ln.bias.data = np.full(4, 1.0, dtype=np.float32)
+        out = ln(Tensor(rng.standard_normal((3, 4)))).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-4)
+
+    def test_gradients(self, rng):
+        ln = LayerNorm(8)
+        x = Tensor(rng.standard_normal((2, 8)), requires_grad=True)
+        ln(x).sum().backward()
+        assert ln.weight.grad is not None
+        assert ln.bias.grad is not None
+        assert x.grad is not None
+
+
+class TestRMSNorm:
+    def test_unit_rms(self, rng):
+        norm = RMSNorm(16)
+        out = norm(Tensor(rng.standard_normal((4, 16)) * 7)).data
+        rms = np.sqrt((out ** 2).mean(axis=-1))
+        assert np.allclose(rms, 1.0, atol=1e-3)
+
+    def test_scale_invariance(self, rng):
+        norm = RMSNorm(8)
+        x = rng.standard_normal((2, 8)).astype(np.float32)
+        a = norm(Tensor(x)).data
+        b = norm(Tensor(x * 10)).data
+        assert np.allclose(a, b, atol=1e-4)
+
+    def test_no_bias_parameter(self):
+        names = [n for n, _ in RMSNorm(4).named_parameters()]
+        assert names == ["weight"]
+
+    def test_batched_3d_input(self, rng):
+        norm = RMSNorm(6)
+        out = norm(Tensor(rng.standard_normal((2, 3, 6))))
+        assert out.shape == (2, 3, 6)
+
+    def test_zero_input_no_nan(self):
+        out = RMSNorm(4)(Tensor(np.zeros((1, 4)))).data
+        assert np.isfinite(out).all()

@@ -1,0 +1,89 @@
+"""Optimizer tests: convergence, state handling, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam, AdamW, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+def quadratic_steps(optimizer_factory, steps=200):
+    """Minimise ||x - 3||^2 and return the final parameter."""
+    x = Tensor(np.array([10.0, -10.0]), requires_grad=True)
+    opt = optimizer_factory([x])
+    for _ in range(steps):
+        opt.zero_grad()
+        loss = ((x - 3.0) ** 2).sum()
+        loss.backward()
+        opt.step()
+    return x.data
+
+
+class TestSGD:
+    def test_converges(self):
+        final = quadratic_steps(lambda ps: SGD(ps, lr=0.1))
+        assert np.allclose(final, 3.0, atol=1e-3)
+
+    def test_momentum_converges(self):
+        final = quadratic_steps(lambda ps: SGD(ps, lr=0.05, momentum=0.9))
+        assert np.allclose(final, 3.0, atol=1e-2)
+
+    def test_skips_none_grads(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        opt = SGD([x], lr=0.1)
+        opt.step()  # no grad yet: must not crash or move
+        assert np.allclose(x.data, 1.0)
+
+
+class TestAdam:
+    def test_converges(self):
+        final = quadratic_steps(lambda ps: Adam(ps, lr=0.3))
+        assert np.allclose(final, 3.0, atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([x], lr=0.1)
+        (x * 2.0).sum().backward()
+        opt.step()
+        # First Adam step moves by ~lr regardless of gradient scale.
+        assert abs(x.data[0] - (1.0 - 0.1)) < 1e-3
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor(np.ones(1), requires_grad=True)], lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class TestAdamW:
+    def test_converges(self):
+        final = quadratic_steps(lambda ps: AdamW(ps, lr=0.3, weight_decay=0.0))
+        assert np.allclose(final, 3.0, atol=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        x = Tensor(np.array([5.0]), requires_grad=True)
+        opt = AdamW([x], lr=0.1, weight_decay=0.5)
+        x.grad = np.array([0.0], dtype=np.float32)
+        before = float(x.data[0])
+        opt.step()
+        assert float(x.data[0]) < before
+
+
+class TestClipGradNorm:
+    def test_clips_large(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        x.grad = np.full(4, 10.0)
+        pre = clip_grad_norm([x], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(x.grad) == pytest.approx(1.0, abs=1e-5)
+
+    def test_leaves_small(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        x.grad = np.full(4, 0.01)
+        clip_grad_norm([x], max_norm=1.0)
+        assert np.allclose(x.grad, 0.01)
+
+    def test_empty_ok(self):
+        assert clip_grad_norm([], max_norm=1.0) == 0.0

@@ -1,0 +1,63 @@
+"""Rotary embedding tests: relative-position property and table growth."""
+
+import numpy as np
+import pytest
+
+from repro.nn.rope import RotaryEmbedding, apply_rope
+from repro.nn.tensor import Tensor
+
+
+class TestRotaryEmbedding:
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            RotaryEmbedding(7)
+
+    def test_table_shapes(self):
+        rope = RotaryEmbedding(8)
+        cos, sin = rope.tables(np.arange(5))
+        assert cos.shape == (5, 8)
+        assert sin.shape == (5, 8)
+
+    def test_lazy_growth(self):
+        rope = RotaryEmbedding(4, initial_len=4)
+        cos, _ = rope.tables(np.array([1000]))
+        assert cos.shape == (1, 4)
+
+    def test_position_zero_is_identity(self, rng):
+        rope = RotaryEmbedding(8)
+        x = Tensor(rng.standard_normal((1, 1, 1, 8)))
+        cos, sin = rope.tables(np.array([0]))
+        out = apply_rope(x, cos, sin)
+        assert np.allclose(out.data, x.data, atol=1e-6)
+
+    def test_norm_preserved(self, rng):
+        rope = RotaryEmbedding(8)
+        x = rng.standard_normal((1, 2, 4, 8)).astype(np.float32)
+        cos, sin = rope.tables(np.arange(4))
+        out = apply_rope(Tensor(x), cos, sin).data
+        # Rotation preserves the norm of each (x_i, x_{i+d/2}) pair.
+        assert np.allclose(np.linalg.norm(out, axis=-1), np.linalg.norm(x, axis=-1), atol=1e-4)
+
+    def test_relative_property(self, rng):
+        """q_i . k_j depends only on i - j after RoPE."""
+        rope = RotaryEmbedding(16)
+        q = rng.standard_normal((1, 1, 1, 16)).astype(np.float32)
+        k = rng.standard_normal((1, 1, 1, 16)).astype(np.float32)
+
+        def dot_at(i, j):
+            ci, si = rope.tables(np.array([i]))
+            cj, sj = rope.tables(np.array([j]))
+            qi = apply_rope(Tensor(q), ci, si).data
+            kj = apply_rope(Tensor(k), cj, sj).data
+            return float((qi * kj).sum())
+
+        assert dot_at(5, 3) == pytest.approx(dot_at(12, 10), abs=1e-4)
+        assert dot_at(7, 0) == pytest.approx(dot_at(27, 20), abs=1e-4)
+
+    def test_gradient_through_rope(self, rng):
+        rope = RotaryEmbedding(4)
+        x = Tensor(rng.standard_normal((1, 1, 3, 4)), requires_grad=True)
+        cos, sin = rope.tables(np.arange(3))
+        apply_rope(x, cos, sin).sum().backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()

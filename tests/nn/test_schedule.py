@@ -1,0 +1,52 @@
+"""Learning-rate schedule tests."""
+
+import pytest
+
+from repro.nn.optim import SGD
+from repro.nn.schedule import apply_schedule, constant, warmup_cosine, warmup_linear
+from repro.nn.tensor import Tensor
+import numpy as np
+
+
+class TestConstant:
+    def test_constant(self):
+        sched = constant(0.1)
+        assert sched(0) == sched(1000) == 0.1
+
+
+class TestWarmupCosine:
+    def test_warmup_ramps(self):
+        sched = warmup_cosine(1.0, warmup_steps=10, total_steps=100)
+        assert sched(0) < sched(5) < sched(9)
+        assert sched(9) == pytest.approx(1.0)
+
+    def test_peak_then_decay_to_min(self):
+        sched = warmup_cosine(1.0, warmup_steps=10, total_steps=100, min_lr=0.1)
+        assert sched(10) == pytest.approx(1.0)
+        assert sched(99) < 0.12
+        assert sched(100) == pytest.approx(0.1, abs=1e-6)
+        assert sched(500) == pytest.approx(0.1, abs=1e-6)  # clamped past total
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            warmup_cosine(1.0, warmup_steps=10, total_steps=10)
+
+
+class TestWarmupLinear:
+    def test_decays_to_zero(self):
+        sched = warmup_linear(1.0, warmup_steps=5, total_steps=50)
+        assert sched(50) == pytest.approx(0.0)
+        assert sched(100) == pytest.approx(0.0)
+
+    def test_monotone_after_warmup(self):
+        sched = warmup_linear(1.0, warmup_steps=5, total_steps=50)
+        values = [sched(s) for s in range(5, 50)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestApplySchedule:
+    def test_updates_optimizer(self):
+        opt = SGD([Tensor(np.ones(1), requires_grad=True)], lr=1.0)
+        lr = apply_schedule(opt, constant(0.25), step=7)
+        assert lr == 0.25
+        assert opt.lr == 0.25

@@ -1,0 +1,55 @@
+"""Checkpoint I/O round trips."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.serialization import (
+    load_checkpoint,
+    load_state_dict,
+    save_checkpoint,
+    save_state_dict,
+)
+
+
+class TestStateDictIO:
+    def test_roundtrip_with_meta(self, tmp_path, rng):
+        state = {"a": rng.standard_normal((2, 3)), "b": np.arange(4.0)}
+        path = tmp_path / "ckpt.npz"
+        save_state_dict(path, state, meta={"epoch": 3, "name": "x"})
+        loaded, meta = load_state_dict(path)
+        assert set(loaded) == {"a", "b"}
+        assert np.allclose(loaded["a"], state["a"])
+        assert meta == {"epoch": 3, "name": "x"}
+
+    def test_roundtrip_without_meta(self, tmp_path):
+        path = tmp_path / "c.npz"
+        save_state_dict(path, {"x": np.ones(2)})
+        loaded, meta = load_state_dict(path)
+        assert meta is None
+        assert np.allclose(loaded["x"], 1.0)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "c.npz"
+        save_state_dict(path, {"x": np.ones(1)})
+        assert path.exists()
+
+
+class TestModuleCheckpoint:
+    def test_module_roundtrip(self, tmp_path, rng):
+        a = Linear(4, 3, rng=rng)
+        b = Linear(4, 3, rng=np.random.default_rng(99))
+        path = tmp_path / "lin.npz"
+        save_checkpoint(path, a, meta={"kind": "linear"})
+        meta = load_checkpoint(path, b)
+        assert meta == {"kind": "linear"}
+        assert np.allclose(a.weight.data, b.weight.data)
+        assert np.allclose(a.bias.data, b.bias.data)
+
+    def test_strict_mismatch(self, tmp_path, rng):
+        a = Linear(4, 3, rng=rng)
+        path = tmp_path / "lin.npz"
+        save_checkpoint(path, a)
+        wrong = Linear(5, 3, rng=rng)
+        with pytest.raises(Exception):
+            load_checkpoint(path, wrong)

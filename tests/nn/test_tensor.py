@@ -1,0 +1,269 @@
+"""Unit tests for the autodiff engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, as_tensor, concat, no_grad, stack, unbroadcast, where
+
+
+def numeric_grad(fn, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn."""
+    value = value.astype(np.float64)
+    grad = np.zeros_like(value)
+    flat = value.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(value)
+        flat[i] = orig - eps
+        lo = fn(value)
+        flat[i] = orig
+        out[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_grad(op, shape, rng, tol=1e-5):
+    x0 = rng.standard_normal(shape)
+
+    def scalar(v):
+        t = Tensor(np.float64(v), requires_grad=True)
+        return op(t).sum().item()
+
+    t = Tensor(np.float64(x0), requires_grad=True)
+    op(t).sum().backward()
+    num = numeric_grad(scalar, x0.copy())
+    assert np.abs(t.grad - num).max() < tol
+
+
+class TestConstruction:
+    def test_scalar_wraps_to_float32(self):
+        t = Tensor(3)
+        assert t.dtype == np.float32
+        assert t.item() == 3.0
+
+    def test_float64_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_zeros_ones_full(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert Tensor.ones(2).data.sum() == 2.0
+        assert Tensor.full((2, 2), 7.0).data[0, 0] == 7.0
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor(1.0, requires_grad=True))
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(2.0, requires_grad=True)
+        b = a.detach()
+        assert not b.requires_grad
+
+    def test_as_tensor_identity(self):
+        t = Tensor(1.0)
+        assert as_tensor(t) is t
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        check_grad(lambda x: x + x * 2.0 + 1.0, (3, 4), rng)
+
+    def test_mul(self, rng):
+        check_grad(lambda x: x * x, (3, 4), rng)
+
+    def test_div(self, rng):
+        check_grad(lambda x: x / (x * x + 2.0), (3, 4), rng)
+
+    def test_pow(self, rng):
+        check_grad(lambda x: (x * x + 1.0) ** 1.5, (5,), rng)
+
+    def test_rsub_rdiv(self, rng):
+        check_grad(lambda x: 3.0 - x, (4,), rng)
+        check_grad(lambda x: 2.0 / (x * x + 1.0), (4,), rng)
+
+    def test_matmul(self, rng):
+        w = rng.standard_normal((4, 5))
+        check_grad(lambda x: x @ Tensor(np.float64(w)), (3, 4), rng)
+
+    def test_batched_matmul(self, rng):
+        w = rng.standard_normal((2, 5, 3))
+        check_grad(lambda x: x @ Tensor(np.float64(w)), (2, 4, 5), rng)
+
+    def test_matmul_broadcast_weight_grad(self, rng):
+        # (k, n) @ (B, H, n, d): gradient into the broadcast (k, n) operand.
+        x = rng.standard_normal((2, 3, 6, 4))
+
+        def scalar(v):
+            w = Tensor(np.float64(v), requires_grad=True)
+            return (w @ Tensor(np.float64(x))).sum().item()
+
+        w0 = rng.standard_normal((5, 6))
+        w = Tensor(np.float64(w0), requires_grad=True)
+        (w @ Tensor(np.float64(x))).sum().backward()
+        num = numeric_grad(scalar, w0.copy())
+        assert np.abs(w.grad - num).max() < 1e-5
+
+    def test_exp_log_sqrt_tanh_sigmoid(self, rng):
+        check_grad(lambda x: (x * 0.3).exp(), (3, 3), rng)
+        check_grad(lambda x: (x * x + 1.0).log(), (3, 3), rng)
+        check_grad(lambda x: (x * x + 1.0).sqrt(), (3, 3), rng)
+        check_grad(lambda x: x.tanh(), (3, 3), rng)
+        check_grad(lambda x: x.sigmoid(), (3, 3), rng)
+
+    def test_relu_abs(self, rng):
+        # offset so we avoid the kink at exactly 0
+        check_grad(lambda x: (x + 0.1).relu(), (17,), rng)
+        check_grad(lambda x: (x + 0.1).abs(), (17,), rng)
+
+
+class TestReductionsAndShape:
+    def test_sum_axes(self, rng):
+        check_grad(lambda x: x.sum(axis=0), (3, 4), rng)
+        check_grad(lambda x: x.sum(axis=1, keepdims=True), (3, 4), rng)
+        check_grad(lambda x: x.sum(axis=(0, 2)), (2, 3, 4), rng)
+
+    def test_mean(self, rng):
+        check_grad(lambda x: x.mean(axis=-1), (3, 4), rng)
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        t.mean().backward()
+        assert np.allclose(t.grad, np.full((2, 3), 1 / 6))
+
+    def test_max_gradient_splits_ties(self):
+        t = Tensor(np.array([[1.0, 1.0, 0.0]], dtype=np.float64), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        assert np.allclose(t.grad, [[0.5, 0.5, 0.0]])
+
+    def test_reshape_transpose_swapaxes(self, rng):
+        check_grad(lambda x: x.reshape(6, 2), (3, 4), rng)
+        check_grad(lambda x: x.transpose(1, 0) * 2.0, (3, 4), rng)
+        check_grad(lambda x: x.swapaxes(0, 2), (2, 3, 4), rng)
+
+    def test_getitem_slice_and_fancy(self, rng):
+        check_grad(lambda x: x[1:, :2], (3, 4), rng)
+        idx = np.array([0, 2, 2])
+
+        def op(x):
+            return x[idx]
+
+        check_grad(op, (3, 4), rng)
+
+    def test_take_along_axis(self, rng):
+        idx = np.array([[0], [2], [1]])
+        check_grad(lambda x: x.take_along_axis(idx, axis=1), (3, 4), rng)
+
+    def test_pad(self, rng):
+        check_grad(lambda x: x.pad(((1, 0), (0, 2))), (2, 3), rng)
+
+    def test_masked_fill(self, rng):
+        mask = np.array([True, False, True, False])
+        check_grad(lambda x: x.masked_fill(mask, -5.0), (4,), rng)
+
+    def test_concat_stack_where(self, rng):
+        a0, b0 = rng.standard_normal((2, 3)), rng.standard_normal((2, 3))
+        a = Tensor(np.float64(a0), requires_grad=True)
+        b = Tensor(np.float64(b0), requires_grad=True)
+        concat([a, b], axis=1).sum().backward()
+        assert np.allclose(a.grad, 1.0) and np.allclose(b.grad, 1.0)
+
+        a.zero_grad(); b.zero_grad()
+        stack([a, b], axis=0).sum().backward()
+        assert np.allclose(a.grad, 1.0) and np.allclose(b.grad, 1.0)
+
+        cond = np.array([[True, False, True], [False, True, False]])
+        a.zero_grad(); b.zero_grad()
+        where(cond, a, b).sum().backward()
+        assert np.allclose(a.grad, cond.astype(float))
+        assert np.allclose(b.grad, (~cond).astype(float))
+
+
+class TestBroadcasting:
+    def test_unbroadcast_leading(self):
+        g = np.ones((2, 3, 4))
+        assert unbroadcast(g, (3, 4)).shape == (3, 4)
+        assert unbroadcast(g, (3, 4)).sum() == 24
+
+    def test_unbroadcast_size_one_axes(self):
+        g = np.ones((2, 3, 4))
+        out = unbroadcast(g, (2, 1, 4))
+        assert out.shape == (2, 1, 4)
+        assert np.allclose(out, 3.0)
+
+    def test_bias_broadcast_grad(self, rng):
+        x = rng.standard_normal((5, 3))
+
+        def scalar(v):
+            b = Tensor(np.float64(v), requires_grad=True)
+            return ((Tensor(np.float64(x)) + b) ** 2).sum().item()
+
+        b0 = rng.standard_normal((3,))
+        b = Tensor(np.float64(b0), requires_grad=True)
+        ((Tensor(np.float64(x)) + b) ** 2).sum().backward()
+        num = numeric_grad(scalar, b0.copy())
+        assert np.abs(b.grad - num).max() < 1e-5
+
+
+class TestGraphSemantics:
+    def test_backward_requires_scalar_or_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_on_detached_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(1.0).backward()
+
+    def test_grad_accumulates_over_reuse(self):
+        a = Tensor(2.0, requires_grad=True)
+        (a * a + a * 3.0).backward()
+        assert a.grad == pytest.approx(2 * 2.0 + 3.0)
+
+    def test_diamond_graph(self):
+        a = Tensor(2.0, requires_grad=True)
+        b = a * 3.0
+        (b * b + b).backward()
+        assert a.grad == pytest.approx((2 * 6.0 + 1) * 3.0)
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor(1.0, requires_grad=True)
+        with no_grad():
+            b = a * 2.0
+        assert not b.requires_grad
+
+    def test_no_grad_restores(self):
+        from repro.nn.tensor import is_grad_enabled
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_zero_grad(self):
+        a = Tensor(1.0, requires_grad=True)
+        (a * a).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(1, 4),
+    cols=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_softmaxlike_grad_property(rows, cols, seed):
+    """Gradient of a random composite expression matches finite differences."""
+    gen = np.random.default_rng(seed)
+    x0 = gen.standard_normal((rows, cols))
+
+    def op(t):
+        e = (t - 0.5).exp()
+        return (e / (e.sum(axis=-1, keepdims=True) + 1.0)).sum()
+
+    def scalar(v):
+        return op(Tensor(np.float64(v), requires_grad=True)).item()
+
+    t = Tensor(np.float64(x0), requires_grad=True)
+    op(t).backward()
+    num = numeric_grad(scalar, x0.copy())
+    assert np.abs(t.grad - num).max() < 1e-5

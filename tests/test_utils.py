@@ -1,0 +1,57 @@
+"""Utility tests: RNG derivation and clocks."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive, seed_sequence
+from repro.utils.timing import SimulatedClock, WallTimer
+
+
+class TestRng:
+    def test_same_tag_same_stream(self):
+        a = derive(1, "x").random(5)
+        b = derive(1, "x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_tags_different_streams(self):
+        a = derive(1, "x").random(5)
+        b = derive(1, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_different_streams(self):
+        a = derive(1, "x").random(5)
+        b = derive(2, "x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_seed_sequence_stable(self):
+        assert seed_sequence(3, "t").entropy == seed_sequence(3, "t").entropy
+
+
+class TestSimulatedClock:
+    def test_accumulates_by_category(self):
+        clock = SimulatedClock()
+        clock.charge(1.5, "draft")
+        clock.charge(2.5, "verify")
+        clock.charge(1.0, "draft")
+        assert clock.total == pytest.approx(5.0)
+        assert clock.by_category["draft"] == pytest.approx(2.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().charge(-1.0)
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.charge(1.0)
+        clock.reset()
+        assert clock.total == 0.0
+        assert not clock.by_category
+
+
+class TestWallTimer:
+    def test_measures_elapsed(self):
+        with WallTimer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009

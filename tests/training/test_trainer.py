@@ -1,0 +1,82 @@
+"""Generic trainer and loss-function tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataloader import IGNORE_INDEX
+from repro.errors import TrainingError
+from repro.nn.tensor import Tensor
+from repro.training.losses import masked_cross_entropy, masked_kl_divergence, response_mask
+from repro.training.trainer import TrainConfig, TrainResult, run_training
+
+
+class TestTrainConfig:
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            TrainConfig(steps=0)
+        with pytest.raises(TrainingError):
+            TrainConfig(steps=10, batch_size=0)
+        with pytest.raises(TrainingError):
+            TrainConfig(steps=10, warmup_steps=10)
+
+
+class TestRunTraining:
+    def test_minimises_quadratic(self):
+        x = Tensor(np.array([5.0]), requires_grad=True)
+
+        def loss_fn(step, gen):
+            return ((x - 2.0) ** 2).sum()
+
+        result = run_training([x], loss_fn, TrainConfig(steps=150, batch_size=1, lr=0.1, warmup_steps=5), np.random.default_rng(0))
+        assert abs(x.data[0] - 2.0) < 0.05
+        assert len(result.losses) == 150
+        assert result.final_loss < result.losses[0]
+
+    def test_diverged_loss_raises(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+
+        def loss_fn(step, gen):
+            return (x * float("nan")).sum()
+
+        with pytest.raises(TrainingError):
+            run_training([x], loss_fn, TrainConfig(steps=5, batch_size=1, lr=0.1, warmup_steps=1), np.random.default_rng(0))
+
+    def test_final_loss_requires_steps(self):
+        with pytest.raises(TrainingError):
+            TrainResult().final_loss
+
+
+class TestLosses:
+    def test_response_mask(self):
+        labels = np.array([[1, IGNORE_INDEX, 3]])
+        assert np.array_equal(response_mask(labels), [[True, False, True]])
+
+    def test_masked_cross_entropy_ignores(self, rng):
+        logits = Tensor(rng.standard_normal((1, 3, 5)))
+        labels = np.array([[2, IGNORE_INDEX, 1]])
+        loss = masked_cross_entropy(logits, labels)
+        ref = masked_cross_entropy(logits[:, [0, 2], :], np.array([[2, 1]]))
+        assert loss.item() == pytest.approx(ref.item(), abs=1e-5)
+
+    def test_masked_kl_zero_identical(self, rng):
+        logits = rng.standard_normal((2, 3, 4))
+        kl = masked_kl_divergence(logits, Tensor(logits.copy(), requires_grad=True))
+        assert abs(kl.item()) < 1e-6
+
+    def test_masked_kl_respects_mask(self, rng):
+        teacher = rng.standard_normal((1, 2, 4))
+        student_data = teacher.copy()
+        student_data[0, 1, 0] += 5.0  # only position 1 differs
+        student = Tensor(student_data, requires_grad=True)
+        masked = masked_kl_divergence(teacher, student, mask=np.array([[True, False]]))
+        assert abs(masked.item()) < 1e-6
+        unmasked = masked_kl_divergence(teacher, student)
+        assert unmasked.item() > 0.01
+
+    def test_masked_kl_empty_mask_raises(self, rng):
+        with pytest.raises(ValueError):
+            masked_kl_divergence(
+                rng.standard_normal((1, 2, 3)),
+                Tensor(rng.standard_normal((1, 2, 3))),
+                mask=np.zeros((1, 2), dtype=bool),
+            )
