@@ -1,0 +1,73 @@
+"""Verify the integrity of every cached model-zoo artifact.
+
+Recomputes the per-tensor SHA-256 checksums stored inside each ``.npz``
+archive (and detects truncated/byte-flipped files that fail to open at
+all).  Exits non-zero when any artifact is corrupt, so CI can gate on it.
+
+Run:  python scripts/check_zoo.py [--profile full|smoke] [--all-profiles]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.zoo import ModelZoo, PROFILE_FULL, PROFILE_SMOKE
+
+
+def check_profile(profile, quarantine: bool = False) -> int:
+    """Print a per-artifact report; return the number of corrupt files.
+
+    With ``quarantine=True`` corrupt artifacts are moved aside to
+    ``<name>.corrupt`` (the zoo rebuilds them lazily on next use) and no
+    longer count as failures.
+    """
+    zoo = ModelZoo(profile, verbose=False)
+    report = zoo.verify_cache()
+    print(f"== profile {profile.name} ({zoo.cache_dir})")
+    if not report:
+        print("   (no cached artifacts)")
+    n_bad = 0
+    for name, entry in report.items():
+        if entry["ok"]:
+            suffix = "" if entry["has_checksums"] else "  [legacy: no checksum manifest]"
+            print(f"   OK   {name}  ({entry['n_tensors']} tensors){suffix}")
+        elif quarantine:
+            zoo._quarantine(zoo.cache_dir / name, entry["error"])
+            print(f"   BAD  {name}: quarantined (will rebuild on next use)")
+        else:
+            n_bad += 1
+            print(f"   BAD  {name}: {entry['error']}")
+    for name in sorted(p.name for p in zoo.cache_dir.glob("*.corrupt")):
+        print(f"   QUARANTINED  {name}")
+    return n_bad
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="smoke", choices=["full", "smoke"])
+    parser.add_argument(
+        "--all-profiles", action="store_true",
+        help="check every profile directory under the cache root",
+    )
+    parser.add_argument(
+        "--quarantine", action="store_true",
+        help="move corrupt artifacts aside instead of failing (rebuilt lazily)",
+    )
+    args = parser.parse_args()
+
+    profiles = (
+        [PROFILE_FULL, PROFILE_SMOKE]
+        if args.all_profiles
+        else [PROFILE_FULL if args.profile == "full" else PROFILE_SMOKE]
+    )
+    n_bad = sum(check_profile(p, quarantine=args.quarantine) for p in profiles)
+    if n_bad:
+        print(f"FAILED: {n_bad} corrupt artifact(s)")
+        return 1
+    print("all cached artifacts verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

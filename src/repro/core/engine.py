@@ -13,6 +13,17 @@ This is the paper's Figure 2a pipeline:
    or speculative sampling).  The verification forward's *own last-layer KV
    output* for the accepted tokens is appended to the draft context, so
    context maintenance costs nothing extra.
+
+Fault tolerance: speculative decoding is lossless-with-fallback by
+construction — the target model alone can always finish a generation — so
+a broken drafter must only ever cost speed, never availability.  Every
+draft block is guarded against NaN/Inf logits, hybrid-cache invariant
+violations, and arbitrary draft-head exceptions.  On a fault the engine
+skips the block (verifying any clean prefix it already drafted, else
+taking one plain target step) and, after ``max_draft_faults`` faults,
+disables the speculating module and decodes the rest autoregressively.
+Faults are counted on the returned :class:`DecodeRecord` so benchmarks can
+report degradation rates.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from ..decoding.sampling import Sampler, SamplerConfig, logits_to_probs, specula
 from ..errors import DecodingError
 from ..models.llava import MiniLlava
 from ..nn.tensor import no_grad
+from ..robustness.guards import check_hybrid_cache, ensure_finite
 from ..tokenizer import WordTokenizer
 from ..decoding.adaptive import FixedGamma, GammaController
 from ..utils.timing import WallTimer
@@ -37,6 +49,10 @@ from .draft_head import AASDDraftHead
 from .hybrid_cache import SEGMENT_TEXT, HybridKVCache
 
 __all__ = ["AASDEngineConfig", "AASDEngine"]
+
+FALLBACK_NONE = "none"
+FALLBACK_DEGRADED = "degraded"
+FALLBACK_TARGET_ONLY = "target-only"
 
 
 @dataclass(frozen=True)
@@ -47,12 +63,17 @@ class AASDEngineConfig:
     max_new_tokens: int = 64
     disable_image_kv: bool = False   # Figure 4 ablation
     disable_text_kv: bool = False    # Figure 4 ablation
+    fallback_on_fault: bool = True   # degrade instead of raising on draft faults
+    max_draft_faults: int = 3        # after this many faults, go target-only
+    guard_cache: bool = True         # validate hybrid-cache invariants per block
 
     def __post_init__(self) -> None:
         if self.gamma <= 0:
             raise DecodingError(f"gamma must be positive, got {self.gamma}")
         if self.max_new_tokens <= 0:
             raise DecodingError(f"max_new_tokens must be positive, got {self.max_new_tokens}")
+        if self.max_draft_faults <= 0:
+            raise DecodingError(f"max_draft_faults must be positive, got {self.max_draft_faults}")
 
 
 class AASDEngine(Decoder):
@@ -88,6 +109,54 @@ class AASDEngine(Decoder):
         return "ours"
 
     # ------------------------------------------------------------------
+    def _target_step(self, last: int, target_cache, record: DecodeRecord):
+        """One plain autoregressive target step (the fallback primitive).
+
+        Returns ``(next_token, decode_output)`` so callers can reuse the
+        forward's last-layer KV for draft-context maintenance.
+        """
+        out = self.target.decode(np.asarray([[last]], dtype=np.int64), target_cache)
+        record.sim_time_ms += self.cost_model.target_step()
+        record.n_target_forwards += 1
+        record.n_fallback_steps += 1
+        return self.sampler.sample(out.logits.data[0, -1]), out
+
+    def _build_context(self, target_cache, hybrid: HybridKVCache, prompt_ids, n_vis: int,
+                       record: DecodeRecord) -> None:
+        if self.head.config.use_target_kv:
+            self.head.build_context(target_cache, hybrid)
+            if self.head.projector is not None:
+                record.sim_time_ms += self.cost_model.projector()
+        else:
+            # Figure 3 ablation: the head encodes the prompt itself.
+            positions = n_vis + np.arange(len(prompt_ids), dtype=np.int64)
+            k_own, v_own = self.head.self_encode(prompt_ids, positions)
+            hybrid.append_context(k_own, v_own, positions, SEGMENT_TEXT)
+            record.sim_time_ms += self.cost_model.draft_prefill()
+        if self.config.guard_cache:
+            check_hybrid_cache(hybrid)
+
+    def _append_committed_kv(self, out, last: int, accepted, keep: int, last_pos: int,
+                             hybrid: HybridKVCache, record: DecodeRecord) -> None:
+        """Context maintenance after a verify (or fallback) target forward."""
+        positions = last_pos + np.arange(keep, dtype=np.int64)
+        if self.head.config.use_target_kv:
+            # Free by-product of verification: last-layer KV of the fed
+            # tokens, trimmed to the accepted prefix.
+            k_new, v_new = out.last_layer_kv
+            hybrid.append_context(
+                k_new.data[:, :, :keep, :],
+                v_new.data[:, :, :keep, :],
+                positions,
+                SEGMENT_TEXT,
+            )
+        else:
+            emitted = np.asarray([last] + list(accepted), dtype=np.int64)
+            k_own, v_own = self.head.self_encode(emitted, positions)
+            hybrid.append_context(k_own, v_own, positions, SEGMENT_TEXT)
+            record.sim_time_ms += self.cost_model.draft_sync(keep)
+
+    # ------------------------------------------------------------------
     def decode(self, sample: MultimodalSample) -> DecodeRecord:
         cfg = self.config
         record = DecodeRecord()
@@ -95,6 +164,7 @@ class AASDEngine(Decoder):
         eos = self.tokenizer.vocab.eos_id
         n_vis = self.target.n_vision_tokens
         gen_base = n_vis + len(prompt_ids)  # absolute position of committed[0]
+        speculating = True
 
         with WallTimer() as timer, no_grad():
             target_cache, last_logits = self.target.prefill(
@@ -104,16 +174,14 @@ class AASDEngine(Decoder):
             record.n_target_forwards += 1
 
             hybrid = HybridKVCache(self.head.config.n_heads, self.head.config.head_dim)
-            if self.head.config.use_target_kv:
-                self.head.build_context(target_cache, hybrid)
-                if self.head.projector is not None:
-                    record.sim_time_ms += self.cost_model.projector()
-            else:
-                # Figure 3 ablation: the head encodes the prompt itself.
-                positions = n_vis + np.arange(len(prompt_ids), dtype=np.int64)
-                k_own, v_own = self.head.self_encode(prompt_ids, positions)
-                hybrid.append_context(k_own, v_own, positions, SEGMENT_TEXT)
-                record.sim_time_ms += self.cost_model.draft_prefill()
+            try:
+                self._build_context(target_cache, hybrid, prompt_ids, n_vis, record)
+            except Exception as exc:  # noqa: BLE001 — any head fault degrades
+                if not cfg.fallback_on_fault:
+                    raise
+                record.note_fault(f"context build failed: {exc}")
+                record.fallback_mode = FALLBACK_TARGET_ONLY
+                speculating = False
 
             committed: List[int] = [self.sampler.sample(last_logits[0])]
             self.gamma_controller.reset()
@@ -121,31 +189,77 @@ class AASDEngine(Decoder):
             while committed[-1] != eos and len(committed) < cfg.max_new_tokens:
                 last = committed[-1]
                 last_pos = gen_base + len(committed) - 1
+
+                if not speculating:
+                    token, _ = self._target_step(last, target_cache, record)
+                    committed.append(token)
+                    continue
+
                 gamma = self.gamma_controller.next_gamma()
 
                 # ---- draft: gamma steps of the speculating module -------
+                # Guarded: a fault truncates the block to the clean prefix
+                # drafted so far instead of aborting the decode.
                 draft_tokens: List[int] = []
                 draft_probs: List[np.ndarray] = []
                 token, pos = last, last_pos
-                for _ in range(gamma):
-                    record.sim_time_ms += self.cost_model.aasd_step(hybrid.total_len + 1)
-                    logits = self.head.step(
-                        token,
-                        pos,
-                        hybrid,
-                        disable_image_kv=cfg.disable_image_kv,
-                        disable_text_kv=cfg.disable_text_kv,
-                    )
-                    draft_probs.append(logits_to_probs(logits, self.sampler.config))
-                    token = self.sampler.sample(logits)
-                    draft_tokens.append(token)
-                    pos += 1
+                try:
+                    for _ in range(gamma):
+                        record.sim_time_ms += self.cost_model.aasd_step(hybrid.total_len + 1)
+                        logits = self.head.step(
+                            token,
+                            pos,
+                            hybrid,
+                            disable_image_kv=cfg.disable_image_kv,
+                            disable_text_kv=cfg.disable_text_kv,
+                        )
+                        ensure_finite(logits, "draft logits")
+                        probs = logits_to_probs(logits, self.sampler.config)
+                        token = self.sampler.sample(logits)
+                        draft_probs.append(probs)
+                        draft_tokens.append(token)
+                        pos += 1
+                    if cfg.guard_cache:
+                        check_hybrid_cache(hybrid)
+                except Exception as exc:  # noqa: BLE001 — any head fault degrades
+                    if not cfg.fallback_on_fault:
+                        raise
+                    record.note_fault(f"draft fault at position {pos}: {exc}")
+                    # The draft segment may be poisoned; the context store is
+                    # target-provided and still trusted (re-validated below).
+                    hybrid.clear_draft()
+                    draft_tokens = []
+                    draft_probs = []
+                    if record.n_draft_faults >= cfg.max_draft_faults:
+                        speculating = False
+                        record.fallback_mode = FALLBACK_TARGET_ONLY
+
+                if not draft_tokens:
+                    # Nothing drafted this block: take one plain target step
+                    # and keep the draft context in sync for the next block.
+                    token, out = self._target_step(last, target_cache, record)
+                    if speculating:
+                        try:
+                            self._append_committed_kv(
+                                out, last, [], 1, last_pos, hybrid, record
+                            )
+                            if cfg.guard_cache:
+                                check_hybrid_cache(hybrid)
+                        except Exception as exc:  # noqa: BLE001
+                            if not cfg.fallback_on_fault:
+                                raise
+                            record.note_fault(f"context maintenance failed: {exc}")
+                            speculating = False
+                            record.fallback_mode = FALLBACK_TARGET_ONLY
+                    committed.append(token)
+                    continue
 
                 # ---- verify: one parallel target forward ----------------
+                gamma_used = len(draft_tokens)
                 verify_start = target_cache.seq_len
                 feed = np.asarray([[last] + draft_tokens], dtype=np.int64)
                 out = self.target.decode(feed, target_cache)
-                record.sim_time_ms += self.cost_model.target_verify(gamma + 1)
+                record.sim_time_ms += self.cost_model.target_verify(gamma_used + 1)
                 record.n_target_forwards += 1
 
                 outcome = speculative_verify(
@@ -157,12 +271,12 @@ class AASDEngine(Decoder):
                 )
                 record.blocks.append(
                     BlockRecord(
-                        n_draft=gamma,
+                        n_draft=gamma_used,
                         n_accepted=outcome.n_accepted,
                         n_emitted=outcome.tokens_emitted,
                     )
                 )
-                self.gamma_controller.update(outcome.n_accepted, gamma)
+                self.gamma_controller.update(outcome.n_accepted, gamma_used)
 
                 # Roll back rejected tokens in the target cache.
                 keep = 1 + outcome.n_accepted
@@ -170,22 +284,16 @@ class AASDEngine(Decoder):
 
                 # ---- context maintenance --------------------------------
                 hybrid.clear_draft()
-                positions = last_pos + np.arange(keep, dtype=np.int64)
-                if self.head.config.use_target_kv:
-                    # Free by-product of verification: last-layer KV of the
-                    # fed tokens, trimmed to the accepted prefix.
-                    k_new, v_new = out.last_layer_kv
-                    hybrid.append_context(
-                        k_new.data[:, :, :keep, :],
-                        v_new.data[:, :, :keep, :],
-                        positions,
-                        SEGMENT_TEXT,
+                try:
+                    self._append_committed_kv(
+                        out, last, outcome.accepted, keep, last_pos, hybrid, record
                     )
-                else:
-                    emitted = np.asarray([last] + list(outcome.accepted), dtype=np.int64)
-                    k_own, v_own = self.head.self_encode(emitted, positions)
-                    hybrid.append_context(k_own, v_own, positions, SEGMENT_TEXT)
-                    record.sim_time_ms += self.cost_model.draft_sync(keep)
+                except Exception as exc:  # noqa: BLE001
+                    if not cfg.fallback_on_fault:
+                        raise
+                    record.note_fault(f"context maintenance failed: {exc}")
+                    speculating = False
+                    record.fallback_mode = FALLBACK_TARGET_ONLY
 
                 committed.extend(outcome.accepted)
                 committed.append(outcome.next_token)

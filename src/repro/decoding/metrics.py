@@ -33,7 +33,13 @@ class BlockRecord:
 
 @dataclass
 class DecodeRecord:
-    """Everything measured while decoding one sample."""
+    """Everything measured while decoding one sample.
+
+    The fault fields track graceful degradation: ``fallback_mode`` is
+    ``"none"`` for a clean decode, ``"degraded"`` once any draft block was
+    skipped due to a fault, and ``"target-only"`` after the engine gave up
+    on speculation entirely for the rest of the sample.
+    """
 
     token_ids: List[int] = field(default_factory=list)
     sim_time_ms: float = 0.0
@@ -41,10 +47,26 @@ class DecodeRecord:
     blocks: List[BlockRecord] = field(default_factory=list)
     n_target_forwards: int = 0
     text: str = ""
+    n_draft_faults: int = 0
+    n_fallback_steps: int = 0
+    fallback_mode: str = "none"
+    fault_log: List[str] = field(default_factory=list)
 
     @property
     def n_tokens(self) -> int:
         return len(self.token_ids)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any fault forced a fallback during this decode."""
+        return self.fallback_mode != "none"
+
+    def note_fault(self, message: str) -> None:
+        """Record one draft fault and mark the decode as degraded."""
+        self.n_draft_faults += 1
+        self.fault_log.append(message)
+        if self.fallback_mode == "none":
+            self.fallback_mode = "degraded"
 
 
 @dataclass(frozen=True)
@@ -60,6 +82,9 @@ class SpeedupReport:
     n_tokens_sd: int
     n_tokens_ar: int
     wall_speedup_raw: float    # real Python wall-time ratio (secondary)
+    n_draft_faults: int = 0        # total draft faults across SD records
+    n_fallback_steps: int = 0      # target-only steps taken on fault
+    degraded_fraction: float = 0.0  # fraction of SD records that degraded
 
     def row(self) -> dict:
         """Flat dict used by the table renderers."""
@@ -96,10 +121,18 @@ def aggregate_metrics(
     ar_tokens = sum(r.n_tokens for r in ar_records)
 
     blocks = [b for r in sd_records for b in r.blocks]
-    if not blocks:
+    # Fully-degraded runs (speculation disabled on every sample) have no
+    # blocks; report zero acceptance instead of refusing to aggregate.
+    drafted = [b for b in blocks if b.n_draft > 0]
+    if drafted:
+        acceptance = sum(b.n_accepted / b.n_draft for b in drafted) / len(drafted)
+    elif any(r.degraded for r in sd_records):
+        acceptance = 0.0
+    else:
         raise DecodingError("SD records contain no blocks")
-    acceptance = sum(b.n_accepted / b.n_draft for b in blocks) / len(blocks)
-    block_eff = sum(b.n_emitted for b in blocks) / len(blocks)
+    block_eff = (
+        sum(b.n_emitted for b in blocks) / len(blocks) if blocks else 1.0
+    )
 
     if sd_time <= 0 or ar_time <= 0:
         raise DecodingError("simulated times must be positive")
@@ -114,4 +147,7 @@ def aggregate_metrics(
         n_tokens_sd=sd_tokens,
         n_tokens_ar=ar_tokens,
         wall_speedup_raw=(ar_wall / sd_wall) if sd_wall > 0 else float("nan"),
+        n_draft_faults=sum(r.n_draft_faults for r in sd_records),
+        n_fallback_steps=sum(r.n_fallback_steps for r in sd_records),
+        degraded_fraction=sum(r.degraded for r in sd_records) / len(sd_records),
     )

@@ -42,8 +42,17 @@ def logits_to_probs(logits: np.ndarray, config: SamplerConfig) -> np.ndarray:
 
     Under greedy decoding this is a one-hot argmax distribution, so the
     speculative accept rule reduces to exact token matching.
+
+    Non-finite logits are hardened: NaN/-Inf/+Inf entries are masked to
+    ``-inf`` (never sampled); a row with no finite entry at all raises
+    :class:`DecodingError`, which the AASD engine treats as a draft fault.
     """
     logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+    finite = np.isfinite(logits)
+    if not finite.all():
+        if not finite.any():
+            raise DecodingError("logits contain no finite values")
+        logits = np.where(finite, logits, -np.inf)
     if config.greedy:
         probs = np.zeros_like(logits)
         probs[int(np.argmax(logits))] = 1.0
@@ -147,8 +156,15 @@ def speculative_verify(
                 accepted.append(token)
                 continue
             return VerifyOutcome(tuple(accepted), int(np.argmax(target_probs)), False)
+        row = draft_probs[i]
+        if not (np.isfinite(row).all() and 0.0 < float(row.sum()) < np.inf):
+            # Corrupt draft distribution (NaN/Inf or degenerate mass):
+            # discard the proposal and emit a pure target sample, which is
+            # lossless no matter what the drafter produced.
+            next_token = int(rng.choice(target_probs.size, p=target_probs))
+            return VerifyOutcome(tuple(accepted), next_token, False)
         p_target = target_probs[token]
-        p_draft = draft_probs[i][token]
+        p_draft = row[token]
         if p_draft <= 0.0 or rng.random() < min(1.0, p_target / p_draft):
             if p_target <= 0.0 and p_draft <= 0.0:
                 # Token impossible under both: reject via the residual below.

@@ -9,6 +9,8 @@ __all__ = [
     "ShapeError",
     "DecodingError",
     "TrainingError",
+    "CheckpointError",
+    "GuardViolation",
 ]
 
 
@@ -34,3 +36,25 @@ class DecodingError(ReproError):
 
 class TrainingError(ReproError):
     """Training loop failure (diverged loss, empty dataset, ...)."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint could not be read or failed integrity verification.
+
+    Wraps the third-party exceptions checkpoint I/O can surface
+    (``zipfile.BadZipFile``, ``OSError``, ``KeyError`` for missing tensors,
+    checksum mismatches) so callers only ever need to catch one type; the
+    message always names the offending path.
+    """
+
+    def __init__(self, message: str, path=None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
+class GuardViolation(ReproError):
+    """A runtime invariant check failed (non-finite values, cache corruption).
+
+    Raised by :mod:`repro.robustness.guards`; the decode engine treats it as
+    a recoverable draft fault and degrades to target-only decoding.
+    """

@@ -13,7 +13,14 @@ from .normalization import LayerNorm, RMSNorm
 from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
 from .rope import RotaryEmbedding, apply_rope
 from .schedule import apply_schedule, constant, warmup_cosine, warmup_linear
-from .serialization import load_checkpoint, load_state_dict, save_checkpoint, save_state_dict
+from .serialization import (
+    load_checkpoint,
+    load_state_dict,
+    save_checkpoint,
+    save_state_dict,
+    state_dict_checksums,
+    verify_checkpoint,
+)
 from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack, where
 from .transformer import DecoderBlock, SwiGLU
 
@@ -56,4 +63,6 @@ __all__ = [
     "load_checkpoint",
     "save_state_dict",
     "load_state_dict",
+    "state_dict_checksums",
+    "verify_checkpoint",
 ]

@@ -1,39 +1,166 @@
-"""Checkpoint I/O: module state dicts as ``.npz`` plus JSON metadata."""
+"""Checkpoint I/O: module state dicts as ``.npz`` plus JSON metadata.
+
+Fault-tolerance guarantees:
+
+* **Atomic writes** — state is serialised to a temporary file in the target
+  directory, flushed and fsync'd, then moved into place with ``os.replace``.
+  A crash mid-save can never leave a truncated ``.npz`` under the final name.
+* **Per-tensor SHA-256 checksums** — stored inside the archive and verified
+  on load, so silent corruption (byte flips, partial copies) is detected
+  instead of producing garbage weights.
+* **One exception type** — every failure mode (``zipfile.BadZipFile``,
+  ``OSError``, missing tensors, checksum mismatch) surfaces as
+  :class:`~repro.errors.CheckpointError` carrying the offending path.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..errors import CheckpointError
 from .module import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint", "save_state_dict", "load_state_dict"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_state_dict",
+    "load_state_dict",
+    "state_dict_checksums",
+    "verify_checkpoint",
+]
 
 _META_KEY = "__meta_json__"
+_CHECKSUM_KEY = "__checksums_json__"
+
+
+def _normalize_path(path: Path) -> Path:
+    """``np.savez`` appends ``.npz`` when missing; make load/save symmetric."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def _tensor_sha256(array: np.ndarray) -> str:
+    array = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(array.dtype).encode("utf-8"))
+    digest.update(str(array.shape).encode("utf-8"))
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def state_dict_checksums(state: Dict[str, np.ndarray]) -> Dict[str, str]:
+    """SHA-256 digest per tensor (dtype and shape are part of the digest)."""
+    return {name: _tensor_sha256(np.asarray(value)) for name, value in state.items()}
+
+
+def _json_blob(payload: Any) -> np.ndarray:
+    return np.frombuffer(json.dumps(payload).encode("utf-8"), dtype=np.uint8)
 
 
 def save_state_dict(path: Path, state: Dict[str, np.ndarray], meta: Optional[Dict[str, Any]] = None) -> None:
-    """Write a state dict (and optional JSON-serialisable metadata) to ``path``."""
-    path = Path(path)
+    """Atomically write a state dict (and optional metadata) to ``path``."""
+    path = _normalize_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = dict(state)
+    payload[_CHECKSUM_KEY] = _json_blob(state_dict_checksums(state))
     if meta is not None:
-        payload[_META_KEY] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
-    np.savez(path, **payload)
+        payload[_META_KEY] = _json_blob(meta)
+
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.stem + ".", suffix=".tmp.npz")
+    tmp_path = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        raise CheckpointError(f"failed to write checkpoint {path}: {exc}", path=path) from exc
+    finally:
+        if tmp_path.exists():
+            tmp_path.unlink()
 
 
-def load_state_dict(path: Path) -> Tuple[Dict[str, np.ndarray], Optional[Dict[str, Any]]]:
-    """Read ``(state_dict, meta)`` back from ``path``."""
-    path = Path(path)
-    with np.load(path) as archive:
-        state = {k: archive[k] for k in archive.files if k != _META_KEY}
-        meta = None
-        if _META_KEY in archive.files:
-            meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+def load_state_dict(path: Path, verify: bool = True) -> Tuple[Dict[str, np.ndarray], Optional[Dict[str, Any]]]:
+    """Read ``(state_dict, meta)`` back from ``path``.
+
+    ``verify=True`` recomputes per-tensor SHA-256 digests against the stored
+    manifest (legacy archives without one load unverified).  Every failure —
+    unreadable file, truncated/byte-flipped archive, checksum mismatch —
+    raises :class:`CheckpointError` naming the path.
+    """
+    path = _normalize_path(path)
+    try:
+        with np.load(path) as archive:
+            state = {
+                k: np.asarray(archive[k])
+                for k in archive.files
+                if k not in (_META_KEY, _CHECKSUM_KEY)
+            }
+            meta = None
+            if _META_KEY in archive.files:
+                meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+            checksums = None
+            if _CHECKSUM_KEY in archive.files:
+                checksums = json.loads(bytes(archive[_CHECKSUM_KEY].tobytes()).decode("utf-8"))
+    except CheckpointError:
+        raise
+    except (zipfile.BadZipFile, zlib.error, OSError, KeyError, ValueError, EOFError) as exc:
+        raise CheckpointError(
+            f"corrupt or unreadable checkpoint {path}: {type(exc).__name__}: {exc}",
+            path=path,
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"corrupt checkpoint metadata in {path}: {exc}", path=path) from exc
+
+    if verify and checksums is not None:
+        missing = sorted(set(checksums) - set(state))
+        if missing:
+            raise CheckpointError(
+                f"checkpoint {path} is missing tensors listed in its manifest: {missing}",
+                path=path,
+            )
+        for name, expected in checksums.items():
+            actual = _tensor_sha256(state[name])
+            if actual != expected:
+                raise CheckpointError(
+                    f"checksum mismatch for tensor {name!r} in {path}: "
+                    f"expected {expected[:12]}..., got {actual[:12]}...",
+                    path=path,
+                )
     return state, meta
+
+
+def verify_checkpoint(path: Path) -> Dict[str, Any]:
+    """Integrity-check one checkpoint without loading it into a model.
+
+    Returns ``{"ok": bool, "n_tensors": int, "has_checksums": bool,
+    "error": str | None}``; never raises.
+    """
+    path = _normalize_path(path)
+    try:
+        state, _ = load_state_dict(path, verify=True)
+        with np.load(path) as archive:
+            has_checksums = _CHECKSUM_KEY in archive.files
+    except CheckpointError as exc:
+        return {"ok": False, "n_tensors": 0, "has_checksums": False, "error": str(exc)}
+    return {
+        "ok": True,
+        "n_tensors": len(state),
+        "has_checksums": has_checksums,
+        "error": None,
+    }
 
 
 def save_checkpoint(path: Path, module: Module, meta: Optional[Dict[str, Any]] = None) -> None:
@@ -42,7 +169,18 @@ def save_checkpoint(path: Path, module: Module, meta: Optional[Dict[str, Any]] =
 
 
 def load_checkpoint(path: Path, module: Module, strict: bool = True) -> Optional[Dict[str, Any]]:
-    """Load parameters into ``module``; returns the stored metadata."""
+    """Load parameters into ``module``; returns the stored metadata.
+
+    Tensor-set or shape mismatches between the checkpoint and the module
+    are reported as :class:`CheckpointError` (with the path), not as raw
+    ``KeyError``/``ValueError`` from the module layer.
+    """
+    path = _normalize_path(path)
     state, meta = load_state_dict(path)
-    module.load_state_dict(state, strict=strict)
+    try:
+        module.load_state_dict(state, strict=strict)
+    except (KeyError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} does not match module: {exc}", path=path
+        ) from exc
     return meta

@@ -1,0 +1,29 @@
+"""Fault tolerance: deterministic fault injection and runtime guards.
+
+``faults`` corrupts things on purpose (checkpoint truncation/byte flips,
+NaN weights, failing draft heads) so tests can prove the stack degrades
+instead of dying; ``guards`` holds the runtime validators the decode
+engine uses to detect those faults in production.
+"""
+
+from .faults import (
+    DraftFault,
+    FaultyDraftHead,
+    corrupt_checkpoint,
+    flip_checkpoint_bytes,
+    inject_nan_weights,
+    truncate_checkpoint,
+)
+from .guards import all_finite, check_hybrid_cache, ensure_finite
+
+__all__ = [
+    "DraftFault",
+    "FaultyDraftHead",
+    "corrupt_checkpoint",
+    "flip_checkpoint_bytes",
+    "inject_nan_weights",
+    "truncate_checkpoint",
+    "all_finite",
+    "check_hybrid_cache",
+    "ensure_finite",
+]

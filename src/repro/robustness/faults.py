@@ -1,0 +1,149 @@
+"""Deterministic fault injectors for checkpoints, weights, and draft heads.
+
+Everything here is reproducible from an explicit seed — no wall-clock or
+global RNG — so a test that provokes a fault provokes exactly the same
+fault on every run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..nn.module import Module
+
+__all__ = [
+    "truncate_checkpoint",
+    "flip_checkpoint_bytes",
+    "corrupt_checkpoint",
+    "inject_nan_weights",
+    "FaultyDraftHead",
+    "DraftFault",
+]
+
+
+class DraftFault(RuntimeError):
+    """The exception :class:`FaultyDraftHead` raises in ``raise`` mode."""
+
+
+def truncate_checkpoint(path: Path, keep_fraction: float = 0.5) -> Path:
+    """Truncate a file to ``keep_fraction`` of its bytes (crash-mid-write)."""
+    path = Path(path)
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ConfigError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+    data = path.read_bytes()
+    path.write_bytes(data[: int(len(data) * keep_fraction)])
+    return path
+
+
+def flip_checkpoint_bytes(path: Path, n_flips: int = 8, seed: int = 0) -> Path:
+    """XOR-flip ``n_flips`` random bytes in place (silent bit-rot)."""
+    path = Path(path)
+    if n_flips <= 0:
+        raise ConfigError(f"n_flips must be positive, got {n_flips}")
+    data = bytearray(path.read_bytes())
+    if not data:
+        return path
+    rng = np.random.default_rng(seed)
+    for offset in rng.integers(0, len(data), size=n_flips):
+        data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return path
+
+
+def corrupt_checkpoint(path: Path, mode: str = "truncate", seed: int = 0) -> Path:
+    """Corrupt a checkpoint file with the named fault mode."""
+    if mode == "truncate":
+        return truncate_checkpoint(path)
+    if mode == "byteflip":
+        return flip_checkpoint_bytes(path, seed=seed)
+    raise ConfigError(f"unknown corruption mode {mode!r}; use 'truncate' or 'byteflip'")
+
+
+def inject_nan_weights(module: Module, fraction: float = 0.05, seed: int = 0) -> int:
+    """Overwrite a deterministic subset of parameter entries with NaN.
+
+    Returns the number of poisoned scalars.  ``fraction`` applies per
+    parameter tensor (at least one element each once fraction > 0).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigError(f"fraction must be in (0, 1], got {fraction}")
+    rng = np.random.default_rng(seed)
+    n_poisoned = 0
+    for _, param in module.named_parameters():
+        n = max(1, int(param.data.size * fraction))
+        idx = rng.choice(param.data.size, size=n, replace=False)
+        np.put(param.data, idx, np.nan)
+        n_poisoned += n
+    return n_poisoned
+
+
+class FaultyDraftHead:
+    """Wraps an :class:`~repro.core.draft_head.AASDDraftHead`, injecting
+    faults into ``step`` on a deterministic schedule.
+
+    Modes
+    -----
+    * ``"nan-logits"`` — return an all-NaN logits row,
+    * ``"inf-logits"`` — return an all-``+inf`` logits row,
+    * ``"raise"``      — raise :class:`DraftFault`,
+    * ``"corrupt-cache"`` — run the real step, then append a NaN entry to
+      the hybrid cache's draft segment (tests the cache-invariant guard).
+
+    ``fail_steps`` pins faults to exact step indices; otherwise every
+    ``fail_every``-th step starting at ``start_step`` faults.  All other
+    attributes delegate to the wrapped head, so the engine cannot tell the
+    difference until a fault fires.
+    """
+
+    MODES = ("nan-logits", "inf-logits", "raise", "corrupt-cache")
+
+    def __init__(
+        self,
+        head,
+        mode: str = "nan-logits",
+        fail_every: int = 1,
+        start_step: int = 0,
+        fail_steps: Optional[Sequence[int]] = None,
+    ) -> None:
+        if mode not in self.MODES:
+            raise ConfigError(f"unknown fault mode {mode!r}; choose from {self.MODES}")
+        if fail_every <= 0:
+            raise ConfigError(f"fail_every must be positive, got {fail_every}")
+        self._head = head
+        self.mode = mode
+        self.fail_every = fail_every
+        self.start_step = start_step
+        self.fail_steps = frozenset(fail_steps) if fail_steps is not None else None
+        self.n_steps = 0
+        self.n_faults = 0
+
+    def __getattr__(self, name: str):
+        return getattr(self._head, name)
+
+    def _should_fail(self, step_index: int) -> bool:
+        if self.fail_steps is not None:
+            return step_index in self.fail_steps
+        if step_index < self.start_step:
+            return False
+        return (step_index - self.start_step) % self.fail_every == 0
+
+    def step(self, token_id: int, position: int, hybrid, **kwargs) -> np.ndarray:
+        step_index = self.n_steps
+        self.n_steps += 1
+        if not self._should_fail(step_index):
+            return self._head.step(token_id, position, hybrid, **kwargs)
+        self.n_faults += 1
+        if self.mode == "raise":
+            raise DraftFault(f"injected draft fault at step {step_index}")
+        if self.mode == "corrupt-cache":
+            logits = self._head.step(token_id, position, hybrid, **kwargs)
+            cfg = self._head.config
+            bad = np.full((1, cfg.n_heads, 1, cfg.head_dim), np.nan, dtype=np.float32)
+            hybrid.append_draft(bad, bad, np.asarray([position + 1], dtype=np.int64))
+            return logits
+        fill = np.nan if self.mode == "nan-logits" else np.inf
+        return np.full(self._head.config.vocab_size, fill, dtype=np.float64)

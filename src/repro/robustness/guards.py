@@ -1,0 +1,72 @@
+"""Runtime invariant validators for the graceful-degradation decode path.
+
+All checks raise :class:`~repro.errors.GuardViolation` — the engine treats
+that as a recoverable draft fault (skip the block, or disable speculation)
+rather than a crash.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import GuardViolation
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.core.engine
+    from ..core.hybrid_cache import HybridKVCache
+
+__all__ = ["all_finite", "ensure_finite", "check_hybrid_cache"]
+
+
+def all_finite(array: np.ndarray) -> bool:
+    """True when every element of ``array`` is finite (no NaN/Inf)."""
+    return bool(np.isfinite(np.asarray(array)).all())
+
+
+def ensure_finite(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Return ``array`` unchanged, or raise :class:`GuardViolation`."""
+    array = np.asarray(array)
+    if not np.isfinite(array).all():
+        n_bad = int((~np.isfinite(array)).sum())
+        raise GuardViolation(
+            f"{name} contains {n_bad} non-finite value(s) "
+            f"(shape {array.shape})"
+        )
+    return array
+
+
+def check_hybrid_cache(cache: "HybridKVCache") -> None:
+    """Validate the hybrid KV cache's structural and numeric invariants.
+
+    Checks (via the public API only): K/V shape agreement, position-row
+    alignment, segment bookkeeping consistency, non-negative positions,
+    and finiteness of every cached entry.
+    """
+    k, v, positions, blocked = cache.gather()
+    if k.shape != v.shape:
+        raise GuardViolation(f"hybrid cache K/V shape mismatch: {k.shape} vs {v.shape}")
+    total = cache.context_len + cache.draft_len
+    if k.shape[2] != total:
+        raise GuardViolation(
+            f"hybrid cache length mismatch: K holds {k.shape[2]} entries, "
+            f"bookkeeping says {total}"
+        )
+    if positions.shape != (total,):
+        raise GuardViolation(
+            f"hybrid cache positions shape {positions.shape} != ({total},)"
+        )
+    if blocked.shape != (total,):
+        raise GuardViolation(
+            f"hybrid cache blocked-mask shape {blocked.shape} != ({total},)"
+        )
+    if total and int(positions.min()) < 0:
+        raise GuardViolation("hybrid cache contains negative key positions")
+    n_vision, n_text = cache.segment_counts()
+    if n_vision + n_text != cache.context_len:
+        raise GuardViolation(
+            f"hybrid cache segment counts ({n_vision} vision + {n_text} text) "
+            f"do not sum to context length {cache.context_len}"
+        )
+    ensure_finite(k, "hybrid cache K")
+    ensure_finite(v, "hybrid cache V")

@@ -16,7 +16,9 @@ missing.  Two profiles exist: ``full`` (benchmark quality) and ``smoke``
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -26,11 +28,11 @@ import numpy as np
 from .core.draft_head import AASDDraftHead, DraftHeadConfig
 from .data.corpus import build_reference_texts, text_only_corpus
 from .data.tasks import DATASET_NAMES, MultimodalSample, TaskDataset, make_dataset
-from .errors import ConfigError
+from .errors import CheckpointError, ConfigError, TokenizerError
 from .models.config import LlavaConfig, get_config
 from .models.llama import MiniLlama
 from .models.llava import MiniLlava
-from .nn.serialization import load_state_dict, save_state_dict
+from .nn.serialization import load_state_dict, save_state_dict, verify_checkpoint
 from .tokenizer import WordTokenizer
 from .training.distill import distill_text_draft, generate_distillation_data
 from .training.draft_training import DraftTrainConfig, train_draft_head
@@ -114,6 +116,8 @@ class ModelZoo:
         profile: ZooProfile = PROFILE_FULL,
         cache_dir: Optional[Path] = None,
         verbose: bool = True,
+        load_retries: int = 2,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         if isinstance(profile, str):
             if profile not in _PROFILES:
@@ -123,6 +127,8 @@ class ModelZoo:
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir() / profile.tag()
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.verbose = verbose
+        self.load_retries = max(1, load_retries)
+        self.retry_backoff_s = retry_backoff_s
         self._tokenizer: Optional[WordTokenizer] = None
         self._memo: Dict[str, object] = {}
 
@@ -136,16 +142,85 @@ class ModelZoo:
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.npz"
 
+    def _quarantine(self, path: Path, reason: str) -> Path:
+        """Move a corrupt artifact aside so the next build starts clean.
+
+        The original file is preserved as ``<name>.corrupt`` for post-mortem
+        inspection rather than deleted; an existing quarantine file for the
+        same artifact is overwritten (we only keep the latest casualty).
+        """
+        quarantine = path.with_suffix(".corrupt")
+        self._log(f"quarantining corrupt artifact {path.name} -> {quarantine.name}: {reason}")
+        try:
+            os.replace(path, quarantine)
+        except OSError:
+            # Fall back to deletion: a stale corrupt file must not be loaded.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return quarantine
+
     def _load_into(self, key: str, model) -> bool:
+        """Load a cached artifact into ``model``; never raises on corruption.
+
+        Transient read failures are retried with linear backoff; a corrupt,
+        truncated, or geometry-mismatched artifact is quarantined and False
+        is returned so the caller retrains it from scratch.
+        """
         path = self._path(key)
         if not path.exists():
             return False
-        state, _ = load_state_dict(path)
-        model.load_state_dict(state)
-        return True
+        last_error: Optional[Exception] = None
+        for attempt in range(self.load_retries):
+            if attempt:
+                time.sleep(self.retry_backoff_s * attempt)
+            try:
+                state, _ = load_state_dict(path)
+                model.load_state_dict(state)
+                return True
+            except CheckpointError as exc:
+                last_error = exc
+            except (KeyError, ValueError) as exc:
+                # Stale artifact whose tensors no longer match the model.
+                last_error = exc
+                break
+        self._quarantine(path, f"{type(last_error).__name__}: {last_error}")
+        return False
 
     def _save(self, key: str, model, meta: Optional[dict] = None) -> None:
-        save_state_dict(self._path(key), model.state_dict(), meta=meta)
+        """Atomically persist an artifact, verifying the written archive.
+
+        The read-back verification plus bounded retry means a successful
+        return guarantees the on-disk file round-trips with valid checksums.
+        """
+        path = self._path(key)
+        last_error: Optional[CheckpointError] = None
+        for attempt in range(self.load_retries):
+            if attempt:
+                time.sleep(self.retry_backoff_s * attempt)
+            try:
+                save_state_dict(path, model.state_dict(), meta=meta)
+                load_state_dict(path)  # read-back integrity check
+                return
+            except CheckpointError as exc:
+                last_error = exc
+                self._log(f"save of {path.name} failed verification (attempt {attempt + 1}): {exc}")
+        raise CheckpointError(
+            f"could not persist artifact {path} after {self.load_retries} attempts: {last_error}",
+            path=path,
+        )
+
+    def verify_cache(self) -> Dict[str, Dict[str, object]]:
+        """Integrity report for every cached ``.npz`` artifact.
+
+        Maps artifact file name to the :func:`verify_checkpoint` report;
+        never raises, so callers can decide between rebuild and alert.
+        """
+        return {
+            path.name: verify_checkpoint(path)
+            for path in sorted(self.cache_dir.glob("*.npz"))
+        }
 
     # ------------------------------------------------------------------
     # Tokenizer and data pools
@@ -154,8 +229,11 @@ class ModelZoo:
         if self._tokenizer is None:
             vocab_path = self.cache_dir / "vocab.json"
             if vocab_path.exists():
-                self._tokenizer = WordTokenizer.load(vocab_path)
-            else:
+                try:
+                    self._tokenizer = WordTokenizer.load(vocab_path)
+                except (TokenizerError, OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    self._quarantine(vocab_path, f"{type(exc).__name__}: {exc}")
+            if self._tokenizer is None:
                 self._tokenizer = WordTokenizer.from_texts(build_reference_texts())
                 self._tokenizer.save(vocab_path)
         return self._tokenizer

@@ -1,0 +1,133 @@
+"""Checkpoint fault injection: truncation, byte flips, checksum mismatch."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.nn.layers import Linear
+from repro.nn.serialization import (
+    load_checkpoint,
+    load_state_dict,
+    save_checkpoint,
+    save_state_dict,
+    state_dict_checksums,
+    verify_checkpoint,
+)
+from repro.robustness import corrupt_checkpoint, flip_checkpoint_bytes, truncate_checkpoint
+
+
+@pytest.fixture()
+def state(rng):
+    return {"a": rng.standard_normal((4, 5)), "b": np.arange(7.0)}
+
+
+class TestSuffixNormalisation:
+    def test_save_without_suffix_load_without_suffix(self, tmp_path, state):
+        save_state_dict(tmp_path / "ckpt", state)
+        assert (tmp_path / "ckpt.npz").exists()
+        loaded, _ = load_state_dict(tmp_path / "ckpt")
+        assert np.allclose(loaded["a"], state["a"])
+
+    def test_mixed_suffix_roundtrip(self, tmp_path, state):
+        save_state_dict(tmp_path / "ckpt.npz", state)
+        loaded, _ = load_state_dict(tmp_path / "ckpt")
+        assert set(loaded) == {"a", "b"}
+
+
+class TestCorruptionDetection:
+    def test_truncated_checkpoint_raises_checkpoint_error(self, tmp_path, state):
+        path = tmp_path / "c.npz"
+        save_state_dict(path, state)
+        truncate_checkpoint(path, keep_fraction=0.5)
+        with pytest.raises(CheckpointError) as excinfo:
+            load_state_dict(path)
+        assert "c.npz" in str(excinfo.value)
+
+    def test_byteflipped_checkpoint_raises_checkpoint_error(self, tmp_path, state):
+        path = tmp_path / "c.npz"
+        save_state_dict(path, state)
+        flip_checkpoint_bytes(path, n_flips=16, seed=7)
+        with pytest.raises(CheckpointError):
+            load_state_dict(path)
+
+    @pytest.mark.parametrize("mode", ["truncate", "byteflip"])
+    def test_corrupt_checkpoint_modes(self, tmp_path, state, mode):
+        path = tmp_path / "c.npz"
+        save_state_dict(path, state)
+        corrupt_checkpoint(path, mode=mode)
+        report = verify_checkpoint(path)
+        assert report["ok"] is False
+        assert report["error"]
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError) as excinfo:
+            load_state_dict(tmp_path / "nope.npz")
+        assert "nope.npz" in str(excinfo.value)
+
+    def test_checksum_mismatch_detected(self, tmp_path, state):
+        # Forge an archive whose manifest disagrees with its tensors: zip
+        # CRCs pass (the file is structurally valid) but SHA-256 must not.
+        bad_manifest = state_dict_checksums({"a": state["a"] + 1.0, "b": state["b"]})
+        payload = dict(state)
+        payload["__checksums_json__"] = np.frombuffer(
+            json.dumps(bad_manifest).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(tmp_path / "forged.npz", **payload)
+        with pytest.raises(CheckpointError) as excinfo:
+            load_state_dict(tmp_path / "forged.npz")
+        assert "checksum mismatch" in str(excinfo.value)
+
+    def test_manifest_missing_tensor_detected(self, tmp_path, state):
+        manifest = state_dict_checksums(state)
+        payload = {"a": state["a"]}  # drop tensor "b" but keep its manifest entry
+        payload["__checksums_json__"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(tmp_path / "partial.npz", **payload)
+        with pytest.raises(CheckpointError) as excinfo:
+            load_state_dict(tmp_path / "partial.npz")
+        assert "missing tensors" in str(excinfo.value)
+
+    def test_legacy_archive_without_manifest_loads(self, tmp_path, state):
+        np.savez(tmp_path / "legacy.npz", **state)
+        loaded, meta = load_state_dict(tmp_path / "legacy.npz")
+        assert meta is None
+        assert np.allclose(loaded["b"], state["b"])
+        report = verify_checkpoint(tmp_path / "legacy.npz")
+        assert report["ok"] is True and report["has_checksums"] is False
+
+
+class TestVerifyCheckpoint:
+    def test_healthy_report(self, tmp_path, state):
+        save_state_dict(tmp_path / "ok.npz", state)
+        report = verify_checkpoint(tmp_path / "ok.npz")
+        assert report == {
+            "ok": True,
+            "n_tensors": 2,
+            "has_checksums": True,
+            "error": None,
+        }
+
+
+class TestModuleCheckpointWrapping:
+    def test_missing_tensor_wrapped(self, tmp_path, rng):
+        module = Linear(4, 3, rng=rng)
+        state = module.state_dict()
+        state.pop(sorted(state)[0])
+        save_state_dict(tmp_path / "partial.npz", state)
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(tmp_path / "partial.npz", Linear(4, 3, rng=rng))
+        assert "partial.npz" in str(excinfo.value)
+
+    def test_shape_mismatch_wrapped(self, tmp_path, rng):
+        save_checkpoint(tmp_path / "lin.npz", Linear(4, 3, rng=rng))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "lin.npz", Linear(5, 3, rng=rng), strict=False)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path, state):
+        save_state_dict(tmp_path / "a.npz", state)
+        save_state_dict(tmp_path / "a.npz", state)  # overwrite in place
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "a.npz"]
+        assert leftovers == []

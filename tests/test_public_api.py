@@ -42,6 +42,17 @@ def test_version():
         ("repro.training", ["pretrain_lm", "finetune_target", "train_draft_head"]),
         ("repro.eval", ["run_table1", "run_figure4", "render_table1", "ExperimentRunner"]),
         ("repro.zoo", ["ModelZoo", "PROFILE_FULL", "PROFILE_SMOKE"]),
+        (
+            "repro.robustness",
+            [
+                "FaultyDraftHead",
+                "corrupt_checkpoint",
+                "inject_nan_weights",
+                "ensure_finite",
+                "check_hybrid_cache",
+            ],
+        ),
+        ("repro.errors", ["CheckpointError", "GuardViolation"]),
     ],
 )
 def test_module_exports(module, names):
@@ -60,6 +71,7 @@ def test_all_lists_are_accurate():
         "repro.decoding",
         "repro.training",
         "repro.eval",
+        "repro.robustness",
     ):
         mod = importlib.import_module(module)
         for name in mod.__all__:
