@@ -8,13 +8,17 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.obs.logsetup import configure_logging, get_logger
 from repro.zoo import ModelZoo, PROFILE_FULL, PROFILE_SMOKE, TARGET_NAMES
+
+logger = get_logger("repro.scripts.build_zoo")
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", default="full", choices=["full", "smoke"])
     args = parser.parse_args()
+    configure_logging()
     profile = PROFILE_FULL if args.profile == "full" else PROFILE_SMOKE
 
     zoo = ModelZoo(profile)
@@ -22,16 +26,16 @@ def main() -> None:
     zoo.tokenizer()
     for target_name in TARGET_NAMES:
         zoo.target(target_name)
-        print(f"== {target_name} target done ({time.time() - start:.0f}s)")
+        logger.info("%s target done (%.0fs)", target_name, time.time() - start)
         for variant in ("ft", "dt"):
             zoo.text_draft(variant, target_name)
             zoo.llava_draft(variant, target_name)
-        print(f"== {target_name} baselines done ({time.time() - start:.0f}s)")
+        logger.info("%s baselines done (%.0fs)", target_name, time.time() - start)
         zoo.aasd_head(target_name)
         zoo.aasd_head(target_name, use_kv_projector=False)
         zoo.aasd_head(target_name, use_target_kv=False)
-        print(f"== {target_name} AASD heads done ({time.time() - start:.0f}s)")
-    print(f"zoo build complete in {time.time() - start:.0f}s -> {zoo.cache_dir}")
+        logger.info("%s AASD heads done (%.0fs)", target_name, time.time() - start)
+    logger.info("zoo build complete in %.0fs -> %s", time.time() - start, zoo.cache_dir)
 
 
 if __name__ == "__main__":

@@ -11,7 +11,10 @@ from pathlib import Path
 
 from repro.data.tasks import DATASET_NAMES
 from repro.eval.quality import evaluate_quality, image_grounding_score
+from repro.obs.logsetup import configure_logging, get_logger
 from repro.zoo import ModelZoo, PROFILE_FULL, PROFILE_SMOKE, TARGET_NAMES
+
+logger = get_logger("repro.scripts.eval_target_quality")
 
 
 def main() -> None:
@@ -22,6 +25,7 @@ def main() -> None:
                         help="comma-separated subset of targets")
     parser.add_argument("--out", default="results/quality.json")
     args = parser.parse_args()
+    configure_logging()
 
     zoo = ModelZoo(PROFILE_FULL if args.profile == "full" else PROFILE_SMOKE, verbose=False)
     tok = zoo.tokenizer()
@@ -48,7 +52,7 @@ def main() -> None:
         previous.update(payload)
         payload = previous
     out.write_text(json.dumps(payload, indent=2), encoding="utf-8")
-    print(f"wrote {out}")
+    logger.info("wrote %s", out)
 
 
 if __name__ == "__main__":

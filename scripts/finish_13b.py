@@ -1,12 +1,17 @@
 """Build the remaining sim-13b artifacts (dt drafts + main AASD head)."""
 import time
+
+from repro.obs.logsetup import configure_logging, get_logger
 from repro.zoo import ModelZoo, PROFILE_FULL
+
+configure_logging()
+logger = get_logger("repro.scripts.finish_13b")
 
 zoo = ModelZoo(PROFILE_FULL)
 t0 = time.time()
 zoo.text_draft("dt", "sim-13b")
-print(f"dt-llama-13b done {time.time()-t0:.0f}s", flush=True)
+logger.info("dt-llama-13b done %.0fs", time.time() - t0)
 zoo.llava_draft("dt", "sim-13b")
-print(f"dt-llava-13b done {time.time()-t0:.0f}s", flush=True)
+logger.info("dt-llava-13b done %.0fs", time.time() - t0)
 zoo.aasd_head("sim-13b")
-print(f"aasd-13b done {time.time()-t0:.0f}s", flush=True)
+logger.info("aasd-13b done %.0fs", time.time() - t0)

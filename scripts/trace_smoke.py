@@ -1,0 +1,78 @@
+"""Traced smoke decode: emit JSONL + Chrome traces for a few SD decodes.
+
+Runs a greedy AASD decode (plus the AR baseline for one sample) on the
+smoke-profile zoo with tracing enabled, then writes both trace formats and
+a metrics-registry snapshot:
+
+    python scripts/trace_smoke.py [--out results/trace] [--samples 3]
+
+Inspect with ``python -m repro.obs summarize <out>/trace.jsonl`` or load
+``<out>/trace_chrome.json`` in chrome://tracing / https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.decoding.autoregressive import AutoregressiveDecoder
+from repro.decoding.cost_model import CostModel, get_profile
+from repro.eval.baselines import build_aasd_engine
+from repro.obs import (
+    configure_logging,
+    enable_tracing,
+    export_chrome,
+    export_jsonl,
+    get_logger,
+    get_registry,
+)
+from repro.zoo import ModelZoo, PROFILE_SMOKE
+
+logger = get_logger("repro.scripts.trace_smoke")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results/trace")
+    parser.add_argument("--samples", type=int, default=3)
+    parser.add_argument("--max-new-tokens", type=int, default=24)
+    parser.add_argument("--gamma", type=int, default=3)
+    parser.add_argument("--target", default="sim-7b")
+    args = parser.parse_args()
+
+    configure_logging()
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    zoo = ModelZoo(PROFILE_SMOKE)
+    cost_model = CostModel(get_profile(args.target))
+    engine = build_aasd_engine(
+        zoo, args.target, args.gamma, cost_model, max_new_tokens=args.max_new_tokens
+    )
+    ar = AutoregressiveDecoder(
+        zoo.target(args.target), zoo.tokenizer(), cost_model,
+        max_new_tokens=args.max_new_tokens,
+    )
+    samples = zoo.eval_dataset("coco-sim", args.samples)
+
+    tracer = enable_tracing()
+    for sample in samples:
+        record = engine.decode(sample)
+        logger.info(
+            "decoded sample",
+            extra={"event": "smoke_decode", "n_tokens": record.n_tokens,
+                   "sim_ms": round(record.sim_time_ms, 1),
+                   "wall_s": round(record.wall_time_s, 4)},
+        )
+    ar.decode(samples[0])
+
+    jsonl = export_jsonl(tracer, out_dir / "trace.jsonl")
+    chrome = export_chrome(tracer, out_dir / "trace_chrome.json")
+    metrics = out_dir / "metrics.json"
+    metrics.write_text(json.dumps(get_registry().snapshot(), indent=2), encoding="utf-8")
+    logger.info("wrote %s, %s, %s", jsonl, chrome, metrics)
+
+
+if __name__ == "__main__":
+    main()

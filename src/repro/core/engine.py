@@ -24,6 +24,14 @@ taking one plain target step) and, after ``max_draft_faults`` faults,
 disables the speculating module and decodes the rest autoregressively.
 Faults are counted on the returned :class:`DecodeRecord` so benchmarks can
 report degradation rates.
+
+Observability: the loop is tiled into ``prefill`` / ``draft`` / ``verify``
+/ ``fallback`` spans under one ``decode`` root (see
+:mod:`repro.obs.tracing`), each carrying gamma, acceptance counts, fault
+tags, and the simulated-clock charge for that phase, so wall and simulated
+time can be compared per phase.  Tracing is off by default and never
+touches sampling state, so traced and untraced decodes emit identical
+tokens.
 """
 
 from __future__ import annotations
@@ -41,6 +49,8 @@ from ..decoding.sampling import Sampler, SamplerConfig, logits_to_probs, specula
 from ..errors import DecodingError
 from ..models.llava import MiniLlava
 from ..nn.tensor import no_grad
+from ..obs.logsetup import get_logger
+from ..obs.tracing import NULL_SPAN, Tracer, get_tracer
 from ..robustness.guards import check_hybrid_cache, ensure_finite
 from ..tokenizer import WordTokenizer
 from ..decoding.adaptive import FixedGamma, GammaController
@@ -49,6 +59,8 @@ from .draft_head import AASDDraftHead
 from .hybrid_cache import SEGMENT_TEXT, HybridKVCache
 
 __all__ = ["AASDEngineConfig", "AASDEngine"]
+
+logger = get_logger(__name__)
 
 FALLBACK_NONE = "none"
 FALLBACK_DEGRADED = "degraded"
@@ -89,6 +101,7 @@ class AASDEngine(Decoder):
         sampler_config: Optional[SamplerConfig] = None,
         rng: Optional[np.random.Generator] = None,
         gamma_controller: Optional[GammaController] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.target = target
         self.head = head
@@ -98,6 +111,7 @@ class AASDEngine(Decoder):
         self.gamma_controller = gamma_controller or FixedGamma(self.config.gamma)
         self.rng = rng if rng is not None else np.random.default_rng()
         self.sampler = Sampler(sampler_config or SamplerConfig(), rng=self.rng)
+        self._tracer = tracer
         if head.config.n_vision_tokens != target.n_vision_tokens and head.config.use_target_kv:
             raise DecodingError(
                 f"draft head expects {head.config.n_vision_tokens} vision tokens, "
@@ -108,36 +122,45 @@ class AASDEngine(Decoder):
     def name(self) -> str:
         return "ours"
 
+    @property
+    def tracer(self) -> Tracer:
+        """Explicit tracer if one was injected, else the process default."""
+        return self._tracer if self._tracer is not None else get_tracer()
+
     # ------------------------------------------------------------------
-    def _target_step(self, last: int, target_cache, record: DecodeRecord):
+    def _target_step(self, last: int, target_cache, record: DecodeRecord, span=NULL_SPAN):
         """One plain autoregressive target step (the fallback primitive).
 
         Returns ``(next_token, decode_output)`` so callers can reuse the
         forward's last-layer KV for draft-context maintenance.
         """
         out = self.target.decode(np.asarray([[last]], dtype=np.int64), target_cache)
-        record.sim_time_ms += self.cost_model.target_step()
-        record.n_target_forwards += 1
-        record.n_fallback_steps += 1
+        span.add_sim_ms(record.charge_sim(self.cost_model.target_step(), "fallback"))
+        record.count_target_forward()
+        record.count_fallback_step()
         return self.sampler.sample(out.logits.data[0, -1]), out
 
     def _build_context(self, target_cache, hybrid: HybridKVCache, prompt_ids, n_vis: int,
-                       record: DecodeRecord) -> None:
+                       record: DecodeRecord) -> float:
+        """Build the draft context; returns the simulated ms charged."""
+        charged = 0.0
         if self.head.config.use_target_kv:
             self.head.build_context(target_cache, hybrid)
             if self.head.projector is not None:
-                record.sim_time_ms += self.cost_model.projector()
+                charged += record.charge_sim(self.cost_model.projector(), "prefill")
         else:
             # Figure 3 ablation: the head encodes the prompt itself.
             positions = n_vis + np.arange(len(prompt_ids), dtype=np.int64)
             k_own, v_own = self.head.self_encode(prompt_ids, positions)
             hybrid.append_context(k_own, v_own, positions, SEGMENT_TEXT)
-            record.sim_time_ms += self.cost_model.draft_prefill()
+            charged += record.charge_sim(self.cost_model.draft_prefill(), "prefill")
         if self.config.guard_cache:
             check_hybrid_cache(hybrid)
+        return charged
 
     def _append_committed_kv(self, out, last: int, accepted, keep: int, last_pos: int,
-                             hybrid: HybridKVCache, record: DecodeRecord) -> None:
+                             hybrid: HybridKVCache, record: DecodeRecord,
+                             category: str) -> None:
         """Context maintenance after a verify (or fallback) target forward."""
         positions = last_pos + np.arange(keep, dtype=np.int64)
         if self.head.config.use_target_kv:
@@ -154,11 +177,24 @@ class AASDEngine(Decoder):
             emitted = np.asarray([last] + list(accepted), dtype=np.int64)
             k_own, v_own = self.head.self_encode(emitted, positions)
             hybrid.append_context(k_own, v_own, positions, SEGMENT_TEXT)
-            record.sim_time_ms += self.cost_model.draft_sync(keep)
+            record.charge_sim(self.cost_model.draft_sync(keep), category)
+
+    def _disable_speculation(self, record: DecodeRecord, reason: str) -> None:
+        record.fallback_mode = FALLBACK_TARGET_ONLY
+        logger.warning(
+            "speculation disabled, decoding target-only: %s",
+            reason,
+            extra={
+                "event": "fallback_target_only",
+                "reason": reason,
+                "n_draft_faults": record.n_draft_faults,
+            },
+        )
 
     # ------------------------------------------------------------------
     def decode(self, sample: MultimodalSample) -> DecodeRecord:
         cfg = self.config
+        tracer = self.tracer
         record = DecodeRecord()
         prompt_ids = encode_prompt(self.tokenizer, sample)
         eos = self.tokenizer.vocab.eos_id
@@ -166,143 +202,172 @@ class AASDEngine(Decoder):
         gen_base = n_vis + len(prompt_ids)  # absolute position of committed[0]
         speculating = True
 
-        with WallTimer() as timer, no_grad():
-            target_cache, last_logits = self.target.prefill(
-                sample.image[None], prompt_ids[None]
-            )
-            record.sim_time_ms += self.cost_model.target_prefill()
-            record.n_target_forwards += 1
+        with WallTimer() as timer, no_grad(), tracer.span(
+            "decode", decoder=self.name, n_prompt_tokens=len(prompt_ids)
+        ) as root:
+            with tracer.span("prefill") as sp:
+                target_cache, last_logits = self.target.prefill(
+                    sample.image[None], prompt_ids[None]
+                )
+                sp.add_sim_ms(record.charge_sim(self.cost_model.target_prefill(), "prefill"))
+                record.count_target_forward()
 
-            hybrid = HybridKVCache(self.head.config.n_heads, self.head.config.head_dim)
-            try:
-                self._build_context(target_cache, hybrid, prompt_ids, n_vis, record)
-            except Exception as exc:  # noqa: BLE001 — any head fault degrades
-                if not cfg.fallback_on_fault:
-                    raise
-                record.note_fault(f"context build failed: {exc}")
-                record.fallback_mode = FALLBACK_TARGET_ONLY
-                speculating = False
+                hybrid = HybridKVCache(self.head.config.n_heads, self.head.config.head_dim)
+                try:
+                    sp.add_sim_ms(
+                        self._build_context(target_cache, hybrid, prompt_ids, n_vis, record)
+                    )
+                except Exception as exc:  # noqa: BLE001 — any head fault degrades
+                    if not cfg.fallback_on_fault:
+                        raise
+                    record.note_fault(f"context build failed: {exc}")
+                    self._disable_speculation(record, "context build failed")
+                    sp.set_attr("fault", str(exc))
+                    speculating = False
 
-            committed: List[int] = [self.sampler.sample(last_logits[0])]
-            self.gamma_controller.reset()
+                committed: List[int] = [self.sampler.sample(last_logits[0])]
+                self.gamma_controller.reset()
 
             while committed[-1] != eos and len(committed) < cfg.max_new_tokens:
                 last = committed[-1]
                 last_pos = gen_base + len(committed) - 1
 
                 if not speculating:
-                    token, _ = self._target_step(last, target_cache, record)
-                    committed.append(token)
+                    with tracer.span("fallback") as sp:
+                        token, _ = self._target_step(last, target_cache, record, sp)
+                        committed.append(token)
                     continue
-
-                gamma = self.gamma_controller.next_gamma()
 
                 # ---- draft: gamma steps of the speculating module -------
                 # Guarded: a fault truncates the block to the clean prefix
                 # drafted so far instead of aborting the decode.
                 draft_tokens: List[int] = []
                 draft_probs: List[np.ndarray] = []
-                token, pos = last, last_pos
-                try:
-                    for _ in range(gamma):
-                        record.sim_time_ms += self.cost_model.aasd_step(hybrid.total_len + 1)
-                        logits = self.head.step(
-                            token,
-                            pos,
-                            hybrid,
-                            disable_image_kv=cfg.disable_image_kv,
-                            disable_text_kv=cfg.disable_text_kv,
-                        )
-                        ensure_finite(logits, "draft logits")
-                        probs = logits_to_probs(logits, self.sampler.config)
-                        token = self.sampler.sample(logits)
-                        draft_probs.append(probs)
-                        draft_tokens.append(token)
-                        pos += 1
-                    if cfg.guard_cache:
-                        check_hybrid_cache(hybrid)
-                except Exception as exc:  # noqa: BLE001 — any head fault degrades
-                    if not cfg.fallback_on_fault:
-                        raise
-                    record.note_fault(f"draft fault at position {pos}: {exc}")
-                    # The draft segment may be poisoned; the context store is
-                    # target-provided and still trusted (re-validated below).
-                    hybrid.clear_draft()
-                    draft_tokens = []
-                    draft_probs = []
-                    if record.n_draft_faults >= cfg.max_draft_faults:
-                        speculating = False
-                        record.fallback_mode = FALLBACK_TARGET_ONLY
+                with tracer.span("draft") as sp:
+                    gamma = self.gamma_controller.next_gamma()
+                    sp.set_attr("gamma", gamma)
+                    token, pos = last, last_pos
+                    try:
+                        for _ in range(gamma):
+                            sp.add_sim_ms(record.charge_sim(
+                                self.cost_model.aasd_step(hybrid.total_len + 1), "draft"
+                            ))
+                            logits = self.head.step(
+                                token,
+                                pos,
+                                hybrid,
+                                disable_image_kv=cfg.disable_image_kv,
+                                disable_text_kv=cfg.disable_text_kv,
+                            )
+                            ensure_finite(logits, "draft logits")
+                            probs = logits_to_probs(logits, self.sampler.config)
+                            token = self.sampler.sample(logits)
+                            draft_probs.append(probs)
+                            draft_tokens.append(token)
+                            pos += 1
+                        if cfg.guard_cache:
+                            check_hybrid_cache(hybrid)
+                    except Exception as exc:  # noqa: BLE001 — any head fault degrades
+                        if not cfg.fallback_on_fault:
+                            raise
+                        record.note_fault(f"draft fault at position {pos}: {exc}")
+                        sp.set_attr("fault", str(exc))
+                        # The draft segment may be poisoned; the context store
+                        # is target-provided and still trusted (re-validated
+                        # below).
+                        hybrid.clear_draft()
+                        draft_tokens = []
+                        draft_probs = []
+                        if record.n_draft_faults >= cfg.max_draft_faults:
+                            speculating = False
+                            self._disable_speculation(
+                                record, f"{record.n_draft_faults} draft faults"
+                            )
+                    sp.set_attr("n_draft", len(draft_tokens))
 
                 if not draft_tokens:
                     # Nothing drafted this block: take one plain target step
                     # and keep the draft context in sync for the next block.
-                    token, out = self._target_step(last, target_cache, record)
-                    if speculating:
-                        try:
-                            self._append_committed_kv(
-                                out, last, [], 1, last_pos, hybrid, record
-                            )
-                            if cfg.guard_cache:
-                                check_hybrid_cache(hybrid)
-                        except Exception as exc:  # noqa: BLE001
-                            if not cfg.fallback_on_fault:
-                                raise
-                            record.note_fault(f"context maintenance failed: {exc}")
-                            speculating = False
-                            record.fallback_mode = FALLBACK_TARGET_ONLY
-                    committed.append(token)
+                    with tracer.span("fallback") as sp:
+                        token, out = self._target_step(last, target_cache, record, sp)
+                        if speculating:
+                            try:
+                                self._append_committed_kv(
+                                    out, last, [], 1, last_pos, hybrid, record, "fallback"
+                                )
+                                if cfg.guard_cache:
+                                    check_hybrid_cache(hybrid)
+                            except Exception as exc:  # noqa: BLE001
+                                if not cfg.fallback_on_fault:
+                                    raise
+                                record.note_fault(f"context maintenance failed: {exc}")
+                                sp.set_attr("fault", str(exc))
+                                speculating = False
+                                self._disable_speculation(record, "context maintenance failed")
+                        committed.append(token)
                     continue
 
                 # ---- verify: one parallel target forward ----------------
-                gamma_used = len(draft_tokens)
-                verify_start = target_cache.seq_len
-                feed = np.asarray([[last] + draft_tokens], dtype=np.int64)
-                out = self.target.decode(feed, target_cache)
-                record.sim_time_ms += self.cost_model.target_verify(gamma_used + 1)
-                record.n_target_forwards += 1
+                with tracer.span("verify") as sp:
+                    gamma_used = len(draft_tokens)
+                    sp.set_attr("n_draft", gamma_used)
+                    verify_start = target_cache.seq_len
+                    feed = np.asarray([[last] + draft_tokens], dtype=np.int64)
+                    out = self.target.decode(feed, target_cache)
+                    sp.add_sim_ms(record.charge_sim(
+                        self.cost_model.target_verify(gamma_used + 1), "verify"
+                    ))
+                    record.count_target_forward()
 
-                outcome = speculative_verify(
-                    draft_tokens,
-                    np.stack(draft_probs),
-                    out.logits.data[0],
-                    self.sampler.config,
-                    self.rng,
-                )
-                record.blocks.append(
-                    BlockRecord(
-                        n_draft=gamma_used,
-                        n_accepted=outcome.n_accepted,
-                        n_emitted=outcome.tokens_emitted,
+                    outcome = speculative_verify(
+                        draft_tokens,
+                        np.stack(draft_probs),
+                        out.logits.data[0],
+                        self.sampler.config,
+                        self.rng,
                     )
-                )
-                self.gamma_controller.update(outcome.n_accepted, gamma_used)
-
-                # Roll back rejected tokens in the target cache.
-                keep = 1 + outcome.n_accepted
-                target_cache.truncate(verify_start + keep)
-
-                # ---- context maintenance --------------------------------
-                hybrid.clear_draft()
-                try:
-                    self._append_committed_kv(
-                        out, last, outcome.accepted, keep, last_pos, hybrid, record
+                    record.add_block(
+                        BlockRecord(
+                            n_draft=gamma_used,
+                            n_accepted=outcome.n_accepted,
+                            n_emitted=outcome.tokens_emitted,
+                        )
                     )
-                except Exception as exc:  # noqa: BLE001
-                    if not cfg.fallback_on_fault:
-                        raise
-                    record.note_fault(f"context maintenance failed: {exc}")
-                    speculating = False
-                    record.fallback_mode = FALLBACK_TARGET_ONLY
+                    sp.set_attr("n_accepted", outcome.n_accepted)
+                    self.gamma_controller.update(outcome.n_accepted, gamma_used)
 
-                committed.extend(outcome.accepted)
-                committed.append(outcome.next_token)
-                if eos in committed:
-                    committed = committed[: committed.index(eos) + 1]
-                    break
-                if len(committed) >= cfg.max_new_tokens:
-                    committed = committed[: cfg.max_new_tokens]
-                    break
+                    # Roll back rejected tokens in the target cache.
+                    keep = 1 + outcome.n_accepted
+                    target_cache.truncate(verify_start + keep)
+
+                    # ---- context maintenance ----------------------------
+                    hybrid.clear_draft()
+                    try:
+                        self._append_committed_kv(
+                            out, last, outcome.accepted, keep, last_pos, hybrid,
+                            record, "verify",
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        if not cfg.fallback_on_fault:
+                            raise
+                        record.note_fault(f"context maintenance failed: {exc}")
+                        sp.set_attr("fault", str(exc))
+                        speculating = False
+                        self._disable_speculation(record, "context maintenance failed")
+
+                    committed.extend(outcome.accepted)
+                    committed.append(outcome.next_token)
+                    if eos in committed:
+                        committed = committed[: committed.index(eos) + 1]
+                        break
+                    if len(committed) >= cfg.max_new_tokens:
+                        committed = committed[: cfg.max_new_tokens]
+                        break
+
+            root.set_attr("n_tokens", len(committed))
+            root.set_attr("n_draft_faults", record.n_draft_faults)
+            root.set_attr("fallback_mode", record.fallback_mode)
+            root.add_sim_ms(record.sim_time_ms)
 
         record.token_ids = committed
         record.wall_time_s = timer.elapsed

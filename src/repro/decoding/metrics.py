@@ -4,16 +4,27 @@
 * acceptance rate   (alpha) — mean fraction of draft tokens accepted,
 * block efficiency  (tau)   — mean tokens emitted per target forward,
 * decoding speed    (delta) — tokens per (simulated) second.
+
+Beyond the per-sample fields, every mutation funnels the same event into
+the process-wide metrics registry (:mod:`repro.obs.metrics`), so
+cross-sample totals (``decode.tokens_accepted_total``,
+``decode.draft_faults_total``, ...) are available without re-walking
+records, and fault events are logged structurally via ``logging``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import DecodingError
+from ..obs.logsetup import get_logger
+from ..obs.metrics import get_registry
+from ..utils.timing import SimulatedClock
 
 __all__ = ["BlockRecord", "DecodeRecord", "SpeedupReport", "aggregate_metrics"]
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -39,6 +50,10 @@ class DecodeRecord:
     ``"none"`` for a clean decode, ``"degraded"`` once any draft block was
     skipped due to a fault, and ``"target-only"`` after the engine gave up
     on speculation entirely for the rest of the sample.
+
+    Simulated charges should go through :meth:`charge_sim` so they land in
+    ``sim_by_category`` (prefill/draft/verify/...) as well as the total;
+    direct ``sim_time_ms +=`` still works but stays uncategorised.
     """
 
     token_ids: List[int] = field(default_factory=list)
@@ -51,6 +66,7 @@ class DecodeRecord:
     n_fallback_steps: int = 0
     fallback_mode: str = "none"
     fault_log: List[str] = field(default_factory=list)
+    sim_clock: SimulatedClock = field(default_factory=SimulatedClock)
 
     @property
     def n_tokens(self) -> int:
@@ -61,12 +77,61 @@ class DecodeRecord:
         """True when any fault forced a fallback during this decode."""
         return self.fallback_mode != "none"
 
+    @property
+    def sim_by_category(self) -> Dict[str, float]:
+        """Simulated ms per phase category (prefill, draft, verify, ...)."""
+        return self.sim_clock.by_category
+
+    # ------------------------------------------------------------------
+    # Mutation funnels: record fields + process-wide registry together.
+    # ------------------------------------------------------------------
+    def charge_sim(self, ms: float, category: str = "other") -> float:
+        """Charge simulated milliseconds under ``category``; returns ms."""
+        self.sim_time_ms += ms
+        self.sim_clock.charge(ms, category)
+        return ms
+
+    def add_block(self, block: BlockRecord) -> None:
+        """Record one draft-then-verify round."""
+        self.blocks.append(block)
+        registry = get_registry()
+        registry.counter("decode.blocks_total").inc()
+        registry.counter("decode.tokens_drafted_total").inc(block.n_draft)
+        registry.counter("decode.tokens_accepted_total").inc(block.n_accepted)
+        registry.counter("decode.tokens_emitted_total").inc(block.n_emitted)
+
+    def count_target_forward(self) -> None:
+        self.n_target_forwards += 1
+        get_registry().counter("decode.target_forwards_total").inc()
+
+    def count_fallback_step(self) -> None:
+        self.n_fallback_steps += 1
+        get_registry().counter("decode.fallback_steps_total").inc()
+
     def note_fault(self, message: str) -> None:
         """Record one draft fault and mark the decode as degraded."""
         self.n_draft_faults += 1
         self.fault_log.append(message)
         if self.fallback_mode == "none":
             self.fallback_mode = "degraded"
+        get_registry().counter("decode.draft_faults_total").inc()
+        logger.warning(
+            "draft fault: %s",
+            message,
+            extra={
+                "event": "draft_fault",
+                "n_draft_faults": self.n_draft_faults,
+                "fallback_mode": self.fallback_mode,
+            },
+        )
+
+
+def _merge_sim_categories(records: Sequence[DecodeRecord]) -> Dict[str, float]:
+    merged: Dict[str, float] = {}
+    for record in records:
+        for category, ms in record.sim_by_category.items():
+            merged[category] = merged.get(category, 0.0) + ms
+    return merged
 
 
 @dataclass(frozen=True)
@@ -85,9 +150,17 @@ class SpeedupReport:
     n_draft_faults: int = 0        # total draft faults across SD records
     n_fallback_steps: int = 0      # target-only steps taken on fault
     degraded_fraction: float = 0.0  # fraction of SD records that degraded
+    sim_time_by_category: Dict[str, float] = field(default_factory=dict)
+    # ^ SD simulated ms per phase, summed over records (empty for legacy
+    #   records that charged the total directly).
 
     def row(self) -> dict:
-        """Flat dict used by the table renderers."""
+        """Flat dict used by the table renderers (the four paper metrics).
+
+        Per-phase simulated time lives in :attr:`sim_time_by_category`;
+        :meth:`repro.eval.runner.MeanReport.row` merges it in as
+        ``sim_ms:<category>`` keys for the experiment tables.
+        """
         return {
             "omega": self.walltime_speedup,
             "alpha": self.acceptance_rate,
@@ -150,4 +223,5 @@ def aggregate_metrics(
         n_draft_faults=sum(r.n_draft_faults for r in sd_records),
         n_fallback_steps=sum(r.n_fallback_steps for r in sd_records),
         degraded_fraction=sum(r.degraded for r in sd_records) / len(sd_records),
+        sim_time_by_category=_merge_sim_categories(sd_records),
     )

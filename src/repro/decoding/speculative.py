@@ -19,6 +19,7 @@ from ..errors import DecodingError
 from ..models.llama import MiniLlama
 from ..models.llava import MiniLlava
 from ..nn.tensor import no_grad
+from ..obs.tracing import Tracer, get_tracer
 from ..tokenizer import WordTokenizer
 from ..utils.timing import WallTimer
 from .adaptive import FixedGamma, GammaController
@@ -156,7 +157,9 @@ class SpeculativeDecoder(Decoder):
         sampler_config: Optional[SamplerConfig] = None,
         rng: Optional[np.random.Generator] = None,
         gamma_controller: Optional[GammaController] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
+        self._tracer = tracer
         if gamma <= 0:
             raise DecodingError(f"gamma must be positive, got {gamma}")
         self.target = target
@@ -173,66 +176,86 @@ class SpeculativeDecoder(Decoder):
     def name(self) -> str:
         return f"sd({self.draft.name})"
 
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
     def decode(self, sample: MultimodalSample) -> DecodeRecord:
+        tracer = self.tracer
         record = DecodeRecord()
         prompt_ids = encode_prompt(self.tokenizer, sample)
         eos = self.tokenizer.vocab.eos_id
 
-        with WallTimer() as timer, no_grad():
-            target_cache, last_logits = self.target.prefill(
-                sample.image[None], prompt_ids[None]
-            )
-            record.sim_time_ms += self.cost_model.target_prefill()
-            record.n_target_forwards += 1
-            self.draft.begin(sample, prompt_ids)
-            record.sim_time_ms += self.cost_model.draft_prefill()
+        with WallTimer() as timer, no_grad(), tracer.span(
+            "decode", decoder=self.name, n_prompt_tokens=len(prompt_ids)
+        ) as root:
+            with tracer.span("prefill") as sp:
+                target_cache, last_logits = self.target.prefill(
+                    sample.image[None], prompt_ids[None]
+                )
+                sp.add_sim_ms(record.charge_sim(self.cost_model.target_prefill(), "prefill"))
+                record.count_target_forward()
+                self.draft.begin(sample, prompt_ids)
+                sp.add_sim_ms(record.charge_sim(self.cost_model.draft_prefill(), "prefill"))
 
-            committed: List[int] = [self.sampler.sample(last_logits[0])]
-            self.gamma_controller.reset()
+                committed: List[int] = [self.sampler.sample(last_logits[0])]
+                self.gamma_controller.reset()
 
             while committed[-1] != eos and len(committed) < self.max_new_tokens:
                 last = committed[-1]
-                gamma = self.gamma_controller.next_gamma()
-                draft_tokens, draft_probs = self.draft.propose(last, gamma, self.sampler)
-                record.sim_time_ms += gamma * self.cost_model.draft_step()
+                with tracer.span("draft") as sp:
+                    gamma = self.gamma_controller.next_gamma()
+                    sp.set_attr("gamma", gamma)
+                    sp.set_attr("n_draft", gamma)
+                    draft_tokens, draft_probs = self.draft.propose(last, gamma, self.sampler)
+                    sp.add_sim_ms(record.charge_sim(
+                        gamma * self.cost_model.draft_step(), "draft"
+                    ))
 
                 # Verify: one parallel target forward over [last, d1..dγ].
-                verify_start = target_cache.seq_len
-                feed = np.asarray([[last] + draft_tokens], dtype=np.int64)
-                out = self.target.decode(feed, target_cache)
-                record.sim_time_ms += self.cost_model.target_verify(gamma + 1)
-                record.n_target_forwards += 1
+                with tracer.span("verify", n_draft=gamma) as sp:
+                    verify_start = target_cache.seq_len
+                    feed = np.asarray([[last] + draft_tokens], dtype=np.int64)
+                    out = self.target.decode(feed, target_cache)
+                    sp.add_sim_ms(record.charge_sim(
+                        self.cost_model.target_verify(gamma + 1), "verify"
+                    ))
+                    record.count_target_forward()
 
-                outcome = speculative_verify(
-                    draft_tokens,
-                    draft_probs,
-                    out.logits.data[0],
-                    self.sampler.config,
-                    self.rng,
-                )
-                record.blocks.append(
-                    BlockRecord(
-                        n_draft=gamma,
-                        n_accepted=outcome.n_accepted,
-                        n_emitted=outcome.tokens_emitted,
+                    outcome = speculative_verify(
+                        draft_tokens,
+                        draft_probs,
+                        out.logits.data[0],
+                        self.sampler.config,
+                        self.rng,
                     )
-                )
-                self.gamma_controller.update(outcome.n_accepted, gamma)
+                    record.add_block(
+                        BlockRecord(
+                            n_draft=gamma,
+                            n_accepted=outcome.n_accepted,
+                            n_emitted=outcome.tokens_emitted,
+                        )
+                    )
+                    sp.set_attr("n_accepted", outcome.n_accepted)
+                    self.gamma_controller.update(outcome.n_accepted, gamma)
 
-                # Target cache keeps [last] + accepted drafts only.
-                target_cache.truncate(verify_start + 1 + outcome.n_accepted)
-                synced = self.draft.commit(outcome.n_accepted, gamma, draft_tokens)
-                if synced:
-                    record.sim_time_ms += self.cost_model.draft_step()
+                    # Target cache keeps [last] + accepted drafts only.
+                    target_cache.truncate(verify_start + 1 + outcome.n_accepted)
+                    synced = self.draft.commit(outcome.n_accepted, gamma, draft_tokens)
+                    if synced:
+                        sp.add_sim_ms(record.charge_sim(self.cost_model.draft_step(), "verify"))
 
-                committed.extend(outcome.accepted)
-                committed.append(outcome.next_token)
+                    committed.extend(outcome.accepted)
+                    committed.append(outcome.next_token)
                 if eos in committed:
                     committed = committed[: committed.index(eos) + 1]
                     break
                 if len(committed) >= self.max_new_tokens:
                     committed = committed[: self.max_new_tokens]
                     break
+
+            root.set_attr("n_tokens", len(committed))
+            root.add_sim_ms(record.sim_time_ms)
 
         record.token_ids = committed
         record.wall_time_s = timer.elapsed

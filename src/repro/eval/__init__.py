@@ -25,7 +25,12 @@ from .quality import QualityReport, evaluate_quality, image_grounding_score
 from .reporting import load_results, results_to_json, save_results
 from .runner import EvalConfig, ExperimentRunner, MeanReport, mean_of_reports
 from .svg import grouped_bar_chart, save_svg
-from .tables import render_comparison, render_table1, render_table2
+from .tables import (
+    render_comparison,
+    render_phase_breakdown,
+    render_table1,
+    render_table2,
+)
 
 __all__ = [
     "EvalConfig",
@@ -43,6 +48,7 @@ __all__ = [
     "render_table1",
     "render_table2",
     "render_comparison",
+    "render_phase_breakdown",
     "render_bars",
     "render_figure3",
     "render_figure4",

@@ -10,13 +10,16 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
+from ..obs.logsetup import configure_logging, get_logger
 from ..zoo import ModelZoo, PROFILE_FULL, PROFILE_SMOKE
 from .experiments import EXPERIMENTS
 from .figures import render_figure3, render_figure4
 from .reporting import save_results
 from .runner import EvalConfig
 from .svg import grouped_bar_chart, save_svg
-from .tables import render_table1, render_table2
+from .tables import render_phase_breakdown, render_table1, render_table2
+
+logger = get_logger(__name__)
 
 _RENDERERS = {
     "table1": render_table1,
@@ -56,6 +59,7 @@ def main() -> None:
     parser.add_argument("--out", default="results")
     args = parser.parse_args()
 
+    configure_logging()
     zoo = ModelZoo(PROFILE_FULL if args.profile == "full" else PROFILE_SMOKE)
     config = EvalConfig(
         samples_per_dataset=args.samples, max_new_tokens=args.max_new_tokens
@@ -64,13 +68,18 @@ def main() -> None:
     for name in names:
         results = EXPERIMENTS[name](zoo, config)
         rendered = _RENDERERS[name](results)
+        phases = render_phase_breakdown(results)
+        if phases:
+            rendered = f"{rendered}\n\n{phases}"
         print(rendered)
         print()
         save_results(results, Path(args.out) / name, rendered=rendered)
-        print(f"saved -> {Path(args.out) / name}.json")
+        logger.info("saved -> %s.json", Path(args.out) / name,
+                    extra={"event": "results_saved", "experiment": name})
         if name in ("figure3", "figure4"):
             svg_path = save_svg(_figure_svg(name, results), Path(args.out) / f"{name}.svg")
-            print(f"saved -> {svg_path}")
+            logger.info("saved -> %s", svg_path,
+                        extra={"event": "svg_saved", "experiment": name})
 
 
 if __name__ == "__main__":

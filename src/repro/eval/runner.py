@@ -20,7 +20,11 @@ from ..decoding.base import Decoder
 from ..decoding.cost_model import CostModel, get_profile
 from ..decoding.metrics import DecodeRecord, SpeedupReport, aggregate_metrics
 from ..errors import DecodingError
+from ..obs.logsetup import get_logger
+from ..obs.tracing import get_tracer
 from ..zoo import ModelZoo
+
+logger = get_logger(__name__)
 
 __all__ = ["EvalConfig", "MeanReport", "ExperimentRunner", "mean_of_reports"]
 
@@ -48,13 +52,24 @@ class MeanReport:
         values = [getattr(r, metric) for r in self.per_dataset.values()]
         return float(np.mean(values))
 
+    def sim_time_by_category(self) -> Dict[str, float]:
+        """Per-phase simulated ms, summed across datasets."""
+        merged: Dict[str, float] = {}
+        for report in self.per_dataset.values():
+            for category, ms in report.sim_time_by_category.items():
+                merged[category] = merged.get(category, 0.0) + ms
+        return merged
+
     def row(self) -> Dict[str, float]:
-        return {
+        row = {
             "omega": self.mean("walltime_speedup"),
             "alpha": self.mean("acceptance_rate"),
             "tau": self.mean("block_efficiency"),
             "delta": self.mean("decoding_speed"),
         }
+        for category, ms in sorted(self.sim_time_by_category().items()):
+            row[f"sim_ms:{category}"] = ms
+        return row
 
 
 def mean_of_reports(reports: Dict[str, SpeedupReport]) -> MeanReport:
@@ -91,17 +106,30 @@ class ExperimentRunner:
                 self.cost_model(target_name),
                 max_new_tokens=self.config.max_new_tokens,
             )
-            self._ar_cache[key] = [decoder.decode(s) for s in self.dataset(dataset_name)]
+            with get_tracer().span(
+                "ar_baseline", target=target_name, dataset=dataset_name
+            ):
+                self._ar_cache[key] = [
+                    decoder.decode(s) for s in self.dataset(dataset_name)
+                ]
+            logger.info(
+                "cached AR baseline",
+                extra={"event": "ar_baseline", "target": target_name,
+                       "dataset": dataset_name},
+            )
         return self._ar_cache[key]
 
     # ------------------------------------------------------------------
     def evaluate(self, decoder: Decoder, target_name: str) -> MeanReport:
         """Run ``decoder`` over every dataset; aggregate vs the AR baseline."""
         reports: Dict[str, SpeedupReport] = {}
-        for dataset_name in self.config.datasets:
-            ar = self.ar_records(target_name, dataset_name)
-            sd = [decoder.decode(s) for s in self.dataset(dataset_name)]
-            reports[dataset_name] = aggregate_metrics(sd, ar)
+        with get_tracer().span("evaluate", decoder=decoder.name, target=target_name):
+            for dataset_name in self.config.datasets:
+                ar = self.ar_records(target_name, dataset_name)
+                with get_tracer().span("eval_dataset", dataset=dataset_name) as sp:
+                    sd = [decoder.decode(s) for s in self.dataset(dataset_name)]
+                    reports[dataset_name] = aggregate_metrics(sd, ar)
+                    sp.set_attr("omega", reports[dataset_name].walltime_speedup)
         return mean_of_reports(reports)
 
     def check_lossless(self, decoder: Decoder, target_name: str, n: int = 5) -> bool:

@@ -6,7 +6,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from .paper_reference import PAPER_TABLE1, PAPER_TABLE2, TABLE1_ROWS
 
-__all__ = ["render_table1", "render_table2", "render_comparison"]
+__all__ = ["render_table1", "render_table2", "render_comparison", "render_phase_breakdown"]
 
 METRICS = ("omega", "alpha", "tau", "delta")
 _HEADERS = {"omega": "ω", "alpha": "α", "tau": "τ", "delta": "δ"}
@@ -50,6 +50,40 @@ def render_comparison(
         )
         lines.append(f"{target:>9} {gamma:>2} {row:>14} | {cells} | {refs}")
     lines.append("† = values published in the paper (GPU hardware).")
+    return "\n".join(lines)
+
+
+def render_phase_breakdown(measured: Mapping[RowKey, Dict[str, float]]) -> str:
+    """Per-phase simulated-time table from the ``sim_ms:<phase>`` row keys.
+
+    Rows without per-phase charges (e.g. loaded from legacy results files)
+    are skipped; returns "" when nothing has phase data.
+    """
+    categories = sorted(
+        {
+            key.split(":", 1)[1]
+            for metrics in measured.values()
+            for key in metrics
+            if key.startswith("sim_ms:")
+        }
+    )
+    if not categories:
+        return ""
+    title = "Simulated time per phase (ms, summed over datasets)"
+    lines = [title, "=" * len(title)]
+    header = f"{'target':>9} {'γ':>2} {'draft':>14} | " + " ".join(
+        f"{c:>10}" for c in categories
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for (target, gamma, row), metrics in measured.items():
+        cells = [metrics.get(f"sim_ms:{c}") for c in categories]
+        if all(v is None for v in cells):
+            continue
+        rendered = " ".join(
+            f"{v:10.1f}" if v is not None else f"{'-':>10}" for v in cells
+        )
+        lines.append(f"{target:>9} {gamma:>2} {row:>14} | {rendered}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,75 @@
+"""repro.obs — tracing, metrics, and structured logging for the pipeline.
+
+Three pillars (see ``docs/observability.md``):
+
+* :mod:`~repro.obs.tracing` — span tracer instrumenting the prefill /
+  draft / verify loop, the autoregressive baseline, training, and the
+  experiment runner.  Disabled by default; near-zero overhead when off.
+* :mod:`~repro.obs.metrics` — process-wide registry of counters, gauges,
+  and histograms fed by the decoders and the tracer.
+* :mod:`~repro.obs.exporters` + the ``python -m repro.obs summarize`` CLI
+  — JSONL and Chrome-trace span export and per-phase breakdowns.
+
+Quickstart::
+
+    from repro import obs
+    tracer = obs.enable_tracing()
+    record = engine.decode(sample)          # spans collected
+    obs.export_chrome(tracer, "trace.json") # load in ui.perfetto.dev
+    obs.export_jsonl(tracer, "trace.jsonl")
+    # then: python -m repro.obs summarize trace.jsonl
+"""
+
+from .exporters import export_chrome, export_jsonl, read_chrome, read_jsonl, read_trace
+from .logsetup import StructuredFormatter, configure_logging, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .summarize import PhaseStats, TraceSummary, render_summary, summarize_spans
+from .tracing import (
+    Span,
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    # tracing
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    # exporters
+    "export_jsonl",
+    "export_chrome",
+    "read_jsonl",
+    "read_chrome",
+    "read_trace",
+    # summaries
+    "PhaseStats",
+    "TraceSummary",
+    "summarize_spans",
+    "render_summary",
+    # logging
+    "configure_logging",
+    "get_logger",
+    "StructuredFormatter",
+]

@@ -1,0 +1,59 @@
+"""Observability CLI.
+
+Usage:
+    python -m repro.obs summarize TRACE [--json]
+
+``TRACE`` may be a JSONL span log or a Chrome trace-event file (the format
+is sniffed from the content).  The breakdown table goes to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .exporters import read_trace
+from .logsetup import configure_logging
+from .summarize import render_summary, summarize_spans
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser("summarize", help="per-phase breakdown of a trace file")
+    p_sum.add_argument("trace", help="JSONL or Chrome trace file")
+    p_sum.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    args = parser.parse_args(argv)
+
+    configure_logging()
+    spans = read_trace(args.trace)
+    summary = summarize_spans(spans)
+    if args.json:
+        payload = {
+            "n_spans": summary.n_spans,
+            "n_decodes": summary.n_decodes,
+            "decode_wall_ms": summary.decode_wall_ms,
+            "decode_sim_ms": summary.decode_sim_ms,
+            "coverage": summary.coverage,
+            "acceptance_rate": summary.acceptance_rate,
+            "block_efficiency": summary.block_efficiency,
+            "phases": {
+                name: {
+                    "count": s.count,
+                    "wall_ms": s.wall_ms,
+                    "sim_ms": s.sim_ms,
+                    "n_draft": s.n_draft,
+                    "n_accepted": s.n_accepted,
+                }
+                for name, s in summary.phases.items()
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Structured logging for the repro package.
+
+Library modules get loggers via :func:`get_logger` and attach structured
+context through ``extra={...}`` fields; nothing is printed until an
+application (CLI, script, test) opts in with :func:`configure_logging`.
+The formatter appends any non-standard record attributes as ``key=value``
+pairs (or emits one JSON object per line with ``json_lines=True``), so
+
+    logger.warning("draft fault", extra={"event": "draft_fault", "pos": 12})
+
+renders as::
+
+    2026-08-05 12:00:00 WARNING repro.core.engine: draft fault event=draft_fault pos=12
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["configure_logging", "get_logger", "StructuredFormatter"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Attributes present on every LogRecord — anything else came from extra=.
+_RESERVED = set(vars(logging.LogRecord("", 0, "", 0, "", (), None))) | {
+    "message", "asctime", "taskName",
+}
+
+
+def _extra_fields(record: logging.LogRecord) -> dict:
+    return {k: v for k, v in record.__dict__.items() if k not in _RESERVED}
+
+
+class StructuredFormatter(logging.Formatter):
+    """Plain-text formatter that appends ``extra=`` fields as key=value."""
+
+    def __init__(self, json_lines: bool = False) -> None:
+        super().__init__("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        self.json_lines = json_lines
+
+    def format(self, record: logging.LogRecord) -> str:
+        if self.json_lines:
+            payload = {
+                "ts": self.formatTime(record),
+                "level": record.levelname,
+                "logger": record.name,
+                "message": record.getMessage(),
+            }
+            payload.update(_extra_fields(record))
+            return json.dumps(payload, sort_keys=True, default=str)
+        base = super().format(record)
+        fields = _extra_fields(record)
+        if fields:
+            suffix = " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+            return f"{base} {suffix}"
+        return base
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Namespaced logger (``repro.*``); silent until configured."""
+    if name != ROOT_LOGGER_NAME and not name.startswith(ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: int = logging.INFO,
+    stream: Optional[TextIO] = None,
+    json_lines: bool = False,
+    force: bool = True,
+) -> logging.Logger:
+    """Attach a structured handler to the ``repro`` logger tree.
+
+    Logs go to ``stream`` (default stderr, keeping stdout free for
+    CLI-facing tables).  ``force=True`` replaces handlers installed by a
+    previous call, so reconfiguration is idempotent.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if force:
+        for handler in [h for h in root.handlers if not isinstance(h, logging.NullHandler)]:
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(StructuredFormatter(json_lines=json_lines))
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root
+
+
+# Library etiquette: a NullHandler keeps unconfigured fault/fallback logs
+# from leaking to stderr via logging.lastResort (robustness tests inject
+# hundreds of faults on purpose).
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())

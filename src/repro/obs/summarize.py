@@ -1,0 +1,128 @@
+"""Per-phase breakdown of a trace file (the ``repro.obs summarize`` CLI).
+
+Aggregates spans by name into a wall/simulated time table, derives
+acceptance statistics from ``verify`` span attributes, and reports how
+much of each ``decode`` span is covered by its phase children (the
+tiling guarantee the engine instrumentation maintains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .tracing import SpanRecord
+
+__all__ = ["PhaseStats", "TraceSummary", "summarize_spans", "render_summary"]
+
+#: Spans that tile the inside of a ``decode`` span (``ar_step`` is the
+#: autoregressive baseline's loop body).
+DECODE_PHASES = ("prefill", "draft", "verify", "fallback", "ar_step")
+
+
+@dataclass
+class PhaseStats:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    wall_ms: float = 0.0
+    sim_ms: float = 0.0
+    n_draft: int = 0
+    n_accepted: int = 0
+    has_accept: bool = False    # any span carried an n_accepted attribute
+
+    @property
+    def mean_wall_ms(self) -> float:
+        return self.wall_ms / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything the summarize CLI prints."""
+
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    n_spans: int = 0
+    n_decodes: int = 0
+    decode_wall_ms: float = 0.0
+    decode_sim_ms: float = 0.0
+    coverage: Optional[float] = None    # phase wall / decode wall
+
+    @property
+    def acceptance_rate(self) -> Optional[float]:
+        verify = self.phases.get("verify")
+        if verify is None or verify.n_draft == 0:
+            return None
+        return verify.n_accepted / verify.n_draft
+
+    @property
+    def block_efficiency(self) -> Optional[float]:
+        verify = self.phases.get("verify")
+        if verify is None or verify.count == 0:
+            return None
+        # Each verify block emits the accepted prefix plus one bonus token.
+        return (verify.n_accepted + verify.count) / verify.count
+
+
+def summarize_spans(spans: Sequence[SpanRecord]) -> TraceSummary:
+    summary = TraceSummary(n_spans=len(spans))
+    decode_ids = set()
+    for span in spans:
+        if span.name == "decode":
+            decode_ids.add(span.span_id)
+            summary.n_decodes += 1
+            summary.decode_wall_ms += span.duration_ms
+            summary.decode_sim_ms += span.sim_ms
+    phase_in_decode_ms = 0.0
+    for span in spans:
+        if span.name == "decode":
+            continue
+        stats = summary.phases.setdefault(span.name, PhaseStats(span.name))
+        stats.count += 1
+        stats.wall_ms += span.duration_ms
+        stats.sim_ms += span.sim_ms
+        stats.n_draft += int(span.attrs.get("n_draft", 0))
+        if "n_accepted" in span.attrs:
+            stats.n_accepted += int(span.attrs["n_accepted"])
+            stats.has_accept = True
+        if span.parent_id in decode_ids and span.name in DECODE_PHASES:
+            phase_in_decode_ms += span.duration_ms
+    if summary.decode_wall_ms > 0:
+        summary.coverage = phase_in_decode_ms / summary.decode_wall_ms
+    return summary
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """Aligned text table of the per-phase breakdown."""
+    lines: List[str] = []
+    header = (
+        f"{'phase':>12} {'count':>7} {'wall ms':>10} {'mean ms':>9} "
+        f"{'sim ms':>10} {'accept':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    order = [p for p in DECODE_PHASES if p in summary.phases]
+    order += sorted(set(summary.phases) - set(order))
+    for name in order:
+        stats = summary.phases[name]
+        accept = (
+            f"{stats.n_accepted / stats.n_draft:7.2f}"
+            if stats.has_accept and stats.n_draft
+            else f"{'-':>7}"
+        )
+        lines.append(
+            f"{stats.name:>12} {stats.count:>7d} {stats.wall_ms:>10.2f} "
+            f"{stats.mean_wall_ms:>9.3f} {stats.sim_ms:>10.1f} {accept}"
+        )
+    lines.append("")
+    lines.append(
+        f"{summary.n_spans} spans, {summary.n_decodes} decode(s): "
+        f"wall {summary.decode_wall_ms:.2f} ms, simulated {summary.decode_sim_ms:.1f} ms"
+    )
+    if summary.coverage is not None:
+        lines.append(f"phase coverage of decode spans: {100.0 * summary.coverage:.2f}%")
+    alpha = summary.acceptance_rate
+    tau = summary.block_efficiency
+    if alpha is not None and tau is not None:
+        lines.append(f"acceptance rate α = {alpha:.3f}, block efficiency τ = {tau:.3f}")
+    return "\n".join(lines)

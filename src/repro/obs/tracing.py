@@ -1,0 +1,255 @@
+"""Span-based tracing for the prefill / draft / verify pipeline.
+
+A :class:`Tracer` hands out context-manager :class:`Span` objects that nest
+via a thread-local stack, so the decode loop can be tiled into phases::
+
+    with tracer.span("decode", decoder="ours"):
+        with tracer.span("prefill"):
+            ...
+        with tracer.span("draft", gamma=3) as sp:
+            sp.add_sim_ms(cost)          # simulated charge, side by side
+            ...
+
+Design constraints, in priority order:
+
+* **Near-zero overhead when disabled** — ``tracer.span(...)`` returns a
+  shared no-op singleton without allocating, so instrumented code paths
+  cost one attribute check per span when tracing is off.  Tracing never
+  touches RNG state, so traced and untraced decodes emit identical tokens.
+* **Thread-safe** — each thread keeps its own span stack; finished spans
+  are appended under a lock.
+* **Dual clocks** — every span measures real wall time
+  (``time.perf_counter``) and accumulates *simulated* milliseconds charged
+  by the cost model via :meth:`Span.add_sim_ms`, so reports can show both
+  side by side per phase.
+
+Finished spans optionally feed per-phase latency histograms in a
+:class:`~repro.obs.metrics.MetricsRegistry` (``span_ms.<name>``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, as stored in memory and written by exporters."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start_s: float              # time.perf_counter seconds
+    end_s: float
+    thread_id: int
+    thread_name: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def duration_ms(self) -> float:
+        return 1000.0 * (self.end_s - self.start_s)
+
+    @property
+    def sim_ms(self) -> float:
+        """Simulated milliseconds charged inside this span (0 if none)."""
+        return float(self.attrs.get("sim_ms", 0.0))
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def set_attr(self, key: str, value: object) -> None:
+        pass
+
+    def add_sim_ms(self, ms: float) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span; use as a context manager (see module docstring).
+
+    Lifecycle bookkeeping is deliberately placed *inside* the timed window
+    (``start_s`` is stamped first on enter, ``end_s`` last on exit, and the
+    finished-list append happens in between), so sibling phase spans tile
+    their parent with sub-microsecond gaps even on tiny models — the
+    property the per-phase wall-time breakdown relies on.
+    """
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
+                 "start_s", "end_s", "thread_id", "thread_name")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int], attrs: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.start_s = 0.0
+        self.end_s = 0.0
+        self.thread_id = 0
+        self.thread_name = ""
+
+    def set_attr(self, key: str, value: object) -> None:
+        self.attrs[key] = value
+
+    def add_sim_ms(self, ms: float) -> None:
+        """Attribute a simulated-clock charge (milliseconds) to this span."""
+        self.attrs["sim_ms"] = float(self.attrs.get("sim_ms", 0.0)) + float(ms)
+
+    def record(self) -> SpanRecord:
+        """Immutable snapshot of this (finished) span."""
+        return SpanRecord(
+            name=self.name,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            start_s=self.start_s,
+            end_s=self.end_s,
+            thread_id=self.thread_id,
+            thread_name=self.thread_name,
+            attrs=dict(self.attrs),
+        )
+
+    def __enter__(self) -> "Span":
+        self.start_s = time.perf_counter()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._pop(self)
+        self.end_s = time.perf_counter()
+        registry = self._tracer.registry
+        if registry is not None:
+            registry.histogram(f"span_ms.{self.name}").observe(
+                1000.0 * (self.end_s - self.start_s)
+            )
+
+
+class Tracer:
+    """Collects spans in memory; export via :mod:`repro.obs.exporters`."""
+
+    def __init__(self, enabled: bool = True, registry=None) -> None:
+        self.enabled = enabled
+        self.registry = registry   # optional MetricsRegistry for span_ms.* histograms
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    # -- instrumentation entry point ------------------------------------
+    def span(self, name: str, **attrs):
+        """Open a span; returns the no-op singleton when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self._stack()[-1].span_id if self._stack() else None
+        return Span(self, name, next(self._ids), parent, attrs)
+
+    def current_span(self):
+        """Innermost open span on this thread (``NULL_SPAN`` if none)."""
+        stack = self._stack()
+        return stack[-1] if stack else NULL_SPAN
+
+    # -- span lifecycle (called by Span) --------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Runs inside the span's timed window (before end_s is stamped),
+        # so this bookkeeping never shows up as a gap between siblings.
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:          # tolerate out-of-order exits
+            stack.remove(span)
+        span.thread_id = threading.get_ident()
+        span.thread_name = threading.current_thread().name
+        with self._lock:
+            self._finished.append(span)
+
+    # -- access ----------------------------------------------------------
+    @property
+    def spans(self) -> List[SpanRecord]:
+        """Snapshot of finished spans, in completion order."""
+        with self._lock:
+            finished = list(self._finished)
+        return [s.record() for s in finished]
+
+    def drain(self) -> List[SpanRecord]:
+        """Return finished spans and clear the buffer."""
+        with self._lock:
+            out = self._finished
+            self._finished = []
+        return [s.record() for s in out]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default tracer.  Disabled out of the box: uninstrumented
+# behaviour (and overhead) is the default, opt in via enable_tracing().
+_GLOBAL = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer every instrumented component defaults to."""
+    return _GLOBAL
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the process-wide tracer; returns the previous one."""
+    global _GLOBAL
+    previous, _GLOBAL = _GLOBAL, tracer
+    return previous
+
+
+def enable_tracing(registry=None) -> Tracer:
+    """Switch the global tracer on (optionally feeding ``registry``)."""
+    if registry is None:
+        from .metrics import get_registry
+
+        registry = get_registry()
+    _GLOBAL.enabled = True
+    _GLOBAL.registry = registry
+    return _GLOBAL
+
+
+def disable_tracing() -> Tracer:
+    _GLOBAL.enabled = False
+    return _GLOBAL

@@ -11,8 +11,12 @@ from ..errors import TrainingError
 from ..nn.optim import Adam, clip_grad_norm
 from ..nn.schedule import Schedule, warmup_cosine
 from ..nn.tensor import Tensor
+from ..obs.logsetup import get_logger
+from ..obs.tracing import get_tracer
 
 __all__ = ["TrainConfig", "TrainResult", "run_training"]
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -66,19 +70,31 @@ def run_training(
     if schedule is None:
         schedule = warmup_cosine(config.lr, config.warmup_steps, config.steps, min_lr=config.lr * 0.1)
 
+    tracer = get_tracer()
     result = TrainResult()
-    for step in range(config.steps):
-        optimizer.lr = schedule(step)
-        optimizer.zero_grad()
-        loss = loss_fn(step, rng)
-        value = loss.item()
-        if not np.isfinite(value):
-            raise TrainingError(f"loss diverged to {value} at step {step}")
-        loss.backward()
-        if config.clip_norm > 0:
-            clip_grad_norm(parameters, config.clip_norm)
-        optimizer.step()
-        result.losses.append(value)
-        if config.log_every and step % config.log_every == 0:
-            print(f"step {step:5d}  loss {value:.4f}  lr {optimizer.lr:.2e}")
+    with tracer.span("train", steps=config.steps, batch_size=config.batch_size) as run_sp:
+        for step in range(config.steps):
+            with tracer.span("train_step") as sp:
+                optimizer.lr = schedule(step)
+                optimizer.zero_grad()
+                loss = loss_fn(step, rng)
+                value = loss.item()
+                if not np.isfinite(value):
+                    raise TrainingError(f"loss diverged to {value} at step {step}")
+                loss.backward()
+                if config.clip_norm > 0:
+                    clip_grad_norm(parameters, config.clip_norm)
+                optimizer.step()
+                result.losses.append(value)
+                sp.set_attr("loss", value)
+            if config.log_every and step % config.log_every == 0:
+                logger.info(
+                    "step %5d  loss %.4f  lr %.2e",
+                    step,
+                    value,
+                    optimizer.lr,
+                    extra={"event": "train_step", "step": step, "loss": value,
+                           "lr": optimizer.lr},
+                )
+        run_sp.set_attr("final_loss", result.losses[-1] if result.losses else None)
     return result

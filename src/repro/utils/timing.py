@@ -18,7 +18,12 @@ __all__ = ["SimulatedClock", "WallTimer"]
 
 @dataclass
 class SimulatedClock:
-    """Accumulates simulated seconds, broken down by named category."""
+    """Accumulates simulated time, broken down by named category.
+
+    Units are whatever the caller charges consistently — the benchmark
+    harness uses seconds; :class:`repro.decoding.metrics.DecodeRecord`
+    embeds one charged in cost-model milliseconds per pipeline phase.
+    """
 
     total: float = 0.0
     by_category: Dict[str, float] = field(default_factory=dict)

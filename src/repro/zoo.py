@@ -17,6 +17,7 @@ missing.  Two profiles exist: ``full`` (benchmark quality) and ``smoke``
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
 from dataclasses import dataclass
@@ -33,6 +34,7 @@ from .models.config import LlavaConfig, get_config
 from .models.llama import MiniLlama
 from .models.llava import MiniLlava
 from .nn.serialization import load_state_dict, save_state_dict, verify_checkpoint
+from .obs.logsetup import get_logger
 from .tokenizer import WordTokenizer
 from .training.distill import distill_text_draft, generate_distillation_data
 from .training.draft_training import DraftTrainConfig, train_draft_head
@@ -40,6 +42,8 @@ from .training.finetune import finetune_multimodal_staged, finetune_text_draft
 from .training.pretrain import pretrain_lm
 from .training.trainer import TrainConfig
 from .utils.rng import derive
+
+logger = get_logger(__name__)
 
 __all__ = ["ZooProfile", "ModelZoo", "PROFILE_FULL", "PROFILE_SMOKE", "default_cache_dir"]
 
@@ -136,8 +140,13 @@ class ModelZoo:
     # Infrastructure
     # ------------------------------------------------------------------
     def _log(self, message: str) -> None:
-        if self.verbose:
-            print(f"[zoo:{self.profile.name}] {message}")
+        logger.log(
+            logging.INFO if self.verbose else logging.DEBUG,
+            "[zoo:%s] %s",
+            self.profile.name,
+            message,
+            extra={"profile": self.profile.name},
+        )
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.npz"

@@ -1,0 +1,36 @@
+"""Fixtures for observability tests: a tiny AASD world, no zoo needed."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AASDDraftHead, DraftHeadConfig
+from repro.data.tasks import make_dataset
+from repro.decoding import CostModel, get_profile
+from repro.models.config import LlamaConfig, LlavaConfig, VisionConfig
+from repro.models.llava import MiniLlava
+
+
+@pytest.fixture(scope="module")
+def world(tokenizer):
+    gen = np.random.default_rng(0)
+    vocab = tokenizer.vocab_size
+    target = MiniLlava(
+        LlavaConfig(
+            llama=LlamaConfig(vocab_size=vocab, dim=16, n_layers=1, n_heads=2, mlp_hidden=24),
+            vision=VisionConfig(image_size=48, patch_size=16, dim=8, n_layers=1,
+                                n_heads=2, mlp_hidden=16),
+        ),
+        rng=gen,
+    )
+    head = AASDDraftHead(
+        DraftHeadConfig(
+            vocab_size=vocab, dim=16, n_heads=2, mlp_hidden=24,
+            n_vision_tokens=9, k_compressed=3,
+        ),
+        rng=gen,
+    )
+    cm = CostModel(get_profile("sim-7b"))
+    samples = make_dataset("coco-sim", 3, seed=4).samples
+    return dict(target=target, head=head, cm=cm, samples=samples, tokenizer=tokenizer)

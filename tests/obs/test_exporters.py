@@ -1,0 +1,88 @@
+"""Trace export → reload round-trips for both on-disk formats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.exporters import (
+    export_chrome,
+    export_jsonl,
+    read_chrome,
+    read_jsonl,
+    read_trace,
+)
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture()
+def tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("decode", decoder="ours", n_prompt_tokens=7) as root:
+        root.add_sim_ms(100.0)
+        with tracer.span("prefill") as sp:
+            sp.add_sim_ms(63.5)
+        with tracer.span("draft", gamma=3) as sp:
+            sp.set_attr("n_draft", 3)
+        with tracer.span("verify", n_draft=3) as sp:
+            sp.set_attr("n_accepted", 2)
+    return tracer
+
+
+class TestJsonlRoundTrip:
+    def test_lossless(self, tracer, tmp_path):
+        path = export_jsonl(tracer, tmp_path / "trace.jsonl")
+        reloaded = read_jsonl(path)
+        assert reloaded == tracer.spans   # SpanRecord is a frozen dataclass
+
+    def test_rejects_garbage_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "ok", "span_id": 1, "start_s": 0, "end_s": 1}\nnot json\n')
+        with pytest.raises(ConfigError, match="invalid trace line"):
+            read_jsonl(path)
+
+
+class TestChromeRoundTrip:
+    def test_loadable_structure(self, tracer, tmp_path):
+        path = export_chrome(tracer, tmp_path / "trace.json", pid=1234)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert {e["ph"] for e in events} == {"X"}
+        assert all(e["pid"] == 1234 for e in events)
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in events)
+
+    def test_round_trip_preserves_content(self, tracer, tmp_path):
+        path = export_chrome(tracer, tmp_path / "trace.json")
+        reloaded = read_chrome(path)
+        originals = {s.span_id: s for s in tracer.spans}
+        assert set(originals) == {s.span_id for s in reloaded}
+        for span in reloaded:
+            original = originals[span.span_id]
+            assert span.name == original.name
+            assert span.parent_id == original.parent_id
+            assert span.duration_s == pytest.approx(original.duration_s, abs=1e-9)
+            assert span.start_s == pytest.approx(original.start_s, abs=1e-6)
+            assert span.sim_ms == pytest.approx(original.sim_ms)
+            # Attributes survive minus the id bookkeeping keys.
+            for key, value in original.attrs.items():
+                assert span.attrs[key] == value
+
+
+class TestFormatSniffing:
+    def test_reads_either_format(self, tracer, tmp_path):
+        jsonl = export_jsonl(tracer, tmp_path / "a.jsonl")
+        chrome = export_chrome(tracer, tmp_path / "b.json")
+        assert {s.name for s in read_trace(jsonl)} == {s.name for s in tracer.spans}
+        assert {s.name for s in read_trace(chrome)} == {s.name for s in tracer.spans}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            read_trace(tmp_path / "nope.jsonl")
+
+    def test_non_trace_content(self, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_text("hello world\n")
+        with pytest.raises(ConfigError):
+            read_trace(path)

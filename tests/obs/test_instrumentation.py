@@ -1,0 +1,139 @@
+"""End-to-end tracing of real decodes: coverage, overhead, summarize CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AASDEngine, AASDEngineConfig
+from repro.decoding import AutoregressiveDecoder
+from repro.obs.__main__ import main as obs_main
+from repro.obs.exporters import export_chrome, export_jsonl, read_chrome, read_jsonl
+from repro.obs.summarize import render_summary, summarize_spans
+from repro.obs.tracing import Tracer
+from repro.training.trainer import TrainConfig, run_training
+from repro.nn.tensor import Tensor
+
+
+def _engine(world, tracer=None, seed=7, max_new_tokens=32):
+    return AASDEngine(
+        world["target"], world["head"], world["tokenizer"], world["cm"],
+        AASDEngineConfig(gamma=3, max_new_tokens=max_new_tokens),
+        rng=np.random.default_rng(seed),
+        tracer=tracer,
+    )
+
+
+class TestOverheadGuard:
+    def test_disabled_tracer_output_identical_to_untraced(self, world):
+        """Tracing off must be a true no-op: byte-identical token stream."""
+        baseline = _engine(world, tracer=None).decode(world["samples"][0])
+        disabled = _engine(world, tracer=Tracer(enabled=False)).decode(world["samples"][0])
+        assert disabled.token_ids == baseline.token_ids
+        assert disabled.text == baseline.text
+        assert disabled.sim_time_ms == pytest.approx(baseline.sim_time_ms)
+
+    def test_enabled_tracer_does_not_perturb_decode(self, world):
+        tracer = Tracer()
+        baseline = _engine(world, tracer=None).decode(world["samples"][0])
+        traced = _engine(world, tracer=tracer).decode(world["samples"][0])
+        assert traced.token_ids == baseline.token_ids
+        assert tracer.spans  # and we actually recorded something
+
+
+class TestDecodeTrace:
+    def test_phase_spans_tile_wall_time(self, world, tmp_path):
+        """Chrome-trace per-phase durations sum to within 1% of wall time."""
+        tracer = Tracer()
+        record = _engine(world, tracer=tracer).decode(world["samples"][0])
+        spans = read_chrome(export_chrome(tracer, tmp_path / "trace.json"))
+
+        decode = [s for s in spans if s.name == "decode"]
+        assert len(decode) == 1
+        phase_s = sum(
+            s.duration_s for s in spans
+            if s.parent_id == decode[0].span_id
+            and s.name in ("prefill", "draft", "verify", "fallback")
+        )
+        assert phase_s == pytest.approx(record.wall_time_s, rel=0.01)
+        # The decode root itself also tracks the wall timer closely.
+        assert decode[0].duration_s == pytest.approx(record.wall_time_s, rel=0.01)
+
+    def test_span_structure_and_attrs(self, world):
+        tracer = Tracer()
+        record = _engine(world, tracer=tracer).decode(world["samples"][0])
+        spans = tracer.spans
+        names = {s.name for s in spans}
+        assert {"decode", "prefill", "draft", "verify"} <= names
+        verifies = [s for s in spans if s.name == "verify"]
+        assert len(verifies) == len(record.blocks)
+        assert sum(int(s.attrs["n_accepted"]) for s in verifies) == sum(
+            b.n_accepted for b in record.blocks
+        )
+        # Simulated charges on phase spans add up to the record total.
+        phase_sim = sum(s.sim_ms for s in spans if s.name != "decode")
+        assert phase_sim == pytest.approx(record.sim_time_ms)
+
+    def test_ar_baseline_traced(self, world):
+        tracer = Tracer()
+        ar = AutoregressiveDecoder(
+            world["target"], world["tokenizer"], world["cm"],
+            max_new_tokens=12, tracer=tracer,
+        )
+        record = ar.decode(world["samples"][0])
+        names = [s.name for s in tracer.spans]
+        assert names.count("ar_step") == record.n_tokens - 1
+        assert "prefill" in names and "decode" in names
+
+
+class TestSummarize:
+    def test_summary_stats(self, world):
+        tracer = Tracer()
+        record = _engine(world, tracer=tracer).decode(world["samples"][0])
+        summary = summarize_spans(tracer.spans)
+        assert summary.n_decodes == 1
+        assert summary.coverage is not None and summary.coverage > 0.99
+        blocks = record.blocks
+        drafted = sum(b.n_draft for b in blocks)
+        if drafted:
+            assert summary.acceptance_rate == pytest.approx(
+                sum(b.n_accepted for b in blocks) / drafted
+            )
+        rendered = render_summary(summary)
+        assert "prefill" in rendered and "verify" in rendered
+        assert "coverage" in rendered
+
+    def test_cli_on_both_formats(self, world, tmp_path, capsys):
+        tracer = Tracer()
+        _engine(world, tracer=tracer, max_new_tokens=8).decode(world["samples"][0])
+        jsonl = export_jsonl(tracer, tmp_path / "t.jsonl")
+        chrome = export_chrome(tracer, tmp_path / "t.json")
+        for path in (jsonl, chrome):
+            assert obs_main(["summarize", str(path)]) == 0
+            out = capsys.readouterr().out
+            assert "phase" in out and "prefill" in out
+        assert obs_main(["summarize", str(jsonl), "--json"]) == 0
+        assert '"n_decodes": 1' in capsys.readouterr().out
+
+
+class TestTrainingTrace:
+    def test_run_training_emits_spans(self, rng):
+        from repro.obs.tracing import set_tracer
+
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            weight = Tensor(np.array([2.0]), requires_grad=True)
+
+            def loss_fn(step, gen):
+                return (weight * weight).sum()
+
+            result = run_training([weight], loss_fn, TrainConfig(steps=5, warmup_steps=1), rng)
+        finally:
+            set_tracer(previous)
+        assert len(result.losses) == 5
+        names = [s.name for s in tracer.spans]
+        assert names.count("train_step") == 5
+        assert names.count("train") == 1
+        train = [s for s in tracer.spans if s.name == "train"][0]
+        assert train.attrs["steps"] == 5

@@ -1,0 +1,153 @@
+"""Metrics-registry semantics plus agreement with aggregate_metrics."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import AASDEngine, AASDEngineConfig
+from repro.decoding import AutoregressiveDecoder, aggregate_metrics
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry, get_registry, set_registry
+
+
+class TestInstruments:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+        assert registry.counter("x_total") is counter
+        with pytest.raises(ConfigError):
+            counter.inc(-1)
+
+    def test_gauge(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value == 3
+
+    def test_histogram_buckets_and_summary(self):
+        hist = MetricsRegistry().histogram("lat_ms", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == pytest.approx(555.5)
+        assert hist.min == 0.5 and hist.max == 500.0
+        assert hist.mean == pytest.approx(555.5 / 4)
+        assert hist.bucket_counts == [1, 1, 1, 1]
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.gauge("name")
+
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(4)
+        registry.histogram("h").observe(2.0)
+        snap = registry.snapshot()
+        assert snap["a_total"]["value"] == 4
+        assert snap["h"]["count"] == 1
+        registry.reset()
+        assert registry.counter("a_total").value == 0
+        assert registry.histogram("h").count == 0
+        # Registrations survive reset.
+        assert set(registry.names()) == {"a_total", "h"}
+
+    def test_thread_safety(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+                registry.histogram("h").observe(1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000
+        assert registry.histogram("h").count == 4000
+
+    def test_global_swap(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+
+
+class TestAgreementWithAggregateMetrics:
+    """The registry's cross-sample totals must match what aggregate_metrics
+    derives from the per-sample records — same events, two views."""
+
+    def test_decode_counters_match_report(self, world):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            engine = AASDEngine(
+                world["target"], world["head"], world["tokenizer"], world["cm"],
+                AASDEngineConfig(gamma=3, max_new_tokens=12),
+            )
+            ar = AutoregressiveDecoder(
+                world["target"], world["tokenizer"], world["cm"], max_new_tokens=12
+            )
+            sd_records = [engine.decode(s) for s in world["samples"]]
+            ar_records = [ar.decode(s) for s in world["samples"]]
+        finally:
+            set_registry(previous)
+
+        report = aggregate_metrics(sd_records, ar_records)
+        blocks = [b for r in sd_records for b in r.blocks]
+
+        def value(name):
+            inst = registry.get(name)
+            return inst.value if inst is not None else 0.0
+
+        assert value("decode.blocks_total") == len(blocks)
+        assert value("decode.tokens_drafted_total") == sum(b.n_draft for b in blocks)
+        assert value("decode.tokens_accepted_total") == sum(b.n_accepted for b in blocks)
+        assert value("decode.tokens_emitted_total") == sum(b.n_emitted for b in blocks)
+        assert value("decode.draft_faults_total") == report.n_draft_faults
+        assert value("decode.fallback_steps_total") == report.n_fallback_steps
+        assert value("decode.target_forwards_total") == sum(
+            r.n_target_forwards for r in sd_records + ar_records
+        )
+        # Block efficiency recomputed from registry counters equals tau.
+        if blocks:
+            tau = value("decode.tokens_emitted_total") / value("decode.blocks_total")
+            assert tau == pytest.approx(report.block_efficiency)
+
+    def test_sim_categories_cover_total(self, world):
+        engine = AASDEngine(
+            world["target"], world["head"], world["tokenizer"], world["cm"],
+            AASDEngineConfig(gamma=3, max_new_tokens=10),
+        )
+        record = engine.decode(world["samples"][0])
+        assert record.sim_by_category           # categorised charges exist
+        assert sum(record.sim_by_category.values()) == pytest.approx(record.sim_time_ms)
+        assert set(record.sim_by_category) <= {"prefill", "draft", "verify", "fallback"}
+
+    def test_report_surfaces_categories(self, world):
+        engine = AASDEngine(
+            world["target"], world["head"], world["tokenizer"], world["cm"],
+            AASDEngineConfig(gamma=3, max_new_tokens=10),
+        )
+        ar = AutoregressiveDecoder(
+            world["target"], world["tokenizer"], world["cm"], max_new_tokens=10
+        )
+        sd_records = [engine.decode(s) for s in world["samples"]]
+        ar_records = [ar.decode(s) for s in world["samples"]]
+        report = aggregate_metrics(sd_records, ar_records)
+        assert sum(report.sim_time_by_category.values()) == pytest.approx(
+            sum(r.sim_time_ms for r in sd_records)
+        )
+        assert "draft" in report.sim_time_by_category
+        assert "verify" in report.sim_time_by_category
