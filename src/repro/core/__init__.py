@@ -1,7 +1,7 @@
 """AASD core: KV projector, T-D attention, speculating module, engine."""
 
 from .draft_head import AASDDraftHead, DraftHeadConfig
-from .engine import AASDEngine, AASDEngineConfig
+from .engine import AASDEngine, AASDEngineConfig, DecodeSession, StepReport
 from .hybrid_cache import SEGMENT_TEXT, SEGMENT_VISION, HybridKVCache
 from .kv_projector import KVProjector
 from .td_attention import (
@@ -22,4 +22,6 @@ __all__ = [
     "DraftHeadConfig",
     "AASDEngine",
     "AASDEngineConfig",
+    "DecodeSession",
+    "StepReport",
 ]

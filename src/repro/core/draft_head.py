@@ -61,6 +61,7 @@ class DraftHeadConfig:
 
     @property
     def head_dim(self) -> int:
+        """Per-head attention width (``dim / n_heads``)."""
         return self.dim // self.n_heads
 
     @classmethod
@@ -107,6 +108,7 @@ class AASDDraftHead(Module):
         self.embed.weight.data = target_llama.embed.weight.data.copy()
 
     def lm_head(self, hidden: Tensor) -> Tensor:
+        """Project hidden states to vocab logits (tied to the embedding)."""
         return hidden @ self.embed.weight.swapaxes(0, 1)
 
     def qkv(self, x: Tensor, positions: np.ndarray) -> Tuple[Tensor, Tensor, Tensor]:

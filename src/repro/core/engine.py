@@ -14,6 +14,16 @@ This is the paper's Figure 2a pipeline:
    output* for the accepted tokens is appended to the draft context, so
    context maintenance costs nothing extra.
 
+Sessions: the loop is factored into a resumable per-request state object
+(:class:`DecodeSession`) advanced one block at a time by
+:meth:`AASDEngine.step`.  :meth:`AASDEngine.decode` is the single-request
+loop written on top; the continuous-batching scheduler in
+:mod:`repro.serving` interleaves many sessions over one engine, joining new
+requests at block boundaries and retiring finished ones without stalling
+the rest.  Because *all* mutable decode state (target cache, hybrid cache,
+committed tokens, fault status, gamma controller) lives on the session,
+sessions are independent: a fault in one degrades that request alone.
+
 Fault tolerance: speculative decoding is lossless-with-fallback by
 construction — the target model alone can always finish a generation — so
 a broken drafter must only ever cost speed, never availability.  Every
@@ -36,8 +46,8 @@ tokens.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -58,7 +68,7 @@ from ..utils.timing import WallTimer
 from .draft_head import AASDDraftHead
 from .hybrid_cache import SEGMENT_TEXT, HybridKVCache
 
-__all__ = ["AASDEngineConfig", "AASDEngine"]
+__all__ = ["AASDEngineConfig", "AASDEngine", "DecodeSession", "StepReport"]
 
 logger = get_logger(__name__)
 
@@ -86,6 +96,60 @@ class AASDEngineConfig:
             raise DecodingError(f"max_new_tokens must be positive, got {self.max_new_tokens}")
         if self.max_draft_faults <= 0:
             raise DecodingError(f"max_draft_faults must be positive, got {self.max_draft_faults}")
+
+
+@dataclass
+class DecodeSession:
+    """Resumable state of one in-flight generation (one request).
+
+    Created by :meth:`AASDEngine.begin` (which runs the prefill) and
+    advanced one draft-then-verify block per :meth:`AASDEngine.step` call.
+    Every piece of mutable decode state lives here rather than on the
+    engine, so a scheduler can interleave arbitrarily many sessions over
+    one engine and a fault in one session degrades that session alone.
+    """
+
+    sample: MultimodalSample            #: the request being decoded
+    record: DecodeRecord                #: per-request metrics, charged in place
+    prompt_ids: np.ndarray              #: encoded ``[bos, prompt...]``
+    eos: int                            #: tokenizer eos id
+    gen_base: int                       #: absolute position of ``committed[0]``
+    max_new_tokens: int                 #: per-request generation budget
+    gamma_controller: GammaController   #: per-session speculation depth policy
+    target_cache: object                #: the target model's KV cache
+    hybrid: HybridKVCache               #: the speculating module's hybrid cache
+    committed: List[int] = field(default_factory=list)  #: tokens emitted so far
+    speculating: bool = True            #: False once speculation was disabled
+    request_id: Optional[str] = None    #: serving-layer id (attribution)
+
+    @property
+    def finished(self) -> bool:
+        """True once eos was emitted or the token budget is exhausted."""
+        return bool(self.committed) and (
+            self.committed[-1] == self.eos
+            or len(self.committed) >= self.max_new_tokens
+        )
+
+    @property
+    def n_committed(self) -> int:
+        """Tokens emitted so far."""
+        return len(self.committed)
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """What one :meth:`AASDEngine.step` call did, for batched cost grouping.
+
+    The serving scheduler uses the step composition — how many tokens the
+    target forward fed and the hybrid-KV length of every draft-head step —
+    to charge the *batched* cost of a round to the server clock, while the
+    session's own :class:`DecodeRecord` keeps solo-priced attribution.
+    """
+
+    kind: str                           #: ``"verify"`` or ``"fallback"``
+    feed_size: int                      #: tokens fed to the target forward
+    draft_kv_lens: Tuple[int, ...]      #: hybrid KV length per draft-head step
+    n_accepted: int = 0                 #: draft tokens accepted (verify only)
 
 
 class AASDEngine(Decoder):
@@ -120,6 +184,7 @@ class AASDEngine(Decoder):
 
     @property
     def name(self) -> str:
+        """Table label of this decoder."""
         return "ours"
 
     @property
@@ -179,197 +244,293 @@ class AASDEngine(Decoder):
             hybrid.append_context(k_own, v_own, positions, SEGMENT_TEXT)
             record.charge_sim(self.cost_model.draft_sync(keep), category)
 
-    def _disable_speculation(self, record: DecodeRecord, reason: str) -> None:
-        record.fallback_mode = FALLBACK_TARGET_ONLY
+    def _disable_speculation(self, session: DecodeSession, reason: str) -> None:
+        """Turn a session target-only after repeated / unrecoverable faults."""
+        session.speculating = False
+        session.record.fallback_mode = FALLBACK_TARGET_ONLY
         logger.warning(
             "speculation disabled, decoding target-only: %s",
             reason,
             extra={
                 "event": "fallback_target_only",
                 "reason": reason,
-                "n_draft_faults": record.n_draft_faults,
+                "n_draft_faults": session.record.n_draft_faults,
+                "request_id": session.request_id,
             },
         )
 
     # ------------------------------------------------------------------
-    def decode(self, sample: MultimodalSample) -> DecodeRecord:
+    # Session API: begin / step / finish.  decode() is the sequential loop
+    # on top; repro.serving interleaves many sessions per engine.
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        sample: MultimodalSample,
+        *,
+        record: Optional[DecodeRecord] = None,
+        max_new_tokens: Optional[int] = None,
+        gamma_controller: Optional[GammaController] = None,
+        request_id: Optional[str] = None,
+    ) -> DecodeSession:
+        """Prefill one request and return its resumable :class:`DecodeSession`.
+
+        ``max_new_tokens`` overrides the engine config per request;
+        ``gamma_controller`` supplies a per-session depth policy (pass a
+        fresh controller per session when interleaving — the engine's
+        shared controller is only reset here when it is the one used).
+        The prefill is traced as a ``prefill`` span and charged to
+        ``record`` exactly as in :meth:`decode`.
+        """
         cfg = self.config
         tracer = self.tracer
-        record = DecodeRecord()
-        prompt_ids = encode_prompt(self.tokenizer, sample)
-        eos = self.tokenizer.vocab.eos_id
-        n_vis = self.target.n_vision_tokens
-        gen_base = n_vis + len(prompt_ids)  # absolute position of committed[0]
-        speculating = True
+        with no_grad(), tracer.span("prefill") as sp:
+            if record is None:
+                record = DecodeRecord()
+            if request_id is not None:
+                record.request_id = request_id
+            prompt_ids = encode_prompt(self.tokenizer, sample)
+            n_vis = self.target.n_vision_tokens
+            controller = gamma_controller
+            if controller is None:
+                controller = self.gamma_controller
+            speculating = True
 
-        with WallTimer() as timer, no_grad(), tracer.span(
-            "decode", decoder=self.name, n_prompt_tokens=len(prompt_ids)
-        ) as root:
-            with tracer.span("prefill") as sp:
-                target_cache, last_logits = self.target.prefill(
-                    sample.image[None], prompt_ids[None]
+            target_cache, last_logits = self.target.prefill(
+                sample.image[None], prompt_ids[None]
+            )
+            sp.add_sim_ms(record.charge_sim(self.cost_model.target_prefill(), "prefill"))
+            record.count_target_forward()
+
+            hybrid = HybridKVCache(self.head.config.n_heads, self.head.config.head_dim)
+            session = DecodeSession(
+                sample=sample,
+                record=record,
+                prompt_ids=prompt_ids,
+                eos=self.tokenizer.vocab.eos_id,
+                gen_base=n_vis + len(prompt_ids),
+                max_new_tokens=max_new_tokens or cfg.max_new_tokens,
+                gamma_controller=controller,
+                target_cache=target_cache,
+                hybrid=hybrid,
+                request_id=request_id,
+            )
+            try:
+                sp.add_sim_ms(
+                    self._build_context(target_cache, hybrid, prompt_ids, n_vis, record)
                 )
-                sp.add_sim_ms(record.charge_sim(self.cost_model.target_prefill(), "prefill"))
-                record.count_target_forward()
+            except Exception as exc:  # noqa: BLE001 — any head fault degrades
+                if not cfg.fallback_on_fault:
+                    raise
+                record.note_fault(f"context build failed: {exc}")
+                self._disable_speculation(session, "context build failed")
+                sp.set_attr("fault", str(exc))
+                speculating = False
+            session.speculating = speculating
 
-                hybrid = HybridKVCache(self.head.config.n_heads, self.head.config.head_dim)
-                try:
-                    sp.add_sim_ms(
-                        self._build_context(target_cache, hybrid, prompt_ids, n_vis, record)
+            session.committed.append(self.sampler.sample(last_logits[0]))
+            controller.reset()
+        return session
+
+    def step(self, session: DecodeSession) -> StepReport:
+        """Advance one block: draft-then-verify, or one fallback target step.
+
+        Mutates ``session`` in place (committed tokens, caches, fault
+        state, record charges) and returns a :class:`StepReport`
+        describing the step's composition so batched schedulers can price
+        the round.  Raises :class:`~repro.errors.DecodingError` if the
+        session already finished.
+        """
+        if session.finished:
+            raise DecodingError("cannot step a finished session")
+        tracer = self.tracer
+
+        # Local setup and the returned StepReport are built *inside* the
+        # phase spans so sibling spans keep tiling the decode loop with
+        # sub-microsecond gaps (the per-phase wall-time invariant).
+        with no_grad():
+            if not session.speculating:
+                with tracer.span("fallback") as sp:
+                    record = session.record
+                    committed = session.committed
+                    token, _ = self._target_step(
+                        committed[-1], session.target_cache, record, sp
                     )
+                    committed.append(token)
+                    report = StepReport(kind="fallback", feed_size=1, draft_kv_lens=())
+                return report
+
+            # ---- draft: gamma steps of the speculating module -------
+            # Guarded: a fault truncates the block to the clean prefix
+            # drafted so far instead of aborting the decode.
+            with tracer.span("draft") as sp:
+                cfg = self.config
+                record = session.record
+                hybrid = session.hybrid
+                committed = session.committed
+                last = committed[-1]
+                last_pos = session.gen_base + len(committed) - 1
+                draft_tokens: List[int] = []
+                draft_probs: List[np.ndarray] = []
+                draft_kv_lens: List[int] = []
+                gamma = session.gamma_controller.next_gamma()
+                sp.set_attr("gamma", gamma)
+                token, pos = last, last_pos
+                try:
+                    for _ in range(gamma):
+                        kv_len = hybrid.total_len + 1
+                        sp.add_sim_ms(record.charge_sim(
+                            self.cost_model.aasd_step(kv_len), "draft"
+                        ))
+                        draft_kv_lens.append(kv_len)
+                        logits = self.head.step(
+                            token,
+                            pos,
+                            hybrid,
+                            disable_image_kv=cfg.disable_image_kv,
+                            disable_text_kv=cfg.disable_text_kv,
+                        )
+                        ensure_finite(logits, "draft logits")
+                        probs = logits_to_probs(logits, self.sampler.config)
+                        token = self.sampler.sample(logits)
+                        draft_probs.append(probs)
+                        draft_tokens.append(token)
+                        pos += 1
+                    if cfg.guard_cache:
+                        check_hybrid_cache(hybrid)
                 except Exception as exc:  # noqa: BLE001 — any head fault degrades
                     if not cfg.fallback_on_fault:
                         raise
-                    record.note_fault(f"context build failed: {exc}")
-                    self._disable_speculation(record, "context build failed")
+                    record.note_fault(f"draft fault at position {pos}: {exc}")
                     sp.set_attr("fault", str(exc))
-                    speculating = False
-
-                committed: List[int] = [self.sampler.sample(last_logits[0])]
-                self.gamma_controller.reset()
-
-            while committed[-1] != eos and len(committed) < cfg.max_new_tokens:
-                last = committed[-1]
-                last_pos = gen_base + len(committed) - 1
-
-                if not speculating:
-                    with tracer.span("fallback") as sp:
-                        token, _ = self._target_step(last, target_cache, record, sp)
-                        committed.append(token)
-                    continue
-
-                # ---- draft: gamma steps of the speculating module -------
-                # Guarded: a fault truncates the block to the clean prefix
-                # drafted so far instead of aborting the decode.
-                draft_tokens: List[int] = []
-                draft_probs: List[np.ndarray] = []
-                with tracer.span("draft") as sp:
-                    gamma = self.gamma_controller.next_gamma()
-                    sp.set_attr("gamma", gamma)
-                    token, pos = last, last_pos
-                    try:
-                        for _ in range(gamma):
-                            sp.add_sim_ms(record.charge_sim(
-                                self.cost_model.aasd_step(hybrid.total_len + 1), "draft"
-                            ))
-                            logits = self.head.step(
-                                token,
-                                pos,
-                                hybrid,
-                                disable_image_kv=cfg.disable_image_kv,
-                                disable_text_kv=cfg.disable_text_kv,
-                            )
-                            ensure_finite(logits, "draft logits")
-                            probs = logits_to_probs(logits, self.sampler.config)
-                            token = self.sampler.sample(logits)
-                            draft_probs.append(probs)
-                            draft_tokens.append(token)
-                            pos += 1
-                        if cfg.guard_cache:
-                            check_hybrid_cache(hybrid)
-                    except Exception as exc:  # noqa: BLE001 — any head fault degrades
-                        if not cfg.fallback_on_fault:
-                            raise
-                        record.note_fault(f"draft fault at position {pos}: {exc}")
-                        sp.set_attr("fault", str(exc))
-                        # The draft segment may be poisoned; the context store
-                        # is target-provided and still trusted (re-validated
-                        # below).
-                        hybrid.clear_draft()
-                        draft_tokens = []
-                        draft_probs = []
-                        if record.n_draft_faults >= cfg.max_draft_faults:
-                            speculating = False
-                            self._disable_speculation(
-                                record, f"{record.n_draft_faults} draft faults"
-                            )
-                    sp.set_attr("n_draft", len(draft_tokens))
-
-                if not draft_tokens:
-                    # Nothing drafted this block: take one plain target step
-                    # and keep the draft context in sync for the next block.
-                    with tracer.span("fallback") as sp:
-                        token, out = self._target_step(last, target_cache, record, sp)
-                        if speculating:
-                            try:
-                                self._append_committed_kv(
-                                    out, last, [], 1, last_pos, hybrid, record, "fallback"
-                                )
-                                if cfg.guard_cache:
-                                    check_hybrid_cache(hybrid)
-                            except Exception as exc:  # noqa: BLE001
-                                if not cfg.fallback_on_fault:
-                                    raise
-                                record.note_fault(f"context maintenance failed: {exc}")
-                                sp.set_attr("fault", str(exc))
-                                speculating = False
-                                self._disable_speculation(record, "context maintenance failed")
-                        committed.append(token)
-                    continue
-
-                # ---- verify: one parallel target forward ----------------
-                with tracer.span("verify") as sp:
-                    gamma_used = len(draft_tokens)
-                    sp.set_attr("n_draft", gamma_used)
-                    verify_start = target_cache.seq_len
-                    feed = np.asarray([[last] + draft_tokens], dtype=np.int64)
-                    out = self.target.decode(feed, target_cache)
-                    sp.add_sim_ms(record.charge_sim(
-                        self.cost_model.target_verify(gamma_used + 1), "verify"
-                    ))
-                    record.count_target_forward()
-
-                    outcome = speculative_verify(
-                        draft_tokens,
-                        np.stack(draft_probs),
-                        out.logits.data[0],
-                        self.sampler.config,
-                        self.rng,
-                    )
-                    record.add_block(
-                        BlockRecord(
-                            n_draft=gamma_used,
-                            n_accepted=outcome.n_accepted,
-                            n_emitted=outcome.tokens_emitted,
-                        )
-                    )
-                    sp.set_attr("n_accepted", outcome.n_accepted)
-                    self.gamma_controller.update(outcome.n_accepted, gamma_used)
-
-                    # Roll back rejected tokens in the target cache.
-                    keep = 1 + outcome.n_accepted
-                    target_cache.truncate(verify_start + keep)
-
-                    # ---- context maintenance ----------------------------
+                    # The draft segment may be poisoned; the context store
+                    # is target-provided and still trusted (re-validated
+                    # below).
                     hybrid.clear_draft()
-                    try:
-                        self._append_committed_kv(
-                            out, last, outcome.accepted, keep, last_pos, hybrid,
-                            record, "verify",
+                    draft_tokens = []
+                    draft_probs = []
+                    if record.n_draft_faults >= cfg.max_draft_faults:
+                        self._disable_speculation(
+                            session, f"{record.n_draft_faults} draft faults"
                         )
-                    except Exception as exc:  # noqa: BLE001
-                        if not cfg.fallback_on_fault:
-                            raise
-                        record.note_fault(f"context maintenance failed: {exc}")
-                        sp.set_attr("fault", str(exc))
-                        speculating = False
-                        self._disable_speculation(record, "context maintenance failed")
+                sp.set_attr("n_draft", len(draft_tokens))
 
-                    committed.extend(outcome.accepted)
-                    committed.append(outcome.next_token)
-                    if eos in committed:
-                        committed = committed[: committed.index(eos) + 1]
-                        break
-                    if len(committed) >= cfg.max_new_tokens:
-                        committed = committed[: cfg.max_new_tokens]
-                        break
+            if not draft_tokens:
+                # Nothing drafted this block: take one plain target step
+                # and keep the draft context in sync for the next block.
+                with tracer.span("fallback") as sp:
+                    token, out = self._target_step(last, session.target_cache, record, sp)
+                    if session.speculating:
+                        try:
+                            self._append_committed_kv(
+                                out, last, [], 1, last_pos, hybrid, record, "fallback"
+                            )
+                            if cfg.guard_cache:
+                                check_hybrid_cache(hybrid)
+                        except Exception as exc:  # noqa: BLE001
+                            if not cfg.fallback_on_fault:
+                                raise
+                            record.note_fault(f"context maintenance failed: {exc}")
+                            sp.set_attr("fault", str(exc))
+                            self._disable_speculation(session, "context maintenance failed")
+                    committed.append(token)
+                    report = StepReport(
+                        kind="fallback", feed_size=1, draft_kv_lens=tuple(draft_kv_lens)
+                    )
+                return report
 
-            root.set_attr("n_tokens", len(committed))
+            # ---- verify: one parallel target forward ----------------
+            with tracer.span("verify") as sp:
+                gamma_used = len(draft_tokens)
+                sp.set_attr("n_draft", gamma_used)
+                verify_start = session.target_cache.seq_len
+                feed = np.asarray([[last] + draft_tokens], dtype=np.int64)
+                out = self.target.decode(feed, session.target_cache)
+                sp.add_sim_ms(record.charge_sim(
+                    self.cost_model.target_verify(gamma_used + 1), "verify"
+                ))
+                record.count_target_forward()
+
+                outcome = speculative_verify(
+                    draft_tokens,
+                    np.stack(draft_probs),
+                    out.logits.data[0],
+                    self.sampler.config,
+                    self.rng,
+                )
+                record.add_block(
+                    BlockRecord(
+                        n_draft=gamma_used,
+                        n_accepted=outcome.n_accepted,
+                        n_emitted=outcome.tokens_emitted,
+                    )
+                )
+                sp.set_attr("n_accepted", outcome.n_accepted)
+                session.gamma_controller.update(outcome.n_accepted, gamma_used)
+
+                # Roll back rejected tokens in the target cache.
+                keep = 1 + outcome.n_accepted
+                session.target_cache.truncate(verify_start + keep)
+
+                # ---- context maintenance ----------------------------
+                hybrid.clear_draft()
+                try:
+                    self._append_committed_kv(
+                        out, last, outcome.accepted, keep, last_pos, hybrid,
+                        record, "verify",
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    if not cfg.fallback_on_fault:
+                        raise
+                    record.note_fault(f"context maintenance failed: {exc}")
+                    sp.set_attr("fault", str(exc))
+                    self._disable_speculation(session, "context maintenance failed")
+
+                committed.extend(outcome.accepted)
+                committed.append(outcome.next_token)
+                if session.eos in committed:
+                    del committed[committed.index(session.eos) + 1:]
+                elif len(committed) > session.max_new_tokens:
+                    del committed[session.max_new_tokens:]
+                report = StepReport(
+                    kind="verify",
+                    feed_size=gamma_used + 1,
+                    draft_kv_lens=tuple(draft_kv_lens),
+                    n_accepted=outcome.n_accepted,
+                )
+            return report
+
+    def finish(self, session: DecodeSession) -> DecodeRecord:
+        """Finalize a session: detokenize and return its record.
+
+        Safe to call on an unfinished session (a timed-out request keeps
+        the tokens committed so far).
+        """
+        record = session.record
+        record.token_ids = list(session.committed)
+        record.text = self.tokenizer.decode(record.token_ids)
+        return record
+
+    # ------------------------------------------------------------------
+    def decode(self, sample: MultimodalSample) -> DecodeRecord:
+        """Run one full generation sequentially (the paper's setting)."""
+        tracer = self.tracer
+        record = DecodeRecord()
+
+        with WallTimer() as timer, no_grad(), tracer.span(
+            "decode", decoder=self.name
+        ) as root:
+            session = self.begin(sample, record=record)
+            root.set_attr("n_prompt_tokens", len(session.prompt_ids))
+            # Inline the finished-check (rather than session.finished) to
+            # keep the per-block gap between phase spans sub-microsecond.
+            committed, eos, budget = session.committed, session.eos, session.max_new_tokens
+            while committed[-1] != eos and len(committed) < budget:
+                self.step(session)
+            root.set_attr("n_tokens", len(session.committed))
             root.set_attr("n_draft_faults", record.n_draft_faults)
             root.set_attr("fallback_mode", record.fallback_mode)
             root.add_sim_ms(record.sim_time_ms)
 
-        record.token_ids = committed
+        self.finish(session)
         record.wall_time_s = timer.elapsed
-        record.text = self.tokenizer.decode(committed)
         return record

@@ -44,14 +44,17 @@ class HybridKVCache:
     # ------------------------------------------------------------------
     @property
     def context_len(self) -> int:
+        """Entries in the fixed context store (projected vision + text KV)."""
         return self._ctx_k.shape[2]
 
     @property
     def draft_len(self) -> int:
+        """Entries in the block-local draft store (cleared every block)."""
         return self._draft_k.shape[2]
 
     @property
     def total_len(self) -> int:
+        """Total attended KV length: context plus current draft segment."""
         return self.context_len + self.draft_len
 
     def _check(self, k: np.ndarray, v: np.ndarray, positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -27,12 +27,27 @@ The AASD draft head is cheaper per step than a 112M two-tower draft but pays
 per attended KV token, which is what the Vision KV Projector ablation
 (Table 2) measures: without compression its per-step cost grows with the
 uncompressed vision KV length.
+
+Batched serving
+---------------
+A GPU decode step is memory-bound: the weights are streamed once per
+forward regardless of how many sequences ride in the batch, so a batched
+forward over ``B`` sequences costs far less than ``B`` solo forwards.  The
+``batched_*`` methods price one such forward: the solo base cost is paid
+once, each *additional* sequence adds a small ``batch_per_seq_frac``
+increment (compute growing with batch size), and per-token / per-KV terms
+are summed over the whole batch because that work genuinely scales.  With
+one sequence they reduce exactly to the solo prices, so a batch-of-one
+server round costs the same as sequential decoding.  The continuous-
+batching scheduler (:mod:`repro.serving`) charges these to the *server*
+clock, while each request's own :class:`~repro.decoding.metrics.DecodeRecord`
+keeps solo-priced attribution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Sequence
 
 from ..errors import ConfigError
 
@@ -54,8 +69,15 @@ class CostProfile:
     aasd_per_kv_token_frac: float    # AASD extra cost per attended KV token
     aasd_reference_kv: int           # KV length included in aasd_step_frac
     projector_ms: float              # one-off KV projector application
+    # Batched-serving constants (see "Batched serving" in the module
+    # docstring): marginal cost of each additional sequence sharing one
+    # forward, as a fraction of the respective solo base cost.
+    batch_per_seq_frac: float = 0.05        # target forward, per extra sequence
+    draft_batch_per_seq_frac: float = 0.02  # AASD head step, per extra sequence
+    prefill_batch_frac: float = 0.60        # target prefill, per extra request
 
     def validate(self) -> None:
+        """Raise :class:`~repro.errors.ConfigError` on nonsensical constants."""
         numeric = (
             self.target_step_ms,
             self.prefill_ms,
@@ -66,6 +88,9 @@ class CostProfile:
             self.aasd_step_frac,
             self.aasd_per_kv_token_frac,
             self.projector_ms,
+            self.batch_per_seq_frac,
+            self.draft_batch_per_seq_frac,
+            self.prefill_batch_frac,
         )
         if any(v < 0 for v in numeric):
             raise ConfigError(f"cost profile {self.name!r} has negative constants")
@@ -154,4 +179,61 @@ class CostModel:
             raise ConfigError(f"kv_len must be >= 0, got {kv_len}")
         extra = max(0, kv_len - self.profile.aasd_reference_kv)
         frac = self.profile.aasd_step_frac + self.profile.aasd_per_kv_token_frac * extra
+        return frac * self.profile.target_step_ms
+
+    # -- batched serving (one forward shared by several requests) ---------
+    def batched_prefill(self, n_requests: int) -> float:
+        """One batched target prefill over ``n_requests`` admitted requests.
+
+        The first request pays the full solo prefill; each additional one
+        adds ``prefill_batch_frac`` of it (prefill is compute-bound, so
+        batching amortises less than decode steps do).
+        """
+        if n_requests <= 0:
+            raise ConfigError(f"need at least one request, got {n_requests}")
+        scale = 1.0 + self.profile.prefill_batch_frac * (n_requests - 1)
+        return scale * self.profile.prefill_ms
+
+    def batched_verify(self, feed_sizes: Sequence[int]) -> float:
+        """One batched parallel target forward verifying several sequences.
+
+        ``feed_sizes`` holds the number of tokens each sequence feeds
+        (``gamma + 1`` for a verify, ``1`` for a fallback step riding the
+        same forward).  The solo verify base is paid once, per-token cost
+        is summed over the batch, and each extra sequence adds
+        ``batch_per_seq_frac``.  ``batched_verify([n])`` equals
+        :meth:`target_verify` of ``n``.
+        """
+        sizes = list(feed_sizes)
+        if not sizes:
+            raise ConfigError("batched verify needs at least one sequence")
+        if any(n <= 0 for n in sizes):
+            raise ConfigError(f"verify feeds must be positive, got {sizes}")
+        frac = (
+            self.profile.verify_base_frac
+            + self.profile.verify_per_token_frac * sum(sizes)
+            + self.profile.batch_per_seq_frac * (len(sizes) - 1)
+        )
+        return frac * self.profile.target_step_ms
+
+    def batched_aasd_step(self, kv_lens: Sequence[int]) -> float:
+        """One batched draft-head step across several sessions' hybrid caches.
+
+        ``kv_lens`` holds each session's attended hybrid-KV length.  The
+        solo step base is paid once, per-KV-token excess is summed, and
+        each extra session adds ``draft_batch_per_seq_frac``.
+        ``batched_aasd_step([kv])`` equals :meth:`aasd_step` of ``kv``.
+        """
+        lens = list(kv_lens)
+        if not lens:
+            raise ConfigError("batched draft step needs at least one session")
+        if any(kv < 0 for kv in lens):
+            raise ConfigError(f"kv lengths must be >= 0, got {lens}")
+        ref = self.profile.aasd_reference_kv
+        extra = sum(max(0, kv - ref) for kv in lens)
+        frac = (
+            self.profile.aasd_step_frac
+            + self.profile.aasd_per_kv_token_frac * extra
+            + self.profile.draft_batch_per_seq_frac * (len(lens) - 1)
+        )
         return frac * self.profile.target_step_ms

@@ -57,6 +57,7 @@ class DecodeRecord:
     """
 
     token_ids: List[int] = field(default_factory=list)
+    request_id: Optional[str] = None   # serving-layer attribution (None when decoded directly)
     sim_time_ms: float = 0.0
     wall_time_s: float = 0.0
     blocks: List[BlockRecord] = field(default_factory=list)

@@ -11,6 +11,8 @@ __all__ = [
     "TrainingError",
     "CheckpointError",
     "GuardViolation",
+    "ServingError",
+    "AdmissionError",
 ]
 
 
@@ -57,4 +59,17 @@ class GuardViolation(ReproError):
 
     Raised by :mod:`repro.robustness.guards`; the decode engine treats it as
     a recoverable draft fault and degrades to target-only decoding.
+    """
+
+
+class ServingError(ReproError):
+    """Serving-layer failure (scheduler misuse, invalid request)."""
+
+
+class AdmissionError(ServingError):
+    """A request was refused at admission (queue full or incompatible).
+
+    This is the backpressure signal of :mod:`repro.serving`: online callers
+    should retry later or shed load; the offline ``serve_requests`` facade
+    converts it into a ``rejected`` result instead of raising.
     """

@@ -1,0 +1,475 @@
+"""Continuous-batching scheduler over :class:`~repro.core.engine.AASDEngine`.
+
+How batching works here
+-----------------------
+The engine's session API (:meth:`~repro.core.engine.AASDEngine.begin` /
+:meth:`~repro.core.engine.AASDEngine.step`) keeps every piece of mutable
+decode state on the :class:`~repro.core.engine.DecodeSession`, so the
+scheduler can interleave many in-flight generations over one engine.  Each
+scheduler *round* advances every active session by exactly one
+draft-then-verify block; new requests join at these block boundaries (a
+batched prefill) and finished ones retire without stalling the rest —
+classic continuous batching.
+
+Execution is per-session numpy, but the **server clock** is charged as if
+each round's draft steps and target forwards ran as single batched GPU
+forwards, using the ``batched_*`` prices of
+:class:`~repro.decoding.cost_model.CostModel` (memory-bound batching: base
+cost paid once per forward, per-token work summed, small per-sequence
+increment).  Each session's own :class:`~repro.decoding.metrics.DecodeRecord`
+is still charged solo prices by the engine, so per-request attribution is
+identical to sequential decoding — and with one request in the system every
+round reduces exactly to the sequential prices, which the equivalence tests
+pin down.
+
+Batch compatibility
+-------------------
+A batch only mixes requests with the same speculation depth (the paper's
+gamma): requests pinning a different ``gamma`` wait in the queue until the
+current batch drains, mirroring how a real server groups requests whose
+draft/verify tensor shapes can share a forward.  The model is trivially
+"the same" — one scheduler serves one engine.
+
+Backpressure and deadlines
+--------------------------
+Admission control is a bounded queue (:class:`~repro.serving.queue.AdmissionQueue`)
+raising :class:`~repro.errors.AdmissionError` when full.  Deadlines are
+relative simulated-ms budgets checked both while queued and after every
+round, so an expired request is retired mid-batch with the tokens it
+committed so far.
+
+Observability
+-------------
+Every round runs inside a ``schedule`` span (feeding the
+``span_ms.schedule`` histogram when tracing is enabled with a registry),
+each per-request prefill/step inside a ``request`` span tagged with the
+request id, and the registry carries ``serving.queue_depth`` /
+``serving.batch_occupancy`` gauges plus ``serving.requests_*_total``
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import zip_longest
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.engine import AASDEngine, DecodeSession
+from ..data.tasks import MultimodalSample
+from ..decoding.adaptive import FixedGamma, GammaController
+from ..decoding.metrics import DecodeRecord
+from ..errors import AdmissionError, ServingError
+from ..obs.logsetup import get_logger
+from ..obs.metrics import get_registry
+from ..utils.timing import SimulatedClock
+from .queue import AdmissionQueue
+from .request import (
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    ServeHandle,
+    ServeRequest,
+    ServeResult,
+    expiry_ms,
+)
+
+__all__ = [
+    "ServingConfig",
+    "ServingReport",
+    "ContinuousBatchingScheduler",
+    "serve_requests",
+]
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Scheduler knobs: batch width, queue bound, per-session gamma policy."""
+
+    max_batch_size: int = 8     #: sessions advanced per round
+    max_queue_depth: int = 64   #: admission-control bound (backpressure)
+    #: Optional per-session controller factory (e.g. ``AdaptiveGamma``);
+    #: default is a fresh ``FixedGamma`` at the request's effective depth.
+    gamma_controller_factory: Optional[Callable[[], GammaController]] = None
+
+    def __post_init__(self) -> None:
+        """Validate the scheduler knobs."""
+        if self.max_batch_size <= 0:
+            raise ServingError(f"max_batch_size must be positive, got {self.max_batch_size}")
+        if self.max_queue_depth <= 0:
+            raise ServingError(f"max_queue_depth must be positive, got {self.max_queue_depth}")
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Aggregate outcome of one :func:`serve_requests` run."""
+
+    results: Tuple[ServeResult, ...]        #: one per request, input order
+    total_sim_ms: float                     #: server clock total
+    sim_by_category: Dict[str, float]       #: server ms per phase
+    n_rounds: int                           #: scheduler rounds executed
+    max_batch_occupancy: int                #: widest batch observed
+
+    @property
+    def total_tokens(self) -> int:
+        """Tokens committed across all requests (partial outputs included)."""
+        return sum(r.record.n_tokens for r in self.results if r.record is not None)
+
+    @property
+    def tokens_per_s(self) -> float:
+        """Aggregate decoding speed on the server's simulated clock."""
+        if self.total_sim_ms <= 0:
+            return 0.0
+        return self.total_tokens / (self.total_sim_ms / 1000.0)
+
+    def count(self, status: str) -> int:
+        """Number of requests that ended in ``status``."""
+        return sum(1 for r in self.results if r.status == status)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict for logging / table rendering."""
+        return {
+            "n_requests": len(self.results),
+            "completed": self.count(STATUS_COMPLETED),
+            "timeout": self.count(STATUS_TIMEOUT),
+            "rejected": self.count(STATUS_REJECTED),
+            "failed": self.count(STATUS_FAILED),
+            "total_tokens": self.total_tokens,
+            "total_sim_ms": self.total_sim_ms,
+            "tokens_per_s": self.tokens_per_s,
+            "n_rounds": self.n_rounds,
+            "max_batch_occupancy": self.max_batch_occupancy,
+        }
+
+
+@dataclass
+class _Active:
+    """Scheduler-internal pairing of a handle with its live session."""
+
+    handle: ServeHandle
+    session: DecodeSession
+    started_ms: float   #: server clock at admission
+
+
+class ContinuousBatchingScheduler:
+    """Interleaves many :class:`DecodeSession` objects over one engine.
+
+    Drive it with :meth:`submit` + :meth:`run_until_idle` (or one
+    :meth:`run_round` at a time); the synchronous :func:`serve_requests`
+    facade does both for offline batches of requests.
+    """
+
+    def __init__(self, engine: AASDEngine, config: Optional[ServingConfig] = None) -> None:
+        self.engine = engine
+        self.config = config or ServingConfig()
+        self.queue = AdmissionQueue(self.config.max_queue_depth)
+        self.clock = SimulatedClock()   #: server simulated clock (milliseconds)
+        self.n_rounds = 0
+        self.max_batch_occupancy = 0
+        self._active: List[_Active] = []
+        self._batch_gamma: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def now_ms(self) -> float:
+        """Current server simulated time in milliseconds."""
+        return self.clock.total
+
+    @property
+    def n_active(self) -> int:
+        """Sessions currently in the batch."""
+        return len(self._active)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or in flight."""
+        return not self._active and len(self.queue) == 0
+
+    def _effective_gamma(self, request: ServeRequest) -> int:
+        """The depth used for batch-compatibility grouping."""
+        if request.gamma is not None:
+            return request.gamma
+        return self.engine.config.gamma
+
+    def _controller(self, gamma: int) -> GammaController:
+        """Fresh per-session gamma controller."""
+        factory = self.config.gamma_controller_factory
+        if factory is not None:
+            return factory()
+        return FixedGamma(gamma)
+
+    # ------------------------------------------------------------------
+    def submit(self, request: ServeRequest) -> ServeHandle:
+        """Admit one request; raises :class:`AdmissionError` when the queue is full."""
+        handle = self.queue.submit(request, now_ms=self.now_ms)
+        get_registry().counter("serving.requests_submitted_total").inc()
+        return handle
+
+    def _resolve(self, handle: ServeHandle, status: str, *,
+                 record: Optional[DecodeRecord] = None,
+                 error: Optional[str] = None,
+                 started_ms: Optional[float] = None) -> None:
+        """Retire a request with a terminal status (updates counters)."""
+        handle.resolve(ServeResult(
+            request_id=handle.request_id,
+            status=status,
+            record=record,
+            error=error,
+            submitted_ms=handle.submitted_ms,
+            started_ms=started_ms,
+            finished_ms=self.now_ms,
+        ))
+        get_registry().counter(f"serving.requests_{status}_total").inc()
+        if status != STATUS_COMPLETED:
+            logger.warning(
+                "request %s retired: %s",
+                handle.request_id,
+                status,
+                extra={"event": f"request_{status}", "request_id": handle.request_id,
+                       "error": error},
+            )
+
+    # ------------------------------------------------------------------
+    def _expire_queued(self) -> None:
+        """Time out queued requests whose deadline passed before admission."""
+        for handle in self.queue.expire(self.now_ms):
+            self._resolve(handle, STATUS_TIMEOUT,
+                          error="deadline expired while queued")
+
+    def _admit(self, span) -> None:
+        """Fill free batch slots from the queue (batched prefill).
+
+        Only requests whose effective gamma matches the active batch are
+        taken; incompatible ones stay queued until the batch drains.  The
+        server clock is charged one *batched* prefill for all admissions
+        of this round, plus the per-request projector application.
+        """
+        free = self.config.max_batch_size - len(self._active)
+        if free <= 0:
+            return
+        if self._batch_gamma is None:
+            lead = self.queue.pop_ready(1)
+            if not lead:
+                return
+            self._batch_gamma = self._effective_gamma(lead[0].request)
+            handles = lead + self.queue.pop_ready(
+                free - 1,
+                lambda h: self._effective_gamma(h.request) == self._batch_gamma,
+            )
+        else:
+            handles = self.queue.pop_ready(
+                free,
+                lambda h: self._effective_gamma(h.request) == self._batch_gamma,
+            )
+        if not handles:
+            return
+
+        started_ms = self.now_ms
+        n_prefilled = 0
+        tracer = self.engine.tracer
+        for handle in handles:
+            request = handle.request
+            with tracer.span("request", request_id=request.request_id, phase="prefill"):
+                try:
+                    session = self.engine.begin(
+                        request.sample,
+                        record=DecodeRecord(),
+                        max_new_tokens=request.max_new_tokens,
+                        gamma_controller=self._controller(self._effective_gamma(request)),
+                        request_id=request.request_id,
+                    )
+                except Exception as exc:  # noqa: BLE001 — isolate per request
+                    self._resolve(handle, STATUS_FAILED, error=f"prefill failed: {exc}",
+                                  started_ms=started_ms)
+                    continue
+            self._active.append(_Active(handle, session, started_ms))
+            n_prefilled += 1
+        if n_prefilled:
+            cost = self.engine.cost_model
+            charge = cost.batched_prefill(n_prefilled)
+            head = self.engine.head
+            if head.config.use_target_kv and head.projector is not None:
+                charge += n_prefilled * cost.projector()
+            self.clock.charge(charge, "prefill")
+            span.add_sim_ms(charge)
+            span.set_attr("n_admitted", n_prefilled)
+
+    def _step_batch(self, span) -> None:
+        """Advance every active session one block; charge batched prices."""
+        tracer = self.engine.tracer
+        reports = []
+        failed: List[_Active] = []
+        for entry in self._active:
+            if entry.session.finished:
+                continue
+            with tracer.span("request", request_id=entry.handle.request_id,
+                             phase="step"):
+                try:
+                    reports.append(self.engine.step(entry.session))
+                except Exception as exc:  # noqa: BLE001 — isolate per request
+                    failed.append(entry)
+                    self._resolve(entry.handle, STATUS_FAILED,
+                                  record=self.engine.finish(entry.session),
+                                  error=f"step failed: {exc}",
+                                  started_ms=entry.started_ms)
+        for entry in failed:
+            self._active.remove(entry)
+        if not reports:
+            return
+
+        charge = self._charge_round(reports)
+        span.add_sim_ms(charge)
+        span.set_attr("batch_size", len(reports))
+        occupancy = len(reports)
+        self.max_batch_occupancy = max(self.max_batch_occupancy, occupancy)
+        get_registry().gauge("serving.batch_occupancy").set(occupancy)
+
+    def _charge_round(self, reports: Sequence) -> float:
+        """Price one round's draft steps + target forward on the server clock.
+
+        Draft steps are grouped *by position*: position ``i`` of every
+        session that drafted that deep shares one batched head forward.
+        All target feeds (verify blocks and 1-token fallback steps) share
+        one batched verify forward.  With a single session the charges
+        reduce exactly to the engine's own solo prices, so a batch of one
+        costs the same as sequential decoding.
+        """
+        cost = self.engine.cost_model
+        charged = 0.0
+        drafted = [r.draft_kv_lens for r in reports if r.draft_kv_lens]
+        for lens_at_pos in zip_longest(*drafted):
+            lens = [kv for kv in lens_at_pos if kv is not None]
+            if lens:
+                ms = cost.batched_aasd_step(lens)
+                self.clock.charge(ms, "draft")
+                charged += ms
+        if len(reports) == 1 and reports[0].kind == "fallback":
+            # Solo fallback: keep exact parity with sequential decoding,
+            # which prices a plain target step (not a 1-token verify).
+            ms = cost.target_step()
+            self.clock.charge(ms, "fallback")
+        else:
+            ms = cost.batched_verify([r.feed_size for r in reports])
+            self.clock.charge(ms, "verify")
+        charged += ms
+        return charged
+
+    def _retire(self) -> None:
+        """Resolve finished and deadline-expired sessions (batch keeps going)."""
+        now = self.now_ms
+        still: List[_Active] = []
+        for entry in self._active:
+            session, handle = entry.session, entry.handle
+            if session.finished:
+                self._resolve(handle, STATUS_COMPLETED,
+                              record=self.engine.finish(session),
+                              started_ms=entry.started_ms)
+            else:
+                limit = expiry_ms(handle)
+                if limit is not None and now >= limit:
+                    # Mid-batch expiry: keep the partial generation.
+                    self._resolve(handle, STATUS_TIMEOUT,
+                                  record=self.engine.finish(session),
+                                  error="deadline expired mid-batch",
+                                  started_ms=entry.started_ms)
+                else:
+                    still.append(entry)
+        self._active = still
+        if not self._active:
+            self._batch_gamma = None
+
+    # ------------------------------------------------------------------
+    def run_round(self) -> bool:
+        """One scheduler round; returns False when there was nothing to do.
+
+        A round: expire queued deadlines -> admit into free slots (batched
+        prefill) -> advance every active session one block (batched
+        draft/verify) -> retire finished / expired / failed sessions.
+        """
+        self._expire_queued()
+        if self.idle:
+            return False
+        with self.engine.tracer.span("schedule", round=self.n_rounds) as span:
+            self._admit(span)
+            self._step_batch(span)
+            self._retire()
+        self.n_rounds += 1
+        get_registry().counter("serving.rounds_total").inc()
+        return True
+
+    def run_until_idle(self, max_rounds: Optional[int] = None) -> int:
+        """Run rounds until no work remains; returns rounds executed.
+
+        ``max_rounds`` is a safety valve for tests; exceeding it raises
+        :class:`ServingError` (it indicates a scheduler bug, since every
+        round makes progress on some session).
+        """
+        executed = 0
+        while self.run_round():
+            executed += 1
+            if max_rounds is not None and executed > max_rounds:
+                raise ServingError(f"scheduler still busy after {max_rounds} rounds")
+        return executed
+
+
+def _normalize(requests: Iterable[Union[ServeRequest, MultimodalSample]]) -> List[ServeRequest]:
+    """Wrap raw samples as requests with generated ids."""
+    normalized: List[ServeRequest] = []
+    for i, item in enumerate(requests):
+        if isinstance(item, ServeRequest):
+            normalized.append(item)
+        else:
+            normalized.append(ServeRequest(request_id=f"req-{i:03d}", sample=item))
+    return normalized
+
+
+def serve_requests(
+    engine: AASDEngine,
+    requests: Iterable[Union[ServeRequest, MultimodalSample]],
+    config: Optional[ServingConfig] = None,
+) -> ServingReport:
+    """Serve a batch of requests to completion and report aggregate throughput.
+
+    The synchronous facade for offline runs: submits every request
+    (running scheduler rounds whenever admission control pushes back),
+    drains the system, and returns one :class:`ServeResult` per request in
+    input order plus server-clock throughput.  Raw
+    :class:`~repro.data.tasks.MultimodalSample` items are auto-wrapped as
+    requests with generated ids.
+    """
+    scheduler = ContinuousBatchingScheduler(engine, config)
+    normalized = _normalize(requests)
+    handles: Dict[str, ServeHandle] = {}
+    early: Dict[str, ServeResult] = {}
+    for request in normalized:
+        # Backpressure: when the queue is full, run rounds until a slot
+        # frees instead of dropping the request (offline semantics).
+        while scheduler.queue.free == 0 and scheduler.run_round():
+            pass
+        try:
+            handles[request.request_id] = scheduler.submit(request)
+        except AdmissionError as exc:
+            early[request.request_id] = ServeResult(
+                request_id=request.request_id,
+                status=STATUS_REJECTED,
+                error=str(exc),
+                submitted_ms=scheduler.now_ms,
+            )
+            get_registry().counter("serving.requests_rejected_total").inc()
+    scheduler.run_until_idle()
+
+    results = []
+    for request in normalized:
+        if request.request_id in early:
+            results.append(early[request.request_id])
+        else:
+            results.append(handles[request.request_id].result(timeout=0))
+    return ServingReport(
+        results=tuple(results),
+        total_sim_ms=scheduler.clock.total,
+        sim_by_category=dict(scheduler.clock.by_category),
+        n_rounds=scheduler.n_rounds,
+        max_batch_occupancy=scheduler.max_batch_occupancy,
+    )

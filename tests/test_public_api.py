@@ -52,7 +52,18 @@ def test_version():
                 "check_hybrid_cache",
             ],
         ),
-        ("repro.errors", ["CheckpointError", "GuardViolation"]),
+        (
+            "repro.serving",
+            [
+                "ServeRequest",
+                "ServeResult",
+                "AdmissionQueue",
+                "ContinuousBatchingScheduler",
+                "ServingConfig",
+                "serve_requests",
+            ],
+        ),
+        ("repro.errors", ["CheckpointError", "GuardViolation", "ServingError", "AdmissionError"]),
     ],
 )
 def test_module_exports(module, names):
@@ -72,6 +83,7 @@ def test_all_lists_are_accurate():
         "repro.training",
         "repro.eval",
         "repro.robustness",
+        "repro.serving",
     ):
         mod = importlib.import_module(module)
         for name in mod.__all__:
