@@ -67,6 +67,7 @@ from ..decoding.adaptive import FixedGamma, GammaController
 from ..utils.timing import WallTimer
 from .draft_head import AASDDraftHead
 from .hybrid_cache import SEGMENT_TEXT, HybridKVCache
+from .kv_arena import ArenaStats, combined_stats
 
 __all__ = ["AASDEngineConfig", "AASDEngine", "DecodeSession", "StepReport"]
 
@@ -134,6 +135,14 @@ class DecodeSession:
     def n_committed(self) -> int:
         """Tokens emitted so far."""
         return len(self.committed)
+
+    def memory_stats(self) -> ArenaStats:
+        """Arena copy/growth accounting over this session's two caches.
+
+        Tolerates non-arena (reference) cache implementations, which
+        simply contribute nothing.
+        """
+        return combined_stats(self.target_cache, self.hybrid)
 
 
 @dataclass(frozen=True)
@@ -529,6 +538,10 @@ class AASDEngine(Decoder):
             root.set_attr("n_tokens", len(session.committed))
             root.set_attr("n_draft_faults", record.n_draft_faults)
             root.set_attr("fallback_mode", record.fallback_mode)
+            memory = session.memory_stats()
+            root.set_attr("bytes_copied", memory.bytes_copied)
+            root.set_attr("arena_grows", memory.grow_events)
+            root.set_attr("peak_cache_tokens", memory.peak_tokens)
             root.add_sim_ms(record.sim_time_ms)
 
         self.finish(session)

@@ -10,15 +10,32 @@ During AASD inference the speculating module attends over two stores:
 
 Context entries carry a segment tag (vision/text) so the Figure 4 ablations
 can mask a modality at attention time.
+
+Storage is a single :class:`~repro.utils.arena.Arena` lane pair per array
+with the context occupying ``[0, context_len)`` and the draft segment the
+tail ``[context_len, total_len)``.  Because the engine only ever appends
+context while the draft segment is empty (cleared after every verify),
+both lanes share one buffer, and the old per-``gather`` rebuild — five
+``np.concatenate`` calls over the *entire* context on every draft step —
+becomes a cached zero-copy view:
+
+* ``append_draft`` memcpys one token into slack,
+* ``clear_draft`` is a pointer decrement,
+* ``gather`` returns cached views plus a memoized blocked-mask row,
+  invalidated only by mutation.
+
+:class:`repro.core.reference.ReferenceHybridKVCache` preserves the old
+implementation as the executable spec the property tests compare against.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ShapeError
+from ..utils.arena import Arena, ArenaStats
 
 __all__ = ["HybridKVCache", "SEGMENT_VISION", "SEGMENT_TEXT"]
 
@@ -27,35 +44,43 @@ SEGMENT_TEXT = 1
 
 
 class HybridKVCache:
-    """Numpy KV store for one AASD generation session (batch size 1)."""
+    """Numpy KV store for one AASD generation session (batch size 1).
+
+    Arrays returned by :meth:`gather` alias arena storage: they are valid
+    until the next mutating call (``append_context`` / ``append_draft`` /
+    ``clear_draft``), after which their contents are undefined.  The
+    engine consumes them within a single draft step, which is what makes
+    the zero-copy contract safe.
+    """
 
     def __init__(self, n_heads: int, head_dim: int) -> None:
         self.n_heads = n_heads
         self.head_dim = head_dim
-        shape = (1, n_heads, 0, head_dim)
-        self._ctx_k = np.empty(shape, dtype=np.float32)
-        self._ctx_v = np.empty(shape, dtype=np.float32)
-        self._ctx_pos = np.empty((0,), dtype=np.int64)
-        self._ctx_seg = np.empty((0,), dtype=np.int8)
-        self._draft_k = np.empty(shape, dtype=np.float32)
-        self._draft_v = np.empty(shape, dtype=np.float32)
-        self._draft_pos = np.empty((0,), dtype=np.int64)
+        self._stats = ArenaStats()
+        item = (1, n_heads, 0, head_dim)
+        self._k = Arena(item, axis=2, dtype=np.float32, stats=self._stats)
+        self._v = Arena(item, axis=2, dtype=np.float32, stats=self._stats)
+        self._pos = Arena((0,), axis=0, dtype=np.int64, stats=self._stats)
+        self._seg = Arena((0,), axis=0, dtype=np.int8, stats=self._stats)
+        self._ctx_len = 0
+        self._n_vision = 0
+        self._blocked: Dict[Tuple[bool, bool], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     @property
     def context_len(self) -> int:
         """Entries in the fixed context store (projected vision + text KV)."""
-        return self._ctx_k.shape[2]
+        return self._ctx_len
 
     @property
     def draft_len(self) -> int:
         """Entries in the block-local draft store (cleared every block)."""
-        return self._draft_k.shape[2]
+        return len(self._k) - self._ctx_len
 
     @property
     def total_len(self) -> int:
         """Total attended KV length: context plus current draft segment."""
-        return self.context_len + self.draft_len
+        return len(self._k)
 
     def _check(self, k: np.ndarray, v: np.ndarray, positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         k = np.asarray(k, dtype=np.float32)
@@ -75,30 +100,58 @@ class HybridKVCache:
 
     # ------------------------------------------------------------------
     def append_context(self, k: np.ndarray, v: np.ndarray, positions: np.ndarray, segment: int) -> None:
-        """Append target-provided (or projected) KV to the context store."""
+        """Append target-provided (or projected) KV to the context store.
+
+        When a draft segment is live (not the engine's pattern, but legal
+        API), the few draft tokens are lifted out, the context extended,
+        and the draft re-appended behind it — O(draft) extra copy, never
+        O(context).
+        """
         if segment not in (SEGMENT_VISION, SEGMENT_TEXT):
             raise ShapeError(f"unknown segment tag {segment}")
         k, v, positions = self._check(k, v, positions)
-        self._ctx_k = np.concatenate([self._ctx_k, k], axis=2)
-        self._ctx_v = np.concatenate([self._ctx_v, v], axis=2)
-        self._ctx_pos = np.concatenate([self._ctx_pos, positions])
-        self._ctx_seg = np.concatenate(
-            [self._ctx_seg, np.full(k.shape[2], segment, dtype=np.int8)]
-        )
+        stashed = None
+        if self.draft_len:
+            stashed = (
+                self._k.view()[:, :, self._ctx_len:, :].copy(),
+                self._v.view()[:, :, self._ctx_len:, :].copy(),
+                self._pos.view()[self._ctx_len:].copy(),
+            )
+            self._k.truncate(self._ctx_len)
+            self._v.truncate(self._ctx_len)
+            self._pos.truncate(self._ctx_len)
+        self._k.append(k)
+        self._v.append(v)
+        self._pos.append(positions)
+        self._seg.append(np.full(k.shape[2], segment, dtype=np.int8))
+        self._ctx_len += k.shape[2]
+        if segment == SEGMENT_VISION:
+            self._n_vision += k.shape[2]
+        if stashed is not None:
+            self._k.append(stashed[0])
+            self._v.append(stashed[1])
+            self._pos.append(stashed[2])
+        self._blocked.clear()
 
     def append_draft(self, k: np.ndarray, v: np.ndarray, positions: np.ndarray) -> None:
         """Append the draft head's own KV for freshly drafted tokens."""
         k, v, positions = self._check(k, v, positions)
-        self._draft_k = np.concatenate([self._draft_k, k], axis=2)
-        self._draft_v = np.concatenate([self._draft_v, v], axis=2)
-        self._draft_pos = np.concatenate([self._draft_pos, positions])
+        self._k.append(k)
+        self._v.append(v)
+        self._pos.append(positions)
+        self._blocked.clear()
 
     def clear_draft(self) -> None:
-        """Drop the block-local draft KV (called after every verify)."""
-        shape = (1, self.n_heads, 0, self.head_dim)
-        self._draft_k = np.empty(shape, dtype=np.float32)
-        self._draft_v = np.empty(shape, dtype=np.float32)
-        self._draft_pos = np.empty((0,), dtype=np.int64)
+        """Drop the block-local draft KV (called after every verify).
+
+        A pointer decrement on the shared lane — rollback after a
+        rejected draft block costs nothing.
+        """
+        if self.draft_len:
+            self._k.truncate(self._ctx_len)
+            self._v.truncate(self._ctx_len)
+            self._pos.truncate(self._ctx_len)
+            self._blocked.clear()
 
     # ------------------------------------------------------------------
     def gather(
@@ -109,19 +162,27 @@ class HybridKVCache:
         """Return ``(K, V, key_positions, blocked)`` over context + draft.
 
         ``blocked`` is a per-key boolean row implementing the modality
-        ablations; the draft segment is never blocked.
+        ablations; the draft segment is never blocked.  All four arrays
+        are zero-copy cached views/rows: repeated calls between mutations
+        return the same objects without touching the data.
         """
-        k = np.concatenate([self._ctx_k, self._draft_k], axis=2)
-        v = np.concatenate([self._ctx_v, self._draft_v], axis=2)
-        positions = np.concatenate([self._ctx_pos, self._draft_pos])
-        blocked = np.zeros(k.shape[2], dtype=bool)
-        if disable_image_kv:
-            blocked[: self.context_len] |= self._ctx_seg == SEGMENT_VISION
-        if disable_text_kv:
-            blocked[: self.context_len] |= self._ctx_seg == SEGMENT_TEXT
-        return k, v, positions, blocked
+        key = (disable_image_kv, disable_text_kv)
+        blocked = self._blocked.get(key)
+        if blocked is None:
+            blocked = np.zeros(self.total_len, dtype=bool)
+            if disable_image_kv or disable_text_kv:
+                seg = self._seg.view()[: self._ctx_len]
+                if disable_image_kv:
+                    blocked[: self._ctx_len] |= seg == SEGMENT_VISION
+                if disable_text_kv:
+                    blocked[: self._ctx_len] |= seg == SEGMENT_TEXT
+            self._blocked[key] = blocked
+        return self._k.view(), self._v.view(), self._pos.view(), blocked
 
     def segment_counts(self) -> Tuple[int, int]:
         """(n_vision, n_text) context entries — used by cost accounting."""
-        n_vision = int((self._ctx_seg == SEGMENT_VISION).sum())
-        return n_vision, self.context_len - n_vision
+        return self._n_vision, self._ctx_len - self._n_vision
+
+    def arena_stats(self) -> ArenaStats:
+        """Copy/growth accounting aggregated over this cache's arenas."""
+        return self._stats

@@ -1,0 +1,15 @@
+"""Public surface of the zero-copy KV arena storage layer.
+
+The implementation lives in :mod:`repro.utils.arena` so that
+:mod:`repro.models.kv_cache` (a layer *below* ``repro.core``) can build on
+it without an import cycle; this module is the documented entry point the
+rest of the stack imports from.  See the implementation module and
+``docs/performance.md`` for the design: amortized-doubling growth, cached
+zero-copy views, pointer-decrement rollback, and copy-on-write forking.
+"""
+
+from __future__ import annotations
+
+from ..utils.arena import MIN_CAPACITY, Arena, ArenaStats, combined_stats
+
+__all__ = ["Arena", "ArenaStats", "MIN_CAPACITY", "combined_stats"]

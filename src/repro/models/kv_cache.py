@@ -1,9 +1,23 @@
-"""Per-layer KV cache with modality segments.
+"""Per-layer KV cache with modality segments, backed by zero-copy arenas.
 
 The cache stores post-RoPE key/value arrays per layer, plus the absolute
 positions of the cached tokens and the boundaries of the vision / prompt /
 generated segments.  AASD consumes the *last layer's* slice, and the
 Figure 4 ablations mask individual segments.
+
+Storage is an :class:`~repro.utils.arena.Arena` pair per layer (amortized
+doubling along the token axis), so the decode hot path never pays O(T)
+reallocation:
+
+* ``append`` memcpys only the new tokens into preallocated slack,
+* ``truncate`` (rejected-draft rollback) is a pointer decrement,
+* ``layer``/``last_layer``/``positions`` return cached zero-copy views,
+  identity-stable until the next mutation,
+* ``clone`` is copy-on-write: O(1) to take, and nobody pays a deep copy
+  until a side actually writes into shared storage (the old
+  implementation eagerly copied every layer; see
+  :class:`repro.core.reference.ReferenceKVCache` for that executable
+  spec, and ``docs/performance.md`` for the design).
 """
 
 from __future__ import annotations
@@ -14,6 +28,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..errors import ShapeError
+from ..utils.arena import Arena, ArenaStats
 
 __all__ = ["KVCache", "Segments"]
 
@@ -45,34 +60,46 @@ class KVCache:
     truncation (used when draft tokens are rejected) shrinks it.  All data
     is plain numpy — the cache is an inference-side object and never carries
     gradients.
+
+    Reads alias arena storage: arrays returned by :meth:`layer` /
+    :meth:`last_layer` and the :attr:`positions` view are valid until the
+    next ``append``/``truncate``; copy them to hold across mutations.
     """
 
     def __init__(self, n_layers: int) -> None:
         if n_layers <= 0:
             raise ValueError(f"n_layers must be positive, got {n_layers}")
         self.n_layers = n_layers
-        self._keys: List[Optional[np.ndarray]] = [None] * n_layers
-        self._values: List[Optional[np.ndarray]] = [None] * n_layers
-        self.positions: np.ndarray = np.empty((0,), dtype=np.int64)
+        self._stats = ArenaStats()
+        self._keys: List[Optional[Arena]] = [None] * n_layers
+        self._values: List[Optional[Arena]] = [None] * n_layers
+        self._positions = Arena((0,), axis=0, dtype=np.int64, stats=self._stats)
         self.segments: Optional[Segments] = None
 
     # ------------------------------------------------------------------
     @property
     def seq_len(self) -> int:
-        return 0 if self._keys[0] is None else self._keys[0].shape[2]
+        """Tokens currently cached (0 when empty)."""
+        return 0 if self._keys[0] is None else len(self._keys[0])
 
     @property
     def batch_size(self) -> int:
+        """Leading batch dimension of the cached arrays."""
         if self._keys[0] is None:
             raise ShapeError("cache is empty")
-        return self._keys[0].shape[0]
+        return self._keys[0].view().shape[0]
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Absolute positions of the cached tokens (zero-copy view)."""
+        return self._positions.view()
 
     def layer(self, idx: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Return (K, V) for layer ``idx``."""
+        """Return (K, V) views for layer ``idx`` (no copy)."""
         k, v = self._keys[idx], self._values[idx]
         if k is None or v is None:
             raise ShapeError(f"layer {idx} cache is empty")
-        return k, v
+        return k.view(), v.view()
 
     def last_layer(self) -> Tuple[np.ndarray, np.ndarray]:
         """The slice AASD's speculating module consumes."""
@@ -85,25 +112,37 @@ class KVCache:
         v = np.asarray(v)
         if k.shape != v.shape:
             raise ShapeError(f"K/V shape mismatch: {k.shape} vs {v.shape}")
-        if self._keys[layer] is None:
-            self._keys[layer] = k.copy()
-            self._values[layer] = v.copy()
+        if k.ndim != 4:
+            raise ShapeError(f"expected (B, H, T, Dh) K/V, got {k.shape}")
+        arena_k = self._keys[layer]
+        if arena_k is None:
+            item = (k.shape[0], k.shape[1], 0, k.shape[3])
+            arena_k = Arena(item, axis=2, dtype=k.dtype, stats=self._stats)
+            arena_v = Arena(item, axis=2, dtype=v.dtype, stats=self._stats)
+            self._keys[layer] = arena_k
+            self._values[layer] = arena_v
         else:
-            if k.shape[:2] != self._keys[layer].shape[:2] or k.shape[3] != self._keys[layer].shape[3]:
-                raise ShapeError(
-                    f"append shape {k.shape} incompatible with cache {self._keys[layer].shape}"
-                )
-            self._keys[layer] = np.concatenate([self._keys[layer], k], axis=2)
-            self._values[layer] = np.concatenate([self._values[layer], v], axis=2)
+            arena_v = self._values[layer]
+        try:
+            arena_k.append(k)
+            arena_v.append(v)
+        except ShapeError as exc:
+            raise ShapeError(
+                f"append shape {k.shape} incompatible with cache "
+                f"(B={arena_k.view().shape[0]}, H={arena_k.view().shape[1]}, "
+                f"T={len(arena_k)}, Dh={arena_k.view().shape[3]})"
+            ) from exc
 
     def extend_positions(self, positions: np.ndarray) -> None:
         """Record absolute positions for tokens just appended to all layers."""
-        self.positions = np.concatenate(
-            [self.positions, np.asarray(positions, dtype=np.int64)]
-        )
+        self._positions.append(np.asarray(positions, dtype=np.int64))
 
     def truncate(self, new_len: int) -> None:
-        """Drop cached entries beyond ``new_len`` (rejected draft rollback)."""
+        """Drop cached entries beyond ``new_len`` (rejected draft rollback).
+
+        With arena storage this is a pointer decrement per layer — no
+        array data moves.
+        """
         if new_len > self.seq_len:
             raise ShapeError(f"cannot truncate cache of len {self.seq_len} to {new_len}")
         if new_len == self.seq_len:
@@ -115,9 +154,9 @@ class KVCache:
             )
         for i in range(self.n_layers):
             if self._keys[i] is not None:
-                self._keys[i] = self._keys[i][:, :, :new_len, :]
-                self._values[i] = self._values[i][:, :, :new_len, :]
-        self.positions = self.positions[:new_len]
+                self._keys[i].truncate(new_len)
+                self._values[i].truncate(new_len)
+        self._positions.truncate(min(new_len, len(self._positions)))
 
     def set_segments(self, n_vision: int, n_prompt: int) -> None:
         """Mark the vision/prompt boundaries right after prefill."""
@@ -126,13 +165,23 @@ class KVCache:
     # ------------------------------------------------------------------
     def next_position(self) -> int:
         """Absolute position the next token should occupy."""
-        return 0 if self.positions.size == 0 else int(self.positions[-1]) + 1
+        pos = self._positions.view()
+        return 0 if pos.size == 0 else int(pos[-1]) + 1
+
+    def arena_stats(self) -> ArenaStats:
+        """Copy/growth accounting aggregated over this cache's arenas."""
+        return self._stats
 
     def clone(self) -> "KVCache":
-        """Deep copy (used by tests and what-if rollouts)."""
+        """Copy-on-write snapshot (verification rollouts, what-if decoding).
+
+        O(1): every layer arena is forked, sharing storage until one side
+        writes.  The old implementation deep-copied all layers eagerly,
+        even though AASD only ever reads the last layer's slice.
+        """
         out = KVCache(self.n_layers)
-        out._keys = [None if k is None else k.copy() for k in self._keys]
-        out._values = [None if v is None else v.copy() for v in self._values]
-        out.positions = self.positions.copy()
+        out._keys = [None if k is None else k.fork(out._stats) for k in self._keys]
+        out._values = [None if v is None else v.fork(out._stats) for v in self._values]
+        out._positions = self._positions.fork(out._stats)
         out.segments = self.segments
         return out

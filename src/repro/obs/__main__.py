@@ -38,6 +38,11 @@ def main(argv=None) -> int:
             "coverage": summary.coverage,
             "acceptance_rate": summary.acceptance_rate,
             "block_efficiency": summary.block_efficiency,
+            "memory": {
+                "bytes_copied": summary.bytes_copied,
+                "arena_grows": summary.arena_grows,
+                "peak_cache_tokens": summary.peak_cache_tokens,
+            } if summary.has_memory else None,
             "phases": {
                 name: {
                     "count": s.count,

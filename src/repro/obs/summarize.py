@@ -1,9 +1,12 @@
 """Per-phase breakdown of a trace file (the ``repro.obs summarize`` CLI).
 
 Aggregates spans by name into a wall/simulated time table, derives
-acceptance statistics from ``verify`` span attributes, and reports how
+acceptance statistics from ``verify`` span attributes, reports how
 much of each ``decode`` span is covered by its phase children (the
-tiling guarantee the engine instrumentation maintains).
+tiling guarantee the engine instrumentation maintains), and — when the
+``decode`` spans carry the KV-arena attributes the engine stamps
+(``bytes_copied`` / ``arena_grows`` / ``peak_cache_tokens``) — a memory
+section showing the cache-copy story next to the wall table.
 """
 
 from __future__ import annotations
@@ -47,6 +50,10 @@ class TraceSummary:
     decode_wall_ms: float = 0.0
     decode_sim_ms: float = 0.0
     coverage: Optional[float] = None    # phase wall / decode wall
+    bytes_copied: int = 0               # KV-arena bytes memcpy'd, summed
+    arena_grows: int = 0                # KV-arena buffer reallocations, summed
+    peak_cache_tokens: int = 0          # longest per-session KV seen
+    has_memory: bool = False            # any decode span carried memory attrs
 
     @property
     def acceptance_rate(self) -> Optional[float]:
@@ -73,6 +80,14 @@ def summarize_spans(spans: Sequence[SpanRecord]) -> TraceSummary:
             summary.n_decodes += 1
             summary.decode_wall_ms += span.duration_ms
             summary.decode_sim_ms += span.sim_ms
+            if "bytes_copied" in span.attrs:
+                summary.has_memory = True
+                summary.bytes_copied += int(span.attrs["bytes_copied"])
+                summary.arena_grows += int(span.attrs.get("arena_grows", 0))
+                summary.peak_cache_tokens = max(
+                    summary.peak_cache_tokens,
+                    int(span.attrs.get("peak_cache_tokens", 0)),
+                )
     phase_in_decode_ms = 0.0
     for span in spans:
         if span.name == "decode":
@@ -90,6 +105,15 @@ def summarize_spans(spans: Sequence[SpanRecord]) -> TraceSummary:
     if summary.decode_wall_ms > 0:
         summary.coverage = phase_in_decode_ms / summary.decode_wall_ms
     return summary
+
+
+def _format_bytes(n: int) -> str:
+    """Human-scale byte count (KiB/MiB above 1 KiB)."""
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.2f} MiB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.2f} KiB"
+    return f"{n} B"
 
 
 def render_summary(summary: TraceSummary) -> str:
@@ -121,6 +145,12 @@ def render_summary(summary: TraceSummary) -> str:
     )
     if summary.coverage is not None:
         lines.append(f"phase coverage of decode spans: {100.0 * summary.coverage:.2f}%")
+    if summary.has_memory:
+        lines.append(
+            f"memory: {_format_bytes(summary.bytes_copied)} copied by KV arenas, "
+            f"{summary.arena_grows} arena grow(s), "
+            f"peak cache {summary.peak_cache_tokens} tokens"
+        )
     alpha = summary.acceptance_rate
     tau = summary.block_efficiency
     if alpha is not None and tau is not None:

@@ -44,8 +44,11 @@ Every round runs inside a ``schedule`` span (feeding the
 ``span_ms.schedule`` histogram when tracing is enabled with a registry),
 each per-request prefill/step inside a ``request`` span tagged with the
 request id, and the registry carries ``serving.queue_depth`` /
-``serving.batch_occupancy`` gauges plus ``serving.requests_*_total``
-counters.
+``serving.batch_occupancy`` / ``serving.kv_tokens`` gauges plus
+``serving.requests_*_total`` counters.  Retired sessions fold their
+KV-arena accounting into ``scheduler.memory`` (surfaced as
+``bytes_copied`` / ``arena_grows`` / ``peak_cache_tokens`` on the
+:class:`ServingReport`); see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -55,6 +58,7 @@ from itertools import zip_longest
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.engine import AASDEngine, DecodeSession
+from ..core.kv_arena import ArenaStats
 from ..data.tasks import MultimodalSample
 from ..decoding.adaptive import FixedGamma, GammaController
 from ..decoding.metrics import DecodeRecord
@@ -111,6 +115,9 @@ class ServingReport:
     sim_by_category: Dict[str, float]       #: server ms per phase
     n_rounds: int                           #: scheduler rounds executed
     max_batch_occupancy: int                #: widest batch observed
+    bytes_copied: int = 0                   #: KV-arena bytes memcpy'd, all sessions
+    arena_grows: int = 0                    #: KV-arena buffer reallocations
+    peak_cache_tokens: int = 0              #: longest per-session KV seen
 
     @property
     def total_tokens(self) -> int:
@@ -141,6 +148,9 @@ class ServingReport:
             "tokens_per_s": self.tokens_per_s,
             "n_rounds": self.n_rounds,
             "max_batch_occupancy": self.max_batch_occupancy,
+            "bytes_copied": self.bytes_copied,
+            "arena_grows": self.arena_grows,
+            "peak_cache_tokens": self.peak_cache_tokens,
         }
 
 
@@ -168,6 +178,7 @@ class ContinuousBatchingScheduler:
         self.clock = SimulatedClock()   #: server simulated clock (milliseconds)
         self.n_rounds = 0
         self.max_batch_occupancy = 0
+        self.memory = ArenaStats()   #: KV-arena accounting over retired sessions
         self._active: List[_Active] = []
         self._batch_gamma: Optional[int] = None
 
@@ -310,6 +321,7 @@ class ContinuousBatchingScheduler:
                     reports.append(self.engine.step(entry.session))
                 except Exception as exc:  # noqa: BLE001 — isolate per request
                     failed.append(entry)
+                    self.memory.add(entry.session.memory_stats())
                     self._resolve(entry.handle, STATUS_FAILED,
                                   record=self.engine.finish(entry.session),
                                   error=f"step failed: {exc}",
@@ -318,6 +330,12 @@ class ContinuousBatchingScheduler:
             self._active.remove(entry)
         if not reports:
             return
+        kv_tokens = sum(
+            e.session.target_cache.seq_len + e.session.hybrid.total_len
+            for e in self._active
+        )
+        span.set_attr("kv_tokens", kv_tokens)
+        get_registry().gauge("serving.kv_tokens").set(kv_tokens)
 
         charge = self._charge_round(reports)
         span.add_sim_ms(charge)
@@ -363,6 +381,7 @@ class ContinuousBatchingScheduler:
         for entry in self._active:
             session, handle = entry.session, entry.handle
             if session.finished:
+                self.memory.add(session.memory_stats())
                 self._resolve(handle, STATUS_COMPLETED,
                               record=self.engine.finish(session),
                               started_ms=entry.started_ms)
@@ -370,6 +389,7 @@ class ContinuousBatchingScheduler:
                 limit = expiry_ms(handle)
                 if limit is not None and now >= limit:
                     # Mid-batch expiry: keep the partial generation.
+                    self.memory.add(session.memory_stats())
                     self._resolve(handle, STATUS_TIMEOUT,
                                   record=self.engine.finish(session),
                                   error="deadline expired mid-batch",
@@ -472,4 +492,7 @@ def serve_requests(
         sim_by_category=dict(scheduler.clock.by_category),
         n_rounds=scheduler.n_rounds,
         max_batch_occupancy=scheduler.max_batch_occupancy,
+        bytes_copied=scheduler.memory.bytes_copied,
+        arena_grows=scheduler.memory.grow_events,
+        peak_cache_tokens=scheduler.memory.peak_tokens,
     )

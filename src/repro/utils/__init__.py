@@ -1,6 +1,16 @@
-"""Shared utilities: deterministic RNG streams and clocks."""
+"""Shared utilities: deterministic RNG streams, clocks, arena buffers."""
 
+from .arena import MIN_CAPACITY, Arena, ArenaStats, combined_stats
 from .rng import derive, seed_sequence
 from .timing import SimulatedClock, WallTimer
 
-__all__ = ["derive", "seed_sequence", "SimulatedClock", "WallTimer"]
+__all__ = [
+    "derive",
+    "seed_sequence",
+    "SimulatedClock",
+    "WallTimer",
+    "Arena",
+    "ArenaStats",
+    "MIN_CAPACITY",
+    "combined_stats",
+]

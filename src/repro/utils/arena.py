@@ -1,0 +1,271 @@
+"""Zero-copy KV arenas: preallocated storage for the decode hot path.
+
+The naive caches paid O(T) ``np.concatenate`` work on *every* appended
+token and a slice-copy on every rollback — O(T^2) per sequence, times the
+batch width in the serving scheduler.  This module provides the storage
+layer that removes both costs:
+
+* :class:`Arena` — an amortized-doubling buffer growing along one axis.
+  Appends memcpy only the new tokens into preallocated slack; truncation
+  (draft rollback) is a pointer decrement; reads return **cached
+  zero-copy views** that stay identity-stable until the next mutation.
+* **Copy-on-write forking** (:meth:`Arena.fork`) — a fork shares the
+  backing buffer in O(1).  The fork privatizes itself on its first write;
+  the original keeps appending into shared slack (always beyond every
+  fork's visible range) and only pays a copy if it rolls back *below* a
+  fork's snapshot length and then appends.  This is what makes
+  ``KVCache.clone()`` cheap for read-mostly verification snapshots.
+* :class:`ArenaStats` — per-cache byte/grow/peak accounting, mirrored
+  into the process :class:`~repro.obs.metrics.MetricsRegistry`
+  (``kv_arena.bytes_copied_total``, ``kv_arena.grow_events_total``,
+  ``kv_arena.peak_tokens``) so ``python -m repro.obs summarize`` can show
+  the memory story next to the per-phase wall table.
+
+Growth policy: capacities start at :data:`MIN_CAPACITY` tokens and double
+until they fit the request, so total relocation work over a sequence of
+appends is O(T) — amortized O(1) per token.
+
+This module lives in ``repro.utils`` (below both ``repro.models`` and
+``repro.core``) so either cache can build on it without an import cycle;
+``repro.core.kv_arena`` re-exports it as the documented public surface.
+See ``docs/performance.md`` for the full design discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..obs.metrics import get_registry
+
+__all__ = ["Arena", "ArenaStats", "MIN_CAPACITY", "combined_stats"]
+
+#: Smallest capacity (in tokens along the grow axis) an arena allocates.
+MIN_CAPACITY = 64
+
+
+@dataclass
+class ArenaStats:
+    """Copy/growth accounting for one cache's arenas (shared across them).
+
+    ``bytes_copied`` counts every byte the arenas memcpy'd: the
+    unavoidable new-token writes plus the occasional doubling/COW
+    relocations.  ``grow_events`` counts buffer reallocations, and
+    ``peak_tokens`` is the longest any arena ever got.  The same three
+    numbers are mirrored into the metrics registry so cross-request
+    aggregates exist without threading stats objects around.
+    """
+
+    bytes_copied: int = 0
+    grow_events: int = 0
+    peak_tokens: int = 0
+
+    def add(self, other: "ArenaStats") -> "ArenaStats":
+        """Accumulate ``other`` into self (peak is a max); returns self."""
+        self.bytes_copied += other.bytes_copied
+        self.grow_events += other.grow_events
+        self.peak_tokens = max(self.peak_tokens, other.peak_tokens)
+        return self
+
+
+def combined_stats(*caches: object) -> ArenaStats:
+    """Sum ``arena_stats()`` over caches, skipping ones without arenas.
+
+    Tolerant by design: reference (non-arena) cache implementations and
+    ``None`` slots contribute nothing, so instrumentation call sites never
+    need to care which storage backs a session.
+    """
+    total = ArenaStats()
+    for cache in caches:
+        getter = getattr(cache, "arena_stats", None)
+        if getter is not None:
+            total.add(getter())
+    return total
+
+
+class _Store:
+    """Refcounted backing buffer shared between an arena and its COW forks.
+
+    ``frozen_len`` is the high-water mark of every fork's snapshot length:
+    slots below it may be visible to another sharer and must never be
+    rewritten in place while ``refs > 1``.
+    """
+
+    __slots__ = ("buf", "refs", "frozen_len")
+
+    def __init__(self, buf: np.ndarray) -> None:
+        self.buf = buf
+        self.refs = 1
+        self.frozen_len = 0
+
+
+def _grown_capacity(current: int, needed: int) -> int:
+    """Next capacity: double from ``current`` until ``needed`` fits."""
+    cap = max(current, MIN_CAPACITY)
+    while cap < needed:
+        cap *= 2
+    return cap
+
+
+class Arena:
+    """Amortized-doubling append buffer growing along one axis.
+
+    Shape is fixed except along ``axis`` (the token axis).  ``view()``
+    returns the live prefix as a cached numpy view — no data is copied,
+    and the same ndarray object comes back until a mutation invalidates
+    it, which is what lets callers assert "no copy happened between my
+    reads".
+    """
+
+    __slots__ = ("_store", "_len", "_axis", "_owner", "_stats", "_view")
+
+    def __init__(
+        self,
+        item_shape: Tuple[int, ...],
+        axis: int,
+        dtype: np.dtype,
+        stats: Optional[ArenaStats] = None,
+        capacity: int = MIN_CAPACITY,
+    ) -> None:
+        shape = list(item_shape)
+        shape[axis] = max(int(capacity), MIN_CAPACITY)
+        self._store = _Store(np.empty(tuple(shape), dtype=dtype))
+        self._len = 0
+        self._axis = axis
+        self._owner = True
+        self._stats = stats if stats is not None else ArenaStats()
+        self._view: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Live tokens along the grow axis."""
+        return self._len
+
+    @property
+    def capacity(self) -> int:
+        """Allocated slots along the grow axis."""
+        return self._store.buf.shape[self._axis]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of the backing buffer."""
+        return self._store.buf.dtype
+
+    @property
+    def stats(self) -> ArenaStats:
+        """The (possibly shared) accounting object this arena feeds."""
+        return self._stats
+
+    @property
+    def shared(self) -> bool:
+        """True while the backing buffer is shared with a COW fork."""
+        return self._store.refs > 1
+
+    def _slice(self, n: int) -> Tuple[slice, ...]:
+        """Index tuple selecting the first ``n`` tokens along the axis."""
+        index = [slice(None)] * self._store.buf.ndim
+        index[self._axis] = slice(0, n)
+        return tuple(index)
+
+    def view(self) -> np.ndarray:
+        """Zero-copy view of the live prefix; cached until a mutation.
+
+        The returned array aliases arena storage: it is valid until the
+        next ``append``/``truncate`` on this arena, after which its
+        contents are undefined (rollback + append rewrites slots in
+        place).  Copy it if you need to hold it across mutations.
+        """
+        if self._view is None:
+            self._view = self._store.buf[self._slice(self._len)]
+        return self._view
+
+    # ------------------------------------------------------------------
+    def _relocate(self, capacity: int) -> None:
+        """Move the live prefix into a fresh private buffer (grow or COW split)."""
+        shape = list(self._store.buf.shape)
+        shape[self._axis] = capacity
+        fresh = np.empty(tuple(shape), dtype=self._store.buf.dtype)
+        live = self._store.buf[self._slice(self._len)]
+        fresh[self._slice(self._len)] = live
+        if self._store.refs > 1:
+            self._store.refs -= 1
+            self._store = _Store(fresh)
+        else:
+            self._store.buf = fresh
+            self._store.frozen_len = 0
+        self._owner = True
+        moved = live.nbytes
+        self._stats.bytes_copied += moved
+        self._stats.grow_events += 1
+        registry = get_registry()
+        registry.counter("kv_arena.grow_events_total").inc()
+        registry.counter("kv_arena.bytes_copied_total").inc(moved)
+
+    def append(self, array: np.ndarray) -> None:
+        """Memcpy ``array`` (same shape off-axis) into preallocated slack."""
+        array = np.asarray(array)
+        if array.ndim != self._store.buf.ndim:
+            raise ShapeError(
+                f"arena append ndim {array.ndim} != {self._store.buf.ndim}"
+            )
+        expect = list(self._store.buf.shape)
+        got = list(array.shape)
+        if got[: self._axis] != expect[: self._axis] or got[self._axis + 1:] != expect[self._axis + 1:]:
+            raise ShapeError(
+                f"arena append shape {array.shape} incompatible with "
+                f"item shape {tuple(expect)} (axis {self._axis} free)"
+            )
+        n_new = array.shape[self._axis]
+        need = self._len + n_new
+        store = self._store
+        unsafe_shared = store.refs > 1 and (
+            not self._owner or self._len < store.frozen_len
+        )
+        if need > self.capacity or unsafe_shared:
+            self._relocate(_grown_capacity(self.capacity, need))
+        index = [slice(None)] * self._store.buf.ndim
+        index[self._axis] = slice(self._len, need)
+        self._store.buf[tuple(index)] = array
+        self._len = need
+        self._view = None
+        self._stats.bytes_copied += array.nbytes
+        self._stats.peak_tokens = max(self._stats.peak_tokens, need)
+        registry = get_registry()
+        registry.counter("kv_arena.bytes_copied_total").inc(array.nbytes)
+        peak = registry.gauge("kv_arena.peak_tokens")
+        if need > peak.value:
+            peak.set(need)
+
+    def truncate(self, new_len: int) -> None:
+        """Drop tokens beyond ``new_len``: a pointer decrement, no copy."""
+        if not 0 <= new_len <= self._len:
+            raise ShapeError(
+                f"cannot truncate arena of len {self._len} to {new_len}"
+            )
+        if new_len != self._len:
+            self._len = new_len
+            self._view = None
+
+    def fork(self, stats: Optional[ArenaStats] = None) -> "Arena":
+        """O(1) copy-on-write fork sharing this arena's storage.
+
+        The fork reads the current prefix for free and privatizes itself
+        on its first ``append``; this arena keeps in-place append rights
+        for slots beyond the fork's snapshot length.  ``stats`` lets the
+        forking cache route the fork's accounting into its own
+        :class:`ArenaStats`.
+        """
+        store = self._store
+        store.refs += 1
+        store.frozen_len = max(store.frozen_len, self._len)
+        fork = Arena.__new__(Arena)
+        fork._store = store
+        fork._len = self._len
+        fork._axis = self._axis
+        fork._owner = False
+        fork._stats = stats if stats is not None else ArenaStats()
+        fork._view = None
+        return fork

@@ -1,0 +1,207 @@
+"""Unit tests for the KV arena storage layer (``repro.core.kv_arena``).
+
+Covers the arena contract directly (growth, truncate, cached views,
+copy-on-write forks, stats accounting) plus the zero-copy regression
+guarantees for the two caches built on top: ``KVCache.layer`` and
+``HybridKVCache.gather`` must return *views* — the same objects across
+repeated calls, invalidated only by mutation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid_cache import SEGMENT_TEXT, SEGMENT_VISION, HybridKVCache
+from repro.core.kv_arena import MIN_CAPACITY, Arena, ArenaStats, combined_stats
+from repro.errors import ShapeError
+from repro.models.kv_cache import KVCache
+
+
+def _tokens(n, h=2, dh=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((1, h, n, dh)).astype(np.float32)
+
+
+def _arena(stats=None):
+    return Arena((1, 2, 0, 4), axis=2, dtype=np.float32, stats=stats)
+
+
+class TestArena:
+    def test_append_and_view(self):
+        a = _arena()
+        x = _tokens(3)
+        a.append(x)
+        assert len(a) == 3
+        np.testing.assert_array_equal(a.view(), x)
+
+    def test_append_validates_off_axis_shape(self):
+        a = _arena()
+        a.append(_tokens(1))
+        with pytest.raises(ShapeError):
+            a.append(np.zeros((1, 3, 1, 4), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            a.append(np.zeros((1, 2, 4), dtype=np.float32))
+
+    def test_growth_is_amortized_doubling(self):
+        stats = ArenaStats()
+        a = _arena(stats)
+        for _ in range(MIN_CAPACITY + 1):
+            a.append(_tokens(1))
+        assert a.capacity >= MIN_CAPACITY * 2
+        assert stats.grow_events >= 1
+        # Doubling: growth count is logarithmic, not linear, in appends.
+        assert stats.grow_events <= 8
+
+    def test_truncate_is_pointer_only(self):
+        a = _arena()
+        a.append(_tokens(6))
+        buf_before = a.view().base
+        a.truncate(2)
+        assert len(a) == 2
+        assert a.view().base is buf_before
+        with pytest.raises(ShapeError):
+            a.truncate(3)    # cannot grow via truncate
+        with pytest.raises(ShapeError):
+            a.truncate(-1)
+
+    def test_append_after_truncate_overwrites(self):
+        a = _arena()
+        a.append(_tokens(4, seed=1))
+        a.truncate(2)
+        fresh = _tokens(3, seed=2)
+        a.append(fresh)
+        assert len(a) == 5
+        np.testing.assert_array_equal(a.view()[:, :, 2:, :], fresh)
+
+    def test_view_is_cached_until_mutation(self):
+        a = _arena()
+        a.append(_tokens(2))
+        v1 = a.view()
+        assert a.view() is v1            # identity-stable between mutations
+        assert v1.base is not None       # a view into the arena buffer, not a copy
+        a.append(_tokens(1))
+        assert a.view() is not v1        # append invalidates
+        v2 = a.view()
+        a.truncate(1)
+        assert a.view() is not v2        # truncate invalidates
+
+    def test_fork_shares_until_owner_appends_past_watermark(self):
+        a = _arena()
+        a.append(_tokens(3, seed=3))
+        fork = a.fork()
+        np.testing.assert_array_equal(fork.view(), a.view())
+        snapshot = fork.view().copy()
+        # Owner appends into shared slack beyond the fork's watermark:
+        # legal in place, invisible to the fork.
+        a.append(_tokens(2, seed=4))
+        assert len(fork) == 3
+        np.testing.assert_array_equal(fork.view(), snapshot)
+
+    def test_fork_write_detaches(self):
+        a = _arena()
+        a.append(_tokens(3, seed=5))
+        fork = a.fork()
+        fork.append(_tokens(1, seed=6))    # fork must copy out, not clobber
+        a.append(_tokens(1, seed=7))
+        assert len(a) == len(fork) == 4
+        assert not np.array_equal(a.view(), fork.view())
+        np.testing.assert_array_equal(a.view()[:, :, :3, :], fork.view()[:, :, :3, :])
+
+    def test_owner_rollback_below_watermark_relocates(self):
+        a = _arena()
+        a.append(_tokens(4, seed=8))
+        fork = a.fork()
+        snapshot = fork.view().copy()
+        a.truncate(2)
+        a.append(_tokens(2, seed=9))       # would overwrite fork's view in place
+        np.testing.assert_array_equal(fork.view(), snapshot)
+
+    def test_stats_accounting(self):
+        stats = ArenaStats()
+        a = _arena(stats)
+        x = _tokens(2)
+        a.append(x)
+        assert stats.bytes_copied >= x.nbytes
+        assert stats.peak_tokens == 2
+        a.truncate(0)
+        assert stats.peak_tokens == 2      # peak is monotone
+
+    def test_combined_stats(self):
+        kv = KVCache(n_layers=1)
+        kv.append(0, _tokens(2), _tokens(2))
+        hybrid = HybridKVCache(n_heads=2, head_dim=4)
+        hybrid.append_draft(_tokens(1), _tokens(1), np.array([0]))
+        total = combined_stats(kv, hybrid, None, object())
+        assert total.bytes_copied == (
+            kv.arena_stats().bytes_copied + hybrid.arena_stats().bytes_copied
+        )
+        assert total.peak_tokens == max(
+            kv.arena_stats().peak_tokens, hybrid.arena_stats().peak_tokens
+        )
+
+
+class TestKVCacheViews:
+    """Regression: ``layer``/``positions`` are views, not copies."""
+
+    def test_layer_returns_cached_views(self):
+        cache = KVCache(n_layers=2)
+        for layer in range(2):
+            cache.append(layer, _tokens(3), _tokens(3))
+        cache.extend_positions(np.arange(3))
+        k1, v1 = cache.layer(1)
+        k2, v2 = cache.layer(1)
+        assert k1 is k2 and v1 is v2     # no per-call allocation
+        assert k1.base is not None       # aliases arena storage
+        assert cache.positions is cache.positions
+
+    def test_mutation_invalidates_views(self):
+        cache = KVCache(n_layers=1)
+        cache.append(0, _tokens(3), _tokens(3))
+        k1, _ = cache.layer(0)
+        cache.append(0, _tokens(1), _tokens(1))
+        k2, _ = cache.layer(0)
+        assert k2 is not k1
+        assert k2.shape[2] == 4
+        cache.truncate(2)
+        k3, _ = cache.layer(0)
+        assert k3 is not k2
+        assert k3.shape[2] == 2
+
+
+class TestHybridGatherViews:
+    """Regression: ``gather`` is zero-copy with a memoized blocked row."""
+
+    @staticmethod
+    def _cache():
+        cache = HybridKVCache(n_heads=2, head_dim=4)
+        cache.append_context(_tokens(2), _tokens(2), np.arange(2), SEGMENT_VISION)
+        cache.append_context(_tokens(3), _tokens(3), np.arange(2, 5), SEGMENT_TEXT)
+        return cache
+
+    def test_gather_returns_cached_views(self):
+        cache = self._cache()
+        first = cache.gather()
+        second = cache.gather()
+        for a, b in zip(first, second):
+            assert a is b
+        assert first[0].base is not None
+
+    def test_blocked_row_memoized_per_ablation(self):
+        cache = self._cache()
+        plain = cache.gather()[3]
+        no_img = cache.gather(disable_image_kv=True)[3]
+        assert cache.gather(disable_image_kv=True)[3] is no_img
+        assert no_img is not plain
+        assert no_img[:2].all() and not no_img[2:].any()
+
+    def test_mutation_invalidates_gather(self):
+        cache = self._cache()
+        k1 = cache.gather()[0]
+        blocked1 = cache.gather(disable_text_kv=True)[3]
+        cache.append_draft(_tokens(1), _tokens(1), np.array([5]))
+        k2, _, _, blocked2 = cache.gather(disable_text_kv=True)
+        assert k2 is not k1
+        assert blocked2 is not blocked1
+        assert k2.shape[2] == 6
+        assert not blocked2[5]           # draft entries never blocked
+        cache.clear_draft()
+        assert cache.gather()[0].shape[2] == 5

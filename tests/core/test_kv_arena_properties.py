@@ -1,0 +1,134 @@
+"""Property tests: arena-backed caches vs. the concatenate reference spec.
+
+Random interleavings of append / truncate / rollback / clone / gather are
+driven through the arena-backed :class:`~repro.models.kv_cache.KVCache`
+and :class:`~repro.core.hybrid_cache.HybridKVCache` in lock-step with the
+pre-arena reference implementations from ``repro.core.reference``; every
+observable array must stay element-identical at every step.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hybrid_cache import SEGMENT_TEXT, SEGMENT_VISION, HybridKVCache
+from repro.core.reference import ReferenceHybridKVCache, ReferenceKVCache
+from repro.models.kv_cache import KVCache
+
+N_LAYERS = 2
+N_HEADS = 2
+HEAD_DIM = 4
+
+kv_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.integers(1, 5)),
+        st.tuples(st.just("truncate"), st.floats(0.0, 1.0)),
+        st.tuples(st.just("clone_and_diverge"), st.integers(1, 3)),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+hybrid_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("context"), st.integers(1, 5), st.booleans()),
+        st.tuples(st.just("draft"), st.integers(1, 3), st.just(False)),
+        st.tuples(st.just("clear"), st.just(0), st.just(False)),
+        st.tuples(st.just("gather"), st.just(0), st.booleans()),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _block(rng, n):
+    k = rng.standard_normal((1, N_HEADS, n, HEAD_DIM)).astype(np.float32)
+    v = rng.standard_normal((1, N_HEADS, n, HEAD_DIM)).astype(np.float32)
+    return k, v
+
+
+def _assert_kv_equal(arena: KVCache, ref: ReferenceKVCache):
+    assert arena.seq_len == ref.seq_len
+    np.testing.assert_array_equal(arena.positions, ref.positions)
+    if ref.seq_len:
+        for i in range(N_LAYERS):
+            for a, b in zip(arena.layer(i), ref.layer(i)):
+                np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), ops=kv_ops)
+def test_kv_cache_matches_reference(seed, ops):
+    rng = np.random.default_rng(seed)
+    arena, ref = KVCache(N_LAYERS), ReferenceKVCache(N_LAYERS)
+    forks = []
+    pos = 0
+    for op, arg in ops:
+        if op == "append":
+            k, v = _block(rng, arg)
+            for layer in range(N_LAYERS):
+                arena.append(layer, k, v)
+                ref.append(layer, k, v)
+            positions = np.arange(pos, pos + arg)
+            arena.extend_positions(positions)
+            ref.extend_positions(positions)
+            pos += arg
+        elif op == "truncate":
+            new_len = int(round(arg * arena.seq_len))
+            arena.truncate(new_len)
+            ref.truncate(new_len)
+            pos = arena.next_position()
+        elif op == "clone_and_diverge" and arena.seq_len:
+            # COW snapshot, then both sides keep mutating: the fork pair
+            # must stay frozen while the originals move on.
+            fork_a, fork_r = arena.clone(), ref.clone()
+            k, v = _block(rng, arg)
+            for layer in range(N_LAYERS):
+                fork_a.append(layer, k, v)
+                fork_r.append(layer, k, v)
+            forks.append((fork_a, fork_r))
+        _assert_kv_equal(arena, ref)
+    for fork_a, fork_r in forks:
+        _assert_kv_equal(fork_a, fork_r)
+
+
+def _assert_hybrid_equal(arena: HybridKVCache, ref: ReferenceHybridKVCache,
+                         disable_image=False, disable_text=False):
+    assert arena.context_len == ref.context_len
+    assert arena.draft_len == ref.draft_len
+    assert arena.segment_counts() == ref.segment_counts()
+    for a, b in zip(
+        arena.gather(disable_image, disable_text),
+        ref.gather(disable_image, disable_text),
+    ):
+        np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), ops=hybrid_ops)
+def test_hybrid_cache_matches_reference(seed, ops):
+    rng = np.random.default_rng(seed)
+    arena = HybridKVCache(N_HEADS, HEAD_DIM)
+    ref = ReferenceHybridKVCache(N_HEADS, HEAD_DIM)
+    pos = 0
+    for op, n, flag in ops:
+        if op == "context":
+            k, v = _block(rng, n)
+            positions = np.arange(pos, pos + n)
+            segment = SEGMENT_VISION if flag else SEGMENT_TEXT
+            arena.append_context(k, v, positions, segment)
+            ref.append_context(k, v, positions, segment)
+            pos += n
+        elif op == "draft":
+            k, v = _block(rng, n)
+            positions = np.arange(pos, pos + n)
+            arena.append_draft(k, v, positions)
+            ref.append_draft(k, v, positions)
+            pos += n
+        elif op == "clear":
+            arena.clear_draft()
+            ref.clear_draft()
+            pos = arena.total_len
+        _assert_hybrid_equal(arena, ref, disable_image=flag, disable_text=not flag)
+    _assert_hybrid_equal(arena, ref)
+    _assert_hybrid_equal(arena, ref, disable_image=True, disable_text=True)

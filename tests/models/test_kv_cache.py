@@ -117,3 +117,40 @@ class TestClone:
         assert cache.seq_len == 4
         assert other.seq_len == 5
         assert other.segments == cache.segments
+
+    def test_clone_is_copy_on_write(self):
+        """clone() shares storage until a side writes — no eager deep copy."""
+        cache = KVCache(2)
+        fill(cache, 4)
+        copied_before = cache.arena_stats().bytes_copied
+        other = cache.clone()
+        # Taking the snapshot moves no array data on either side.
+        assert cache.arena_stats().bytes_copied == copied_before
+        assert other.arena_stats().bytes_copied == 0
+        k_orig, _ = cache.layer(0)
+        k_fork, _ = other.layer(0)
+        assert k_fork.base is k_orig.base    # same underlying buffer
+        # First write on the clone detaches it (pays the copy), and the
+        # original is untouched.
+        fill(other, 1)
+        assert other.arena_stats().bytes_copied > 0
+        assert other.layer(0)[0].base is not cache.layer(0)[0].base
+        np.testing.assert_array_equal(cache.layer(0)[0], k_fork[:, :, :4, :])
+
+    def test_original_can_mutate_without_touching_clone(self):
+        cache = KVCache(1)
+        fill(cache, 5)
+        snapshot = cache.clone()
+        frozen = snapshot.layer(0)[0].copy()
+        cache.truncate(2)
+        fill(cache, 2)
+        assert snapshot.seq_len == 5
+        np.testing.assert_array_equal(snapshot.layer(0)[0], frozen)
+
+    def test_clone_of_empty_cache(self):
+        cache = KVCache(2)
+        other = cache.clone()
+        assert other.seq_len == 0
+        fill(other, 2)
+        assert other.seq_len == 2
+        assert cache.seq_len == 0

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -114,6 +116,40 @@ class TestSummarize:
             assert "phase" in out and "prefill" in out
         assert obs_main(["summarize", str(jsonl), "--json"]) == 0
         assert '"n_decodes": 1' in capsys.readouterr().out
+
+
+class TestMemorySection:
+    def test_decode_spans_carry_arena_attrs(self, world):
+        tracer = Tracer()
+        _engine(world, tracer=tracer).decode(world["samples"][0])
+        summary = summarize_spans(tracer.spans)
+        assert summary.has_memory
+        assert summary.bytes_copied > 0
+        assert summary.peak_cache_tokens > 0
+        rendered = render_summary(summary)
+        assert "memory:" in rendered
+        assert "copied by KV arenas" in rendered
+        assert "peak cache" in rendered
+
+    def test_memory_section_absent_without_attrs(self, world):
+        """Traces from non-decode work must not grow a bogus memory line."""
+        tracer = Tracer()
+        with tracer.span("decode"):
+            with tracer.span("prefill"):
+                pass
+        summary = summarize_spans(tracer.spans)
+        assert not summary.has_memory
+        assert "memory:" not in render_summary(summary)
+
+    def test_json_cli_reports_memory(self, world, tmp_path, capsys):
+        tracer = Tracer()
+        _engine(world, tracer=tracer, max_new_tokens=8).decode(world["samples"][0])
+        jsonl = export_jsonl(tracer, tmp_path / "t.jsonl")
+        assert obs_main(["summarize", str(jsonl), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["memory"] is not None
+        assert payload["memory"]["bytes_copied"] > 0
+        assert payload["memory"]["peak_cache_tokens"] > 0
 
 
 class TestTrainingTrace:
