@@ -1,169 +1,20 @@
 #!/usr/bin/env python
-"""Keep the docs honest: link integrity + executable examples.
+"""Thin shim: the docs checks live in :mod:`repro.analysis.docs_check`.
 
-Two checks, both run in CI (the ``docs`` job):
-
-1. **Links** — every relative markdown link in ``docs/*.md`` and
-   ``README.md`` must point at an existing file (fragments are stripped;
-   external ``http(s)``/``mailto`` links are not fetched).
-2. **Examples** — the fenced ``python`` blocks of the executable pages
-   (``docs/api_guide.md``, ``docs/serving.md``) are run top-to-bottom in
-   one shared namespace per page, from a scratch working directory.  A
-   block preceded by an ``<!-- doccheck: skip -->`` marker is
-   compile-checked only (used for pages whose examples would train
-   models).
-
-Usage::
-
-    python scripts/check_docs.py [--links-only]
-
-Exits non-zero on the first category of failure, listing every offender.
+Kept so existing CI invocations and muscle memory
+(``python scripts/check_docs.py``) keep working; the canonical entry
+point is ``python -m repro.analysis docs``.
 """
 
 from __future__ import annotations
 
-import argparse
-import contextlib
-import os
-import re
 import sys
-import tempfile
-import traceback
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-FENCE_RE = re.compile(r"^```")
-SKIP_MARKER = "<!-- doccheck: skip -->"
-
-# Pages whose python blocks must execute end-to-end.
-EXECUTABLE_PAGES = ("docs/api_guide.md", "docs/serving.md")
-
-
-def iter_doc_files() -> Iterator[Path]:
-    yield REPO_ROOT / "README.md"
-    yield from sorted((REPO_ROOT / "docs").glob("*.md"))
-
-
-def check_links() -> List[str]:
-    """Return a list of 'file: broken-target' strings."""
-    errors = []
-    for path in iter_doc_files():
-        text = path.read_text(encoding="utf-8")
-        # ignore links inside fenced code blocks
-        in_fence = False
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            if FENCE_RE.match(line.strip()):
-                in_fence = not in_fence
-                continue
-            if in_fence:
-                continue
-            for target in LINK_RE.findall(line):
-                if target.startswith(("http://", "https://", "mailto:")):
-                    continue
-                rel = target.split("#", 1)[0]
-                if not rel:  # pure fragment, same-page anchor
-                    continue
-                resolved = (path.parent / rel).resolve()
-                if not resolved.exists():
-                    errors.append(f"{path.relative_to(REPO_ROOT)}:{lineno}: {target}")
-    return errors
-
-
-@dataclass
-class CodeBlock:
-    lineno: int
-    source: str
-    skip: bool
-
-
-def extract_python_blocks(path: Path) -> List[CodeBlock]:
-    blocks = []
-    lines = path.read_text(encoding="utf-8").splitlines()
-    i = 0
-    pending_skip = False
-    while i < len(lines):
-        stripped = lines[i].strip()
-        if stripped == SKIP_MARKER:
-            pending_skip = True
-        elif stripped.startswith("```python"):
-            start = i + 1
-            body = []
-            i += 1
-            while i < len(lines) and not lines[i].strip().startswith("```"):
-                body.append(lines[i])
-                i += 1
-            blocks.append(CodeBlock(start + 1, "\n".join(body), pending_skip))
-            pending_skip = False
-        elif stripped:  # any other non-blank line clears a dangling marker
-            pending_skip = False
-        i += 1
-    return blocks
-
-
-def run_examples(rel_path: str) -> List[str]:
-    """Execute (or compile) every python block of one page; return errors."""
-    path = REPO_ROOT / rel_path
-    blocks = extract_python_blocks(path)
-    if not blocks:
-        return [f"{rel_path}: no python blocks found"]
-    errors = []
-    namespace: dict = {"__name__": f"doccheck_{path.stem}"}
-    with tempfile.TemporaryDirectory(prefix="doccheck-") as scratch:
-        with contextlib.ExitStack() as stack:
-            cwd = os.getcwd()
-            os.chdir(scratch)
-            stack.callback(os.chdir, cwd)
-            for block in blocks:
-                label = f"{rel_path}:{block.lineno}"
-                try:
-                    code = compile(block.source, label, "exec")
-                except SyntaxError:
-                    errors.append(f"{label}: syntax error\n{traceback.format_exc()}")
-                    continue
-                if block.skip:
-                    print(f"  compiled  {label}")
-                    continue
-                try:
-                    exec(code, namespace)
-                except Exception:
-                    errors.append(f"{label}: raised\n{traceback.format_exc()}")
-                    break  # later blocks depend on this namespace
-                print(f"  executed  {label}")
-    return errors
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--links-only", action="store_true", help="skip executing doc examples"
-    )
-    args = parser.parse_args()
-
-    link_errors = check_links()
-    n_files = len(list(iter_doc_files()))
-    if link_errors:
-        print(f"broken links ({len(link_errors)}):")
-        for err in link_errors:
-            print(f"  {err}")
-        return 1
-    print(f"links ok across {n_files} markdown files")
-
-    if not args.links_only:
-        for rel_path in EXECUTABLE_PAGES:
-            print(f"running examples in {rel_path}")
-            errors = run_examples(rel_path)
-            if errors:
-                for err in errors:
-                    print(err)
-                return 1
-    print("docs ok")
-    return 0
-
+from repro.analysis import docs_check  # noqa: E402
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(docs_check.main(root=REPO_ROOT))

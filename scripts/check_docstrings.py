@@ -1,85 +1,20 @@
 #!/usr/bin/env python
-"""Docstring-coverage gate for the documented public surface.
+"""Thin shim: the coverage gate lives in :mod:`repro.analysis.docstrings`.
 
-Walks the packages listed in ``TARGETS`` with ``ast`` (no imports, so it
-is safe on any tree) and computes the fraction of *public* definitions —
-modules, classes, functions, and methods whose names don't start with an
-underscore (dunders other than ``__init__`` are ignored; ``__init__``
-counts as covered by its class docstring) — that carry a docstring.
-Fails if any package is below ``THRESHOLD``.
-
-Usage::
-
-    python scripts/check_docstrings.py [--list-missing]
+Kept so existing CI invocations and muscle memory
+(``python scripts/check_docstrings.py``) keep working; the canonical
+entry point is ``python -m repro.analysis docstrings``.
 """
 
 from __future__ import annotations
 
-import argparse
-import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-TARGETS = ("src/repro/serving", "src/repro/core")
-THRESHOLD = 0.90
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-
-def iter_public_defs(tree: ast.Module, module: str) -> Iterator[Tuple[str, bool]]:
-    """Yield ``(qualified_name, has_docstring)`` for the module + members."""
-    yield module, ast.get_docstring(tree) is not None
-
-    def walk(node: ast.AST, prefix: str) -> Iterator[Tuple[str, bool]]:
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-                name = child.name
-                if name.startswith("_") and not name.startswith("__"):
-                    continue
-                if name.startswith("__") and name.endswith("__"):
-                    continue  # dunders documented by convention, not required
-                qualified = f"{prefix}.{name}"
-                yield qualified, ast.get_docstring(child) is not None
-                if isinstance(child, ast.ClassDef):
-                    yield from walk(child, qualified)
-
-    yield from walk(tree, module)
-
-
-def collect(package: Path) -> List[Tuple[str, bool]]:
-    entries = []
-    for path in sorted(package.rglob("*.py")):
-        module = ".".join(path.relative_to(REPO_ROOT / "src").with_suffix("").parts)
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-        entries.extend(iter_public_defs(tree, module))
-    return entries
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--list-missing", action="store_true", help="print every undocumented name"
-    )
-    args = parser.parse_args()
-
-    failed = False
-    for target in TARGETS:
-        entries = collect(REPO_ROOT / target)
-        documented = sum(1 for _, ok in entries if ok)
-        coverage = documented / len(entries) if entries else 1.0
-        status = "ok " if coverage >= THRESHOLD else "FAIL"
-        print(
-            f"{status} {target}: {documented}/{len(entries)} public defs "
-            f"documented ({coverage:.1%}, need >= {THRESHOLD:.0%})"
-        )
-        missing = [name for name, ok in entries if not ok]
-        if coverage < THRESHOLD:
-            failed = True
-        if missing and (args.list_missing or coverage < THRESHOLD):
-            for name in missing:
-                print(f"    missing: {name}")
-    return 1 if failed else 0
-
+from repro.analysis import docstrings  # noqa: E402
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(docstrings.main(root=REPO_ROOT))

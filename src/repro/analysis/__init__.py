@@ -1,0 +1,49 @@
+"""``repro.analysis`` — AST-based invariant linter for this codebase.
+
+The repo's architectural invariants (layering direction, seeded-RNG
+determinism, zero-copy hot paths, view read-only-ness, exception and lock
+discipline) exist only as convention without enforcement; this package
+makes them an executable CI gate.  It is pure stdlib (``ast`` + ``json``)
+so it runs on any tree without importing the code under analysis.
+
+Pieces:
+
+* :mod:`~repro.analysis.framework` — :class:`Rule` base class, registry,
+  :func:`run_analysis` engine;
+* :mod:`~repro.analysis.project` — parsed modules + resolved import graph;
+* :mod:`~repro.analysis.rules` — the six repo-specific rules;
+* :mod:`~repro.analysis.baseline` — justified suppression entries keyed by
+  source content, not line numbers;
+* :mod:`~repro.analysis.reporters` — text and JSON output;
+* :mod:`~repro.analysis.docs_check` / :mod:`~repro.analysis.docstrings` —
+  the folded docs gates (``docs`` / ``docstrings`` subcommands);
+* :mod:`~repro.analysis.cli` — ``python -m repro.analysis``.
+
+See ``docs/static_analysis.md`` for the rule catalogue and workflow.
+"""
+
+from .baseline import Baseline, BaselineEntry, write_baseline
+from .findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding
+from .framework import (Rule, default_rules, get_rule, register, rule_ids,
+                        run_analysis, run_rules)
+from .project import ImportEdge, ModuleInfo, Project, load_project
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "ImportEdge",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "default_rules",
+    "get_rule",
+    "load_project",
+    "register",
+    "rule_ids",
+    "run_analysis",
+    "run_rules",
+    "write_baseline",
+]

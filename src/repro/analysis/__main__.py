@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — see :mod:`repro.analysis.cli`."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["dotted_name", "dotted_tail", "walk_functions", "call_name"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None.
+
+    Call nodes inside the chain break it (``f().x`` has no static dotted
+    name), which is the conservative behaviour every rule wants.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def dotted_tail(node: ast.AST, n: int = 2) -> Optional[str]:
+    """Last ``n`` components of the chain (``time.time`` from ``t.time.time``)."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    return ".".join(name.split(".")[-n:])
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Trailing identifier of the called function (``foo`` for ``a.b.foo()``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def walk_functions(tree: ast.AST) -> Iterator[Tuple[ast.AST, List[ast.stmt]]]:
+    """Yield ``(scope_node, body)`` for the module and every function in it."""
+    if isinstance(tree, ast.Module):
+        yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body

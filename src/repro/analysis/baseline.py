@@ -1,0 +1,123 @@
+"""Baseline suppression: a committed, justified list of accepted findings.
+
+The baseline is a JSON file of entries identified by ``(rule, file,
+content)`` where ``content`` is the stripped source line a finding anchors
+to — *not* a line number, so entries survive unrelated edits above them.
+Every entry must carry a non-empty ``justification``; an entry without one
+is treated as absent, which keeps "baseline it" from becoming a silent
+escape hatch.
+
+Workflow: run ``python -m repro.analysis src/ --write-baseline
+analysis_baseline.json``, delete the entries you intend to *fix*, and
+replace each remaining ``TODO`` justification with a real sentence.  Stale
+entries (matching nothing anymore) are reported so the file shrinks as
+violations are fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "write_baseline"]
+
+_TODO = "TODO: justify this suppression or fix the finding"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: rule + file + the exact offending source line."""
+
+    rule: str
+    file: str
+    content: str
+    justification: str = ""
+
+    @property
+    def justified(self) -> bool:
+        """True when a real (non-TODO, non-empty) justification is present."""
+        return bool(self.justification.strip()) and not self.justification.startswith("TODO")
+
+    def matches(self, finding: Finding) -> bool:
+        """Entry suppresses ``finding`` (same rule, file, and source line)."""
+        return (
+            self.rule == finding.rule_id
+            and self.file == finding.file
+            and self.content == finding.snippet
+        )
+
+
+class Baseline:
+    """A loaded suppression file plus bookkeeping of which entries fired."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = (),
+                 path: Optional[Path] = None) -> None:
+        self.entries = list(entries)
+        self.path = path
+        self._used = [False] * len(self.entries)
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        """Read a baseline file; a missing path yields an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls([], path=path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                rule=e["rule"],
+                file=e["file"],
+                content=e["content"],
+                justification=e.get("justification", ""),
+            )
+            for e in payload.get("entries", [])
+        ]
+        return cls(entries, path=path)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True when a *justified* entry matches ``finding`` (marks it used)."""
+        hit = False
+        for i, entry in enumerate(self.entries):
+            if entry.justified and entry.matches(finding):
+                self._used[i] = True
+                hit = True
+        return hit
+
+    def unused(self) -> List[BaselineEntry]:
+        """Entries that matched nothing — stale, should be deleted."""
+        return [e for e, used in zip(self.entries, self._used) if not used]
+
+    def unjustified(self) -> List[BaselineEntry]:
+        """Entries lacking a real justification — never applied."""
+        return [e for e in self.entries if not e.justified]
+
+
+def write_baseline(findings: Iterable[Finding], path) -> int:
+    """Write ``findings`` as a baseline skeleton; returns the entry count.
+
+    Justifications are filled with a TODO placeholder, so a freshly written
+    baseline suppresses nothing until a human writes real sentences.
+    """
+    seen = set()
+    entries = []
+    for f in sorted(findings, key=Finding.sort_key):
+        key = (f.rule_id, f.file, f.snippet)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append({
+            "rule": f.rule_id,
+            "file": f.file,
+            "content": f.snippet,
+            "justification": _TODO,
+        })
+    payload = {"version": 1, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

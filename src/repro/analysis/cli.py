@@ -1,0 +1,131 @@
+"""Command-line interface: ``python -m repro.analysis``.
+
+Three entry points behind one module:
+
+* ``python -m repro.analysis [PATHS...]`` — run the AST invariant rules
+  (default path: ``src``) against the committed baseline; exit 1 on any
+  non-baselined error finding.
+* ``python -m repro.analysis docs`` — markdown link integrity and
+  executable doc examples (folded ``scripts/check_docs.py``).
+* ``python -m repro.analysis docstrings`` — public docstring coverage
+  gate (folded ``scripts/check_docstrings.py``).
+
+Exit codes: 0 clean (possibly via baseline), 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from . import docs_check, docstrings
+from .baseline import Baseline, write_baseline
+from .findings import SEVERITY_ERROR
+from .framework import default_rules, rule_ids, run_rules
+from .project import load_project
+from .reporters import render_json, render_text
+
+__all__ = ["main", "DEFAULT_BASELINE"]
+
+#: Baseline filename looked up in the cwd when --baseline is not given.
+DEFAULT_BASELINE = "analysis_baseline.json"
+
+
+def _build_parser():
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST invariant linter for the repro codebase "
+                    "(subcommands: docs, docstrings)",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files/directories to analyze (default: src)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"suppression file (default: ./{DEFAULT_BASELINE} "
+                             f"when present)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="stdout format (default: text)")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="also write the JSON report to FILE (for CI artifacts)")
+    parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="write current findings as a baseline skeleton and exit 0")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print registered rule ids and exit")
+    return parser
+
+
+def _select_rules(spec: Optional[str]) -> List:
+    if spec is None:
+        return default_rules()
+    wanted = [s.strip() for s in spec.split(",") if s.strip()]
+    known = set(rule_ids())
+    unknown = [w for w in wanted if w not in known]
+    if unknown:
+        raise SystemExit(f"unknown rule id(s): {', '.join(unknown)} "
+                         f"(known: {', '.join(sorted(known))})")
+    return [r for r in default_rules() if r.rule_id in wanted]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "docs":
+        return docs_check.main(argv[1:])
+    if argv and argv[0] == "docstrings":
+        return docstrings.main(argv[1:])
+
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id}: {rule.description}")
+        return 0
+
+    paths = args.paths or ["src"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"path(s) not found: {', '.join(missing)}")
+
+    try:
+        selected = _select_rules(args.rules)
+    except SystemExit as exc:
+        if isinstance(exc.code, str):
+            print(exc.code, file=sys.stderr)
+            return 2
+        raise
+
+    project = load_project(paths)
+    findings = run_rules(project, selected)
+    n_files = len(project.modules) + len(project.parse_errors)
+
+    if args.write_baseline:
+        n = write_baseline(findings, args.write_baseline)
+        print(f"wrote {n} baseline entr{'y' if n == 1 else 'ies'} to "
+              f"{args.write_baseline} — now justify or fix each one")
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).exists():
+        baseline_path = DEFAULT_BASELINE
+    baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
+
+    active = [f for f in findings if not baseline.suppresses(f)]
+    suppressed = [f for f in findings if f not in active]
+
+    ids = [r.rule_id for r in selected]
+    if args.format == "json":
+        print(render_json(active, suppressed, ids, n_files))
+    else:
+        print(render_text(active, suppressed, baseline, n_files))
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(render_json(active, suppressed, ids, n_files) + "\n",
+                       encoding="utf-8")
+
+    return 1 if any(f.severity == SEVERITY_ERROR for f in active) else 0

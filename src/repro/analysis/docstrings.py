@@ -1,0 +1,94 @@
+"""Docstring-coverage gate for the documented public surface.
+
+Folded into ``repro.analysis`` from the original
+``scripts/check_docstrings.py`` (a thin shim remains there).  Walks the
+packages listed in :data:`TARGETS` with ``ast`` (no imports, so it is safe
+on any tree) and computes the fraction of *public* definitions — modules,
+classes, functions, and methods whose names don't start with an underscore
+(dunders other than ``__init__`` are ignored; ``__init__`` counts as
+covered by its class docstring) — that carry a docstring.  Fails if any
+package is below :data:`THRESHOLD`.
+
+Usage::
+
+    python -m repro.analysis docstrings [--list-missing] [--root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["TARGETS", "THRESHOLD", "collect", "main"]
+
+#: Packages under the coverage gate (the linter holds itself to it too).
+TARGETS = ("src/repro/serving", "src/repro/core", "src/repro/analysis")
+THRESHOLD = 0.90
+
+
+def iter_public_defs(tree: ast.Module, module: str) -> Iterator[Tuple[str, bool]]:
+    """Yield ``(qualified_name, has_docstring)`` for the module + members."""
+    yield module, ast.get_docstring(tree) is not None
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[Tuple[str, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = child.name
+                if name.startswith("_") and not name.startswith("__"):
+                    continue
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # dunders documented by convention, not required
+                qualified = f"{prefix}.{name}"
+                yield qualified, ast.get_docstring(child) is not None
+                if isinstance(child, ast.ClassDef):
+                    yield from walk(child, qualified)
+
+    yield from walk(tree, module)
+
+
+def collect(root: Path, target: str) -> List[Tuple[str, bool]]:
+    """``(name, documented)`` pairs for every public def under one target."""
+    entries = []
+    package = root / target
+    for path in sorted(package.rglob("*.py")):
+        module = ".".join(path.relative_to(root / "src").with_suffix("").parts)
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        entries.extend(iter_public_defs(tree, module))
+    return entries
+
+
+def main(argv: Optional[Sequence[str]] = None, root: Optional[Path] = None) -> int:
+    """CLI entry; ``root`` (repo root) defaults to ``--root`` or the cwd."""
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis docstrings",
+        description="docstring coverage gate for the documented public surface",
+    )
+    parser.add_argument(
+        "--list-missing", action="store_true", help="print every undocumented name"
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repository root holding src/ (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root if args.root is not None else (root or Path.cwd())
+
+    failed = False
+    for target in TARGETS:
+        entries = collect(root, target)
+        documented = sum(1 for _, ok in entries if ok)
+        coverage = documented / len(entries) if entries else 1.0
+        status = "ok " if coverage >= THRESHOLD else "FAIL"
+        print(
+            f"{status} {target}: {documented}/{len(entries)} public defs "
+            f"documented ({coverage:.1%}, need >= {THRESHOLD:.0%})"
+        )
+        missing = [name for name, ok in entries if not ok]
+        if coverage < THRESHOLD:
+            failed = True
+        if missing and (args.list_missing or coverage < THRESHOLD):
+            for name in missing:
+                print(f"    missing: {name}")
+    return 1 if failed else 0

@@ -1,0 +1,230 @@
+"""Project loading: parse every module once, resolve the import graph.
+
+The analysis engine works on a :class:`Project`: every ``*.py`` file under
+the scanned paths parsed into a :class:`ModuleInfo` (dotted name, AST,
+source lines), plus the resolved intra-project import graph as a list of
+:class:`ImportEdge`.  Rules never re-read or re-parse files.
+
+Module naming does not assume the repo layout: a file's dotted name is
+computed by ascending from its directory while ``__init__.py`` files are
+present, so ``src/repro/core/engine.py`` becomes ``repro.core.engine`` and
+a synthetic test tree ``fixtures/layering/utils/helpers.py`` becomes
+``utils.helpers``.  Only imports that resolve to modules *inside* the
+project produce edges; stdlib and third-party imports are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["ModuleInfo", "ImportEdge", "Project", "load_project", "module_name_for"]
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path          #: absolute path on disk
+    file: str           #: path as reported in findings (cwd-relative, posix)
+    name: str           #: dotted module name (``repro.core.engine``)
+    is_package: bool    #: True for ``__init__.py`` files
+    tree: ast.Module    #: parsed AST
+    lines: Tuple[str, ...] = ()  #: source split into lines (1-based via idx-1)
+
+    def snippet(self, line: int) -> str:
+        """Stripped source text at 1-based ``line`` (empty if out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """``src`` imports ``dst`` at ``line`` (both dotted project modules)."""
+
+    src: str
+    dst: str
+    line: int
+
+
+@dataclass
+class Project:
+    """Everything the rules see: parsed modules plus the import graph."""
+
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+    imports: List[ImportEdge] = field(default_factory=list)
+    #: files that failed to parse: (file, lineno, message)
+    parse_errors: List[Tuple[str, int, str]] = field(default_factory=list)
+
+    def by_file(self, file: str) -> Optional[ModuleInfo]:
+        """Module whose reported path equals ``file`` (None if absent)."""
+        for module in self.modules.values():
+            if module.file == file:
+                return module
+        return None
+
+    def graph(self) -> Dict[str, List[Tuple[str, int]]]:
+        """Adjacency view of the import edges: src -> [(dst, line), ...]."""
+        adj: Dict[str, List[Tuple[str, int]]] = {name: [] for name in self.modules}
+        for edge in self.imports:
+            adj.setdefault(edge.src, []).append((edge.dst, edge.line))
+        return adj
+
+
+def module_name_for(path: Path) -> Tuple[str, bool]:
+    """Dotted name of the module at ``path`` and whether it is a package.
+
+    Ascends from the file's directory while ``__init__.py`` files exist, so
+    the name is anchored at the topmost enclosing package regardless of
+    where the tree lives on disk.
+    """
+    path = path.resolve()
+    is_package = path.name == "__init__.py"
+    top = path.parent
+    while (top.parent / "__init__.py").exists():
+        top = top.parent
+    anchor = top.parent
+    rel = path.relative_to(anchor).with_suffix("")
+    parts = list(rel.parts)
+    if is_package:
+        parts = parts[:-1]
+    return ".".join(parts), is_package
+
+
+def _iter_source_files(paths: Sequence[Path]) -> Iterable[Path]:
+    seen = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = []
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _reported_path(path: Path) -> str:
+    """Path as findings report it: cwd-relative when possible, posix style."""
+    resolved = path.resolve()
+    try:
+        rel = resolved.relative_to(Path.cwd())
+        return rel.as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def _resolve_candidates(target_parts: List[str], names: List[str],
+                        modules: Dict[str, ModuleInfo]) -> List[str]:
+    """Project modules an import of ``target_parts`` (+ names) refers to.
+
+    ``from a.b import c`` may bind the submodule ``a.b.c`` or an attribute
+    of ``a.b``; both are tried, most specific first.  Unresolvable imports
+    (stdlib, third-party) yield nothing.
+    """
+    base = ".".join(p for p in target_parts if p)
+    resolved = []
+    for name in names or [""]:
+        if name:
+            specific = f"{base}.{name}" if base else name
+            if specific in modules:
+                resolved.append(specific)
+                continue
+        if base in modules:
+            resolved.append(base)
+    return resolved
+
+
+def _iter_load_time_nodes(tree: ast.Module) -> Iterable[ast.AST]:
+    """AST nodes executed at module load: everything except function bodies.
+
+    Function-level (lazy) imports are the sanctioned way to break an import
+    cycle, so they must not appear in the graph; ``if TYPE_CHECKING:``
+    blocks never execute and are skipped for the same reason.  Class bodies,
+    top-level conditionals, and try/except fallbacks all run at import time
+    and are descended into.
+    """
+    stack: List[ast.AST] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.If):
+            test = ast.dump(node.test)
+            if "TYPE_CHECKING" in test:
+                stack.extend(node.orelse)
+                continue
+        yield node
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+
+
+def _edges_for(module: ModuleInfo, modules: Dict[str, ModuleInfo]) -> List[ImportEdge]:
+    edges = []
+    parts = module.name.split(".")
+    # The package an unqualified relative import is anchored at.
+    parent = parts if module.is_package else parts[:-1]
+    for node in _iter_load_time_nodes(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                dotted = alias.name.split(".")
+                # `import a.b.c` binds a; the dependency is on the deepest module.
+                while dotted:
+                    name = ".".join(dotted)
+                    if name in modules:
+                        edges.append(ImportEdge(module.name, name, node.lineno))
+                        break
+                    dotted = dotted[:-1]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = parent[: len(parent) - (node.level - 1)]
+                if node.level - 1 > len(parent):
+                    continue  # beyond the project root; not resolvable
+            else:
+                base = []
+            if node.module:
+                base = base + node.module.split(".")
+            names = [alias.name for alias in node.names if alias.name != "*"]
+            for dst in _resolve_candidates(base, names, modules):
+                edges.append(ImportEdge(module.name, dst, node.lineno))
+    # one edge per (src, dst), earliest line wins
+    unique: Dict[Tuple[str, str], ImportEdge] = {}
+    for edge in edges:
+        key = (edge.src, edge.dst)
+        if key not in unique or edge.line < unique[key].line:
+            unique[key] = edge
+    return [unique[k] for k in sorted(unique)]
+
+
+def load_project(paths: Sequence) -> Project:
+    """Parse every source file under ``paths`` into a :class:`Project`."""
+    project = Project()
+    for path in _iter_source_files([Path(p) for p in paths]):
+        file = _reported_path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            project.parse_errors.append((file, exc.lineno or 1, exc.msg or "syntax error"))
+            continue
+        name, is_package = module_name_for(path)
+        project.modules[name] = ModuleInfo(
+            path=path.resolve(),
+            file=file,
+            name=name,
+            is_package=is_package,
+            tree=tree,
+            lines=tuple(source.splitlines()),
+        )
+    for module in list(project.modules.values()):
+        project.imports.extend(_edges_for(module, project.modules))
+    return project

@@ -1,0 +1,77 @@
+"""Text and JSON reporters for analysis findings.
+
+The text reporter is the human view: one ``file:line: rule: message`` line
+per finding plus an indented fix hint, then a summary.  The JSON reporter
+is the machine view CI uploads as an artifact; its schema is versioned and
+round-trips through :meth:`Finding.to_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .baseline import Baseline
+from .findings import SEVERITY_ERROR, Finding
+
+__all__ = ["render_text", "render_json", "report_payload"]
+
+#: Schema version of the JSON report.
+JSON_VERSION = 1
+
+
+def render_text(active: Sequence[Finding], suppressed: Sequence[Finding],
+                baseline: Optional[Baseline] = None, n_files: int = 0) -> str:
+    """Human-readable report; active findings first, then bookkeeping."""
+    lines: List[str] = []
+    for f in active:
+        lines.append(f"{f.location}: {f.rule_id}: {f.message}")
+        if f.fix_hint:
+            lines.append(f"    hint: {f.fix_hint}")
+    if active:
+        lines.append("")
+    by_rule: Dict[str, int] = {}
+    for f in active:
+        by_rule[f.rule_id] = by_rule.get(f.rule_id, 0) + 1
+    if by_rule:
+        breakdown = ", ".join(f"{rid}={n}" for rid, n in sorted(by_rule.items()))
+        lines.append(f"{len(active)} finding(s) across {n_files} file(s): {breakdown}")
+    else:
+        lines.append(f"clean: 0 findings across {n_files} file(s)"
+                     + (f" ({len(suppressed)} baselined)" if suppressed else ""))
+    if baseline is not None:
+        for entry in baseline.unjustified():
+            lines.append(
+                f"note: baseline entry for {entry.file} ({entry.rule}) has no "
+                f"justification and was ignored"
+            )
+        for entry in baseline.unused():
+            lines.append(
+                f"note: stale baseline entry for {entry.file} ({entry.rule}): "
+                f"{entry.content!r} no longer matches — delete it"
+            )
+    return "\n".join(lines)
+
+
+def report_payload(active: Sequence[Finding], suppressed: Sequence[Finding],
+                   rule_ids: Sequence[str], n_files: int) -> Dict[str, object]:
+    """The JSON report as a plain dict (also used by tests)."""
+    return {
+        "version": JSON_VERSION,
+        "n_files": n_files,
+        "rules": list(rule_ids),
+        "findings": [f.to_dict() for f in active],
+        "baselined": [f.to_dict() for f in suppressed],
+        "summary": {
+            "errors": sum(1 for f in active if f.severity == SEVERITY_ERROR),
+            "warnings": sum(1 for f in active if f.severity != SEVERITY_ERROR),
+            "baselined": len(suppressed),
+        },
+    }
+
+
+def render_json(active: Sequence[Finding], suppressed: Sequence[Finding],
+                rule_ids: Sequence[str], n_files: int) -> str:
+    """The JSON report as a string."""
+    return json.dumps(report_payload(active, suppressed, rule_ids, n_files),
+                      indent=2, sort_keys=True)

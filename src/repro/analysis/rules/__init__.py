@@ -1,0 +1,32 @@
+"""Built-in rules; importing this package registers all of them.
+
+Rule catalogue (see ``docs/static_analysis.md`` for the full writeup):
+
+================== ==========================================================
+``layering``       import direction follows the architecture's layer contract;
+                   module import graph is acyclic
+``determinism``    no global np.random state, stdlib random, or wall-clock
+                   seeds — randomness flows through repro.utils.rng
+``hotpath-alloc``  no np.concatenate/np.stack/.copy() in zero-copy modules
+``view-mutation``  no in-place writes through arena view API results
+``except-discipline`` no bare except; broad handlers log structurally or
+                   re-raise; CheckpointError is never swallowed
+``lock-discipline`` classes owning self._lock write attributes only under it
+================== ==========================================================
+"""
+
+from .determinism import DeterminismRule
+from .exceptions import ExceptionDisciplineRule
+from .hotpath import HotPathAllocationRule
+from .layering import LayeringRule
+from .locks import LockDisciplineRule
+from .views import ViewMutationRule
+
+__all__ = [
+    "DeterminismRule",
+    "ExceptionDisciplineRule",
+    "HotPathAllocationRule",
+    "LayeringRule",
+    "LockDisciplineRule",
+    "ViewMutationRule",
+]

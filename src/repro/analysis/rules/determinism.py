@@ -1,0 +1,117 @@
+"""Determinism: all randomness flows through explicit, seeded Generators.
+
+Token-identity tests (``tests/core/test_arena_equivalence.py``) and the
+paper's lossless-output claim depend on every stochastic component taking
+an explicit ``np.random.Generator`` derived via :mod:`repro.utils.rng`.
+Three ways that discipline silently dies:
+
+* a call on numpy's *global* RNG state (``np.random.seed``,
+  ``np.random.rand``, ...) — shared mutable state across every component;
+* the stdlib :mod:`random` module — a second, unseeded entropy source;
+* a wall-clock-derived seed (``default_rng(int(time.time()))``) — different
+  output every run, undetectable in a single test invocation.
+
+Constructing independent generators (``np.random.default_rng``,
+``SeedSequence``, bit generators) stays legal — that is exactly what
+``repro.utils.rng.derive`` builds on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..astutil import call_name, dotted_name, dotted_tail
+from ..framework import Rule, register
+from ..project import ModuleInfo, Project
+
+__all__ = ["DeterminismRule"]
+
+#: np.random attributes that construct independent generators (allowed).
+ALLOWED_NP_RANDOM = {
+    "default_rng", "Generator", "BitGenerator", "SeedSequence",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+}
+
+#: Functions that consume a seed; wall-clock values must never reach them.
+SEEDERS = {"default_rng", "derive", "seed_sequence", "SeedSequence", "seed", "RandomState"}
+
+#: Dotted tails that read the wall clock.
+WALL_CLOCK_TAILS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "datetime.now", "datetime.utcnow",
+}
+
+
+@register
+class DeterminismRule(Rule):
+    """Forbid global numpy RNG calls, stdlib random, and wall-clock seeds."""
+
+    rule_id = "determinism"
+    description = (
+        "randomness must flow through explicit seeded Generators "
+        "(repro.utils.rng); no global np.random state, stdlib random, or "
+        "wall-clock seeds"
+    )
+    fix_hint = (
+        "derive an explicit Generator with repro.utils.rng.derive(seed, tag) "
+        "and pass it down; never touch global RNG state"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            module, node.lineno,
+                            "stdlib random imported; use numpy Generators from "
+                            "repro.utils.rng instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and (
+                    node.module == "random" or node.module.startswith("random.")
+                ):
+                    yield self.finding(
+                        module, node.lineno,
+                        "stdlib random imported; use numpy Generators from "
+                        "repro.utils.rng instead",
+                    )
+            elif isinstance(node, ast.Call):
+                finding = self._check_call(module, node)
+                if finding is not None:
+                    yield finding
+
+    # ------------------------------------------------------------------
+    def _check_call(self, module: ModuleInfo, node: ast.Call):
+        name = dotted_name(node.func)
+        if name is not None:
+            parts = name.split(".")
+            if len(parts) >= 3 and parts[-3] in ("np", "numpy") and parts[-2] == "random":
+                if parts[-1] not in ALLOWED_NP_RANDOM:
+                    return self.finding(
+                        module, node.lineno,
+                        f"call on numpy's global RNG state: {name}() mutates "
+                        f"shared state and breaks seeded reproducibility",
+                    )
+        func_tail = call_name(node)
+        if func_tail in SEEDERS:
+            clock = self._wall_clock_arg(node)
+            if clock is not None:
+                return self.finding(
+                    module, node.lineno,
+                    f"wall-clock-derived seed: {func_tail}(...{clock}()...) "
+                    f"changes every run",
+                )
+        return None
+
+    @staticmethod
+    def _wall_clock_arg(node: ast.Call) -> Optional[str]:
+        """Dotted tail of a wall-clock call nested in the seed arguments."""
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Call):
+                    tail = dotted_tail(sub.func, 2)
+                    if tail in WALL_CLOCK_TAILS:
+                        return tail
+        return None

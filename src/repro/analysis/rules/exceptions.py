@@ -1,0 +1,132 @@
+"""Exception discipline: no silent failure on the decode path.
+
+Graceful degradation (PR 1) is a feature *because* every fault is visible:
+a draft fault logs a structured event, counts on the
+:class:`~repro.decoding.metrics.DecodeRecord`, and degrades the session.
+A bare ``except`` or a broad ``except Exception`` that neither re-raises
+nor emits a structured log turns that into silent data loss.  Three
+checks:
+
+* **bare except** — always an error (catches ``KeyboardInterrupt`` too);
+* **broad except** (``Exception``/``BaseException``) — allowed only when
+  the handler visibly accounts for the fault: a structured log call
+  (``logger.warning/error/exception/critical(..., extra=...)`` or the
+  :func:`repro.obs.logsetup.log_exception` helper), a
+  ``traceback.format_exc``/``print_exc`` capture, or an unconditional
+  re-raise as the handler's last statement;
+* **swallowed CheckpointError** — a handler catching ``CheckpointError``
+  whose body is only ``pass``/``...``/``continue``/``break`` discards an
+  integrity failure on the fault-tolerance path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..astutil import call_name, dotted_name
+from ..framework import Rule, register
+from ..project import ModuleInfo, Project
+
+__all__ = ["ExceptionDisciplineRule"]
+
+BROAD_NAMES = {"Exception", "BaseException"}
+#: Logger method names that count as structured logging when passed extra=.
+LOG_METHODS = {"debug", "info", "warning", "error", "exception", "critical"}
+#: Call names that always count as structured fault handling.
+STRUCTURED_CALLS = {"log_exception", "format_exc", "print_exc"}
+
+
+def _exception_names(handler: ast.ExceptHandler):
+    """Exception type names a handler catches (tuple types unpacked)."""
+    node = handler.type
+    if node is None:
+        return []
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for n in nodes:
+        dotted = dotted_name(n)
+        if dotted is not None:
+            names.append(dotted.split(".")[-1])
+    return names
+
+
+def _is_structured_log(node: ast.Call) -> bool:
+    name = call_name(node)
+    if name in STRUCTURED_CALLS:
+        return True
+    if name in LOG_METHODS and isinstance(node.func, ast.Attribute):
+        # `.exception()` attaches the traceback by itself; the other levels
+        # need structured context via extra=.
+        if name == "exception":
+            return True
+        return any(kw.arg == "extra" for kw in node.keywords)
+    return False
+
+
+def _handler_accounts_for_fault(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Call) and _is_structured_log(node):
+            return True
+    last = handler.body[-1]
+    return isinstance(last, ast.Raise)
+
+
+def _body_is_noop(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # `...` or a bare docstring
+        return False
+    return True
+
+
+@register
+class ExceptionDisciplineRule(Rule):
+    """Bare/broad excepts must log structurally or re-raise; no swallowed
+    CheckpointError."""
+
+    rule_id = "except-discipline"
+    description = (
+        "no bare except; broad `except Exception` must structurally log "
+        "(extra= / log_exception / traceback) or end in re-raise; "
+        "CheckpointError must never be swallowed"
+    )
+    fix_hint = (
+        "call repro.obs.logsetup.log_exception(logger, event, exc, ...) in "
+        "the handler (or narrow the exception type / re-raise)"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                yield from self._check_handler(module, handler)
+
+    def _check_handler(self, module: ModuleInfo, handler: ast.ExceptHandler) -> Iterator:
+        names = _exception_names(handler)
+        if handler.type is None:
+            yield self.finding(
+                module, handler.lineno,
+                "bare except: catches everything including KeyboardInterrupt",
+                fix_hint="name the exception types you expect, broadest "
+                         "`except Exception` with structured logging",
+            )
+            return
+        if any(n in BROAD_NAMES for n in names):
+            if not _handler_accounts_for_fault(handler):
+                yield self.finding(
+                    module, handler.lineno,
+                    "broad `except Exception` without structured logging or "
+                    "terminal re-raise: the fault disappears",
+                )
+        if "CheckpointError" in names and _body_is_noop(handler):
+            yield self.finding(
+                module, handler.lineno,
+                "swallowed CheckpointError: an integrity failure is discarded "
+                "without logging, quarantine, or re-raise",
+                fix_hint="quarantine/rebuild the artifact or re-raise; see "
+                         "docs/robustness.md",
+            )

@@ -1,0 +1,95 @@
+"""Hot-path allocation discipline: the zero-copy rule, enforced.
+
+The KV-arena refactor (PR 4) removed every O(T) ``np.concatenate`` from
+the decode hot path; ``benchmarks/bench_kv_arena.py`` asserts the >=5x win
+that depends on it.  One innocent ``np.concatenate`` or ``.copy()`` in an
+inner loop silently reverts the complexity class without failing any
+correctness test — exactly the kind of regression a linter catches and a
+reviewer doesn't.
+
+Tagged hot-path modules: the engine block loop, both arena-backed caches,
+the arena itself, and everything under ``repro.decoding`` (the per-token
+inner loops).  ``repro.core.reference`` is exempt by design: it preserves
+the concatenate-based implementations as the executable spec the property
+tests compare against.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence, Set
+
+from ..astutil import dotted_name
+from ..framework import Rule, register
+from ..project import ModuleInfo, Project
+
+__all__ = ["HotPathAllocationRule"]
+
+#: Modules under the zero-copy contract.
+DEFAULT_HOT_MODULES: Set[str] = {
+    "repro.core.engine",
+    "repro.core.hybrid_cache",
+    "repro.models.kv_cache",
+    "repro.utils.arena",
+}
+#: Dotted prefixes fully under the contract.
+DEFAULT_HOT_PREFIXES: Sequence[str] = ("repro.decoding.",)
+#: The executable spec keeps its concatenates on purpose.
+DEFAULT_EXEMPT: Set[str] = {"repro.core.reference"}
+
+#: numpy allocators forbidden on the hot path.
+FORBIDDEN_NP = {"concatenate", "stack", "vstack", "hstack", "copy"}
+
+
+@register
+class HotPathAllocationRule(Rule):
+    """Forbid np.concatenate/np.stack/.copy() in hot-path modules."""
+
+    rule_id = "hotpath-alloc"
+    description = (
+        "decode hot-path modules must not allocate via np.concatenate/"
+        "np.stack/.copy(); storage goes through arena append/truncate/views"
+    )
+    fix_hint = (
+        "write into preallocated arena storage (append/truncate/view, see "
+        "docs/performance.md); repro.core.reference is the only sanctioned "
+        "concatenate implementation"
+    )
+
+    def __init__(self, hot_modules: Optional[Set[str]] = None,
+                 hot_prefixes: Optional[Sequence[str]] = None,
+                 exempt: Optional[Set[str]] = None) -> None:
+        self.hot_modules = hot_modules if hot_modules is not None else DEFAULT_HOT_MODULES
+        self.hot_prefixes = tuple(hot_prefixes if hot_prefixes is not None
+                                  else DEFAULT_HOT_PREFIXES)
+        self.exempt = exempt if exempt is not None else DEFAULT_EXEMPT
+
+    def applies(self, module: ModuleInfo) -> bool:
+        """True when ``module`` is under the zero-copy contract."""
+        if module.name in self.exempt:
+            return False
+        return module.name in self.hot_modules or module.name.startswith(self.hot_prefixes)
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator:
+        if not self.applies(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = dotted_name(func)
+            if name is not None:
+                parts = name.split(".")
+                if (len(parts) >= 2 and parts[-2] in ("np", "numpy")
+                        and parts[-1] in FORBIDDEN_NP):
+                    yield self.finding(
+                        module, node.lineno,
+                        f"hot-path allocation: {name}() in zero-copy module "
+                        f"{module.name}",
+                    )
+                    continue
+            if isinstance(func, ast.Attribute) and func.attr == "copy":
+                yield self.finding(
+                    module, node.lineno,
+                    f".copy() in zero-copy module {module.name}",
+                )

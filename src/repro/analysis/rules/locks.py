@@ -1,0 +1,123 @@
+"""Lock discipline: guarded classes only mutate state under ``self._lock``.
+
+The metrics registry and the serving admission queue are documented
+thread-safe; their invariant is lexical — every attribute write happens
+inside a ``with self._lock:`` block.  A new method that writes
+``self._value`` without the lock is a data race that no single-threaded
+test will ever catch.
+
+The rule is self-scoping: any class whose ``__init__`` assigns
+``self._lock`` opts into checking, and from then on *every* method (except
+``__init__``/``__post_init__``, which run before the object is shared)
+must wrap attribute writes in ``with self._lock:``.  Classes without a
+``_lock`` attribute are untouched, so single-threaded code pays nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..framework import Rule, register
+from ..project import ModuleInfo, Project
+
+__all__ = ["LockDisciplineRule"]
+
+#: Methods allowed to write without the lock (object not yet shared).
+UNGUARDED_METHODS = {"__init__", "__post_init__", "__new__"}
+LOCK_ATTR = "_lock"
+
+
+def _assigns_lock(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute) and target.attr == LOCK_ATTR
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    return True
+    return False
+
+
+def _is_self_lock(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Attribute) and node.attr == LOCK_ATTR
+            and isinstance(node.value, ast.Name) and node.value.id == "self")
+
+
+def _self_attr_target(node: ast.AST) -> str:
+    """Attribute name when ``node`` is a ``self.<attr>`` store, else ''."""
+    if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return ""
+
+
+@register
+class LockDisciplineRule(Rule):
+    """In classes owning ``self._lock``, attribute writes need the lock."""
+
+    rule_id = "lock-discipline"
+    description = (
+        "classes that create self._lock must perform every attribute write "
+        "inside a `with self._lock:` block (outside __init__)"
+    )
+    fix_hint = "wrap the write in `with self._lock:` (or compute outside, "\
+               "assign inside the guarded block)"
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: ModuleInfo, cls: ast.ClassDef) -> Iterator:
+        methods = [n for n in cls.body
+                   if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+        init = next((m for m in methods if m.name == "__init__"), None)
+        if init is None or not _assigns_lock(init):
+            return
+        for method in methods:
+            if method.name in UNGUARDED_METHODS:
+                continue
+            yield from self._check_method(module, cls, method)
+
+    def _check_method(self, module: ModuleInfo, cls: ast.ClassDef,
+                      method: ast.FunctionDef) -> Iterator:
+        """Walk the method body tracking `with self._lock:` nesting."""
+
+        def visit(stmts: List[ast.stmt], locked: bool) -> Iterator:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue  # nested scopes manage their own state
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    inner = locked or any(
+                        _is_self_lock(item.context_expr) for item in stmt.items
+                    )
+                    yield from visit(stmt.body, inner)
+                    continue
+                if not locked:
+                    targets = []
+                    if isinstance(stmt, ast.Assign):
+                        targets = stmt.targets
+                    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                        targets = [stmt.target]
+                    for target in targets:
+                        attr = _self_attr_target(target)
+                        if attr and attr != LOCK_ATTR:
+                            yield self.finding(
+                                module, stmt.lineno,
+                                f"unguarded write to self.{attr} in "
+                                f"{cls.name}.{method.name}: class owns "
+                                f"self._lock, so shared state must be "
+                                f"written under it",
+                            )
+                for body in (getattr(stmt, "body", None),
+                             getattr(stmt, "orelse", None),
+                             getattr(stmt, "finalbody", None)):
+                    if body:
+                        yield from visit(body, locked)
+                for handler in getattr(stmt, "handlers", ()) or ():
+                    yield from visit(handler.body, locked)
+                for case in getattr(stmt, "cases", ()) or ():
+                    yield from visit(case.body, locked)
+
+        yield from visit(method.body, locked=False)

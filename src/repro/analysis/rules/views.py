@@ -1,0 +1,154 @@
+"""View mutation: never write through an arena's zero-copy views.
+
+``Arena.view()``, ``KVCache.layer()``/``last_layer()``/``positions`` and
+``HybridKVCache.gather()`` return arrays that alias arena storage and are
+documented "valid until the next mutation".  Writing *into* one
+(``view[i] = x``, ``view[...] += y``) corrupts cache state for every other
+reader — including COW forks that still share the buffer — and no shape
+check can catch it.
+
+This rule does a conservative per-scope taint pass: names bound from a
+view-returning API are tainted; a subscript store or augmented assignment
+through a tainted name (or directly through a view-API call) is flagged.
+Rebinding a name to anything else clears the taint, and ``.copy()`` on a
+view produces an untainted array (allocation rules are hotpath-alloc's
+business, not this rule's).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..framework import Rule, register
+from ..project import ModuleInfo, Project
+from ..astutil import walk_functions
+
+__all__ = ["ViewMutationRule"]
+
+#: Methods whose return values alias arena storage.
+VIEW_METHODS = {"view", "layer", "last_layer", "gather"}
+#: Attributes (properties) whose values alias arena storage.
+VIEW_ATTRS = {"positions"}
+
+
+def _is_view_expr(node: ast.AST) -> bool:
+    """Expression that evaluates to a zero-copy view (or tuple of them)."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr in VIEW_METHODS
+    if isinstance(node, ast.Attribute):
+        return node.attr in VIEW_ATTRS
+    if isinstance(node, ast.Subscript):
+        # A slice of a view is still a view: cache.layer(0)[0] aliases too.
+        return _is_view_expr(node.value)
+    return False
+
+
+def _subscript_base(node: ast.AST) -> ast.AST:
+    """Innermost value of nested subscripts: ``x`` for ``x[0][1:]``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+def _target_names(target: ast.AST) -> List[str]:
+    """Plain names bound by an assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names = []
+        for elt in target.elts:
+            names.extend(_target_names(elt))
+        return names
+    return []
+
+
+@register
+class ViewMutationRule(Rule):
+    """Flag in-place writes through values returned by arena view APIs."""
+
+    rule_id = "view-mutation"
+    description = (
+        "values returned by arena view APIs (view/layer/last_layer/gather/"
+        "positions) alias cache storage and must never be written in place"
+    )
+    fix_hint = (
+        "mutate through the cache API (append/truncate) or take an explicit "
+        ".copy() before writing; views are documented read-only aliases"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator:
+        for _scope, body in walk_functions(module.tree):
+            yield from self._check_scope(module, body)
+
+    # ------------------------------------------------------------------
+    def _check_scope(self, module: ModuleInfo, body: List[ast.stmt]) -> Iterator:
+        tainted: Set[str] = set()
+        for stmt in self._flat_statements(body):
+            if isinstance(stmt, ast.Assign):
+                # Writes first (the RHS is evaluated before the store, but
+                # taint only changes via the targets below).
+                for target in stmt.targets:
+                    yield from self._check_store(module, target, tainted)
+                names = [n for t in stmt.targets for n in _target_names(t)]
+                if _is_view_expr(stmt.value):
+                    tainted.update(names)
+                else:
+                    tainted.difference_update(names)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                names = _target_names(stmt.target)
+                if _is_view_expr(stmt.value):
+                    tainted.update(names)
+                else:
+                    tainted.difference_update(names)
+            elif isinstance(stmt, ast.AugAssign):
+                target = stmt.target
+                if isinstance(target, ast.Name) and target.id in tainted:
+                    yield self.finding(
+                        module, stmt.lineno,
+                        f"augmented assignment mutates zero-copy view "
+                        f"{target.id!r} in place",
+                    )
+                else:
+                    yield from self._check_store(module, target, tainted)
+
+    def _check_store(self, module: ModuleInfo, target: ast.AST,
+                     tainted: Set[str]) -> Iterator:
+        """Flag subscript stores whose base is a tainted name or view call."""
+        if not isinstance(target, ast.Subscript):
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    yield from self._check_store(module, elt, tainted)
+            return
+        base = _subscript_base(target)
+        if isinstance(base, ast.Name) and base.id in tainted:
+            yield self.finding(
+                module, target.lineno,
+                f"in-place write into zero-copy view {base.id!r}",
+            )
+        elif _is_view_expr(base):
+            yield self.finding(
+                module, target.lineno,
+                "in-place write directly into an arena view API result",
+            )
+
+    @staticmethod
+    def _flat_statements(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+        """Statements of a scope in source order, descending into control
+        flow but not into nested function/class definitions (those get
+        their own scope pass)."""
+        stack = list(reversed(body))
+        while stack:
+            stmt = stack.pop()
+            yield stmt
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            for field_body in (getattr(stmt, "body", None),
+                               getattr(stmt, "orelse", None),
+                               getattr(stmt, "finalbody", None)):
+                if field_body:
+                    stack.extend(reversed(field_body))
+            for handler in getattr(stmt, "handlers", ()) or ():
+                stack.extend(reversed(handler.body))
+            for case in getattr(stmt, "cases", ()) or ():
+                stack.extend(reversed(case.body))

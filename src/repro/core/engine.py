@@ -59,7 +59,7 @@ from ..decoding.sampling import Sampler, SamplerConfig, logits_to_probs, specula
 from ..errors import DecodingError
 from ..models.llava import MiniLlava
 from ..nn.tensor import no_grad
-from ..obs.logsetup import get_logger
+from ..obs.logsetup import get_logger, log_exception
 from ..obs.tracing import NULL_SPAN, Tracer, get_tracer
 from ..robustness.guards import check_hybrid_cache, ensure_finite
 from ..tokenizer import WordTokenizer
@@ -327,9 +327,11 @@ class AASDEngine(Decoder):
                 sp.add_sim_ms(
                     self._build_context(target_cache, hybrid, prompt_ids, n_vis, record)
                 )
-            except Exception as exc:  # noqa: BLE001 — any head fault degrades
+            except Exception as exc:  # any head fault degrades, never aborts
                 if not cfg.fallback_on_fault:
                     raise
+                log_exception(logger, "context_build_fault", exc,
+                              request_id=request_id)
                 record.note_fault(f"context build failed: {exc}")
                 self._disable_speculation(session, "context build failed")
                 sp.set_attr("fault", str(exc))
@@ -406,9 +408,11 @@ class AASDEngine(Decoder):
                         pos += 1
                     if cfg.guard_cache:
                         check_hybrid_cache(hybrid)
-                except Exception as exc:  # noqa: BLE001 — any head fault degrades
+                except Exception as exc:  # any head fault degrades, never aborts
                     if not cfg.fallback_on_fault:
                         raise
+                    log_exception(logger, "draft_fault", exc,
+                                  request_id=session.request_id, position=pos)
                     record.note_fault(f"draft fault at position {pos}: {exc}")
                     sp.set_attr("fault", str(exc))
                     # The draft segment may be poisoned; the context store
@@ -435,9 +439,12 @@ class AASDEngine(Decoder):
                             )
                             if cfg.guard_cache:
                                 check_hybrid_cache(hybrid)
-                        except Exception as exc:  # noqa: BLE001
+                        except Exception as exc:  # degrade to plain decode
                             if not cfg.fallback_on_fault:
                                 raise
+                            log_exception(logger, "context_maintenance_fault", exc,
+                                          request_id=session.request_id,
+                                          phase="fallback")
                             record.note_fault(f"context maintenance failed: {exc}")
                             sp.set_attr("fault", str(exc))
                             self._disable_speculation(session, "context maintenance failed")
@@ -487,9 +494,11 @@ class AASDEngine(Decoder):
                         out, last, outcome.accepted, keep, last_pos, hybrid,
                         record, "verify",
                     )
-                except Exception as exc:  # noqa: BLE001
+                except Exception as exc:  # degrade to plain decode
                     if not cfg.fallback_on_fault:
                         raise
+                    log_exception(logger, "context_maintenance_fault", exc,
+                                  request_id=session.request_id, phase="verify")
                     record.note_fault(f"context maintenance failed: {exc}")
                     sp.set_attr("fault", str(exc))
                     self._disable_speculation(session, "context maintenance failed")

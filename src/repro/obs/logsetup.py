@@ -20,7 +20,7 @@ import logging
 import sys
 from typing import Optional, TextIO
 
-__all__ = ["configure_logging", "get_logger", "StructuredFormatter"]
+__all__ = ["configure_logging", "get_logger", "log_exception", "StructuredFormatter"]
 
 ROOT_LOGGER_NAME = "repro"
 
@@ -64,6 +64,25 @@ def get_logger(name: str) -> logging.Logger:
     if name != ROOT_LOGGER_NAME and not name.startswith(ROOT_LOGGER_NAME + "."):
         name = f"{ROOT_LOGGER_NAME}.{name}"
     return logging.getLogger(name)
+
+
+def log_exception(logger: logging.Logger, event: str, exc: BaseException,
+                  **context: object) -> None:
+    """Log a handled exception as one structured warning record.
+
+    The canonical sink for broad ``except Exception`` handlers on the
+    graceful-degradation path: the event name, exception type/text, and any
+    caller context land as ``extra=`` fields, so faults stay greppable in
+    both key=value and JSON-lines output.  The static-analysis rule
+    ``except-discipline`` (see ``docs/static_analysis.md``) accepts a broad
+    handler exactly when it routes through here (or an explicit
+    ``extra=``-carrying log call / re-raise).
+    """
+    logger.warning(
+        "%s: %s", event, exc,
+        extra={"event": event, "error": str(exc),
+               "error_type": type(exc).__name__, **context},
+    )
 
 
 def configure_logging(

@@ -63,7 +63,7 @@ from ..data.tasks import MultimodalSample
 from ..decoding.adaptive import FixedGamma, GammaController
 from ..decoding.metrics import DecodeRecord
 from ..errors import AdmissionError, ServingError
-from ..obs.logsetup import get_logger
+from ..obs.logsetup import get_logger, log_exception
 from ..obs.metrics import get_registry
 from ..utils.timing import SimulatedClock
 from .queue import AdmissionQueue
@@ -291,7 +291,9 @@ class ContinuousBatchingScheduler:
                         gamma_controller=self._controller(self._effective_gamma(request)),
                         request_id=request.request_id,
                     )
-                except Exception as exc:  # noqa: BLE001 — isolate per request
+                except Exception as exc:  # isolate the fault to this request
+                    log_exception(logger, "prefill_failed", exc,
+                                  request_id=request.request_id)
                     self._resolve(handle, STATUS_FAILED, error=f"prefill failed: {exc}",
                                   started_ms=started_ms)
                     continue
@@ -319,7 +321,9 @@ class ContinuousBatchingScheduler:
                              phase="step"):
                 try:
                     reports.append(self.engine.step(entry.session))
-                except Exception as exc:  # noqa: BLE001 — isolate per request
+                except Exception as exc:  # isolate the fault to this request
+                    log_exception(logger, "step_failed", exc,
+                                  request_id=entry.handle.request_id)
                     failed.append(entry)
                     self.memory.add(entry.session.memory_stats())
                     self._resolve(entry.handle, STATUS_FAILED,

@@ -1,0 +1,24 @@
+"""Shared helpers for the static-analysis tests: fixture tree loading."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import load_project
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+@pytest.fixture()
+def load_fixture():
+    """Load ``fixtures/<sub>`` into a parsed :class:`Project`."""
+
+    def _load(sub: str):
+        path = FIXTURES / sub
+        assert path.exists(), f"missing fixture tree {path}"
+        return load_project([path])
+
+    return _load

@@ -1,0 +1,11 @@
+"""Every statement here violates the determinism contract."""
+
+import random
+import time
+
+import numpy as np
+
+np.random.seed(1234)
+noise = np.random.rand(3)
+pick = random.random
+rng = np.random.default_rng(int(time.time()))

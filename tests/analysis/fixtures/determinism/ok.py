@@ -1,0 +1,9 @@
+"""Idiomatic seeded randomness: explicit Generators only."""
+
+import numpy as np
+
+rng = np.random.default_rng(0)
+fallback = np.random.default_rng()
+seq = np.random.SeedSequence(42)
+child = np.random.Generator(np.random.PCG64(seq))
+noise = rng.normal(size=3)

@@ -1,0 +1,24 @@
+"""Exception-discipline violations: bare, silent-broad, swallowed."""
+
+from repro.errors import CheckpointError
+
+
+def bare(work):
+    try:
+        work()
+    except:
+        pass
+
+
+def silent_broad(work):
+    try:
+        return work()
+    except Exception:
+        return None
+
+
+def swallowed(load):
+    try:
+        return load()
+    except CheckpointError:
+        pass

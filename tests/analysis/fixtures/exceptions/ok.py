@@ -1,0 +1,53 @@
+"""Disciplined handlers: narrow, structurally logged, or re-raising."""
+
+from repro.errors import CheckpointError
+from repro.obs.logsetup import get_logger, log_exception
+
+logger = get_logger(__name__)
+
+
+def narrow(work):
+    try:
+        return work()
+    except ValueError:
+        return None
+
+
+def logged_helper(work):
+    try:
+        return work()
+    except Exception as exc:
+        log_exception(logger, "work_failed", exc)
+        return None
+
+
+def logged_extra(work):
+    try:
+        return work()
+    except Exception as exc:
+        logger.warning("work failed", extra={"event": "work_failed", "error": str(exc)})
+        return None
+
+
+def logged_traceback(work):
+    try:
+        return work()
+    except Exception:
+        logger.exception("work failed")
+        return None
+
+
+def reraised(work, cleanup):
+    try:
+        return work()
+    except Exception:
+        cleanup()
+        raise
+
+
+def quarantined(load, quarantine):
+    try:
+        return load()
+    except CheckpointError as exc:
+        quarantine(exc)
+        return None

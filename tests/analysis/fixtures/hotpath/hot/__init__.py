@@ -1,0 +1,1 @@
+"""Synthetic package for the hot-path allocation rule."""

@@ -1,0 +1,10 @@
+"""Hot-path module: every allocation here must be flagged."""
+
+import numpy as np
+
+
+def grow(cache, block):
+    cache = np.concatenate([cache, block], axis=2)
+    stacked = np.stack([block, block])
+    snapshot = cache.copy()
+    return cache, stacked, snapshot

@@ -1,0 +1,7 @@
+"""Exempt executable-spec module: concatenate stays legal here."""
+
+import numpy as np
+
+
+def grow(cache, block):
+    return np.concatenate([cache, block], axis=2)

@@ -1,0 +1,1 @@
+"""Synthetic package with a two-module load-time import cycle."""

@@ -1,0 +1,7 @@
+"""Half of an import cycle (alpha -> beta at load time)."""
+
+from ring import beta
+
+
+def a():
+    return beta.b()

@@ -1,0 +1,7 @@
+"""Other half of the import cycle (beta -> alpha at load time)."""
+
+from ring import alpha
+
+
+def b():
+    return alpha.a()

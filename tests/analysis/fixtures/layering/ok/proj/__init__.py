@@ -1,0 +1,1 @@
+"""Synthetic package whose imports all point down the contract."""

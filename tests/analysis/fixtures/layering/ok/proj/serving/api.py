@@ -1,0 +1,7 @@
+"""Application-layer module importing downward (legal direction)."""
+
+from proj.utils import helpers
+
+
+def handle():
+    return helpers.helper()

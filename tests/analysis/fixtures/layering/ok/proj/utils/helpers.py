@@ -1,0 +1,5 @@
+"""Foundation-layer module with no project imports."""
+
+
+def helper():
+    return 1

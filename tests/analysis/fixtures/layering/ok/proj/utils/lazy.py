@@ -1,0 +1,6 @@
+"""A function-level (lazy) upward import: sanctioned, not an edge."""
+
+
+def late():
+    from proj.serving import api
+    return api.handle()

@@ -1,0 +1,1 @@
+"""Synthetic package with one upward import (utils -> serving)."""

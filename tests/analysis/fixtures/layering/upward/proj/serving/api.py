@@ -1,0 +1,5 @@
+"""Application-layer module (the illegal import's target)."""
+
+
+def handle():
+    return "ok"

@@ -1,0 +1,7 @@
+"""Foundation-layer module that illegally reaches up into serving."""
+
+from proj.serving import api
+
+
+def helper():
+    return api.handle()

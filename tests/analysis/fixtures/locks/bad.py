@@ -1,0 +1,17 @@
+"""Lock-discipline violation: a guarded class writing without the lock."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}
+
+    def reset(self):
+        self._counts = {}
+
+    def bump(self, key):
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + 1
+        self._dirty = True

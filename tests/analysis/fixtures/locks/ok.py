@@ -1,0 +1,25 @@
+"""Disciplined locking, plus an unguarded class that opts out entirely."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}
+
+    def reset(self):
+        with self._lock:
+            self._counts = {}
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._counts)
+
+
+class Plain:
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        self.value += 1

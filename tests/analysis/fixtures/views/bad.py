@@ -1,0 +1,10 @@
+"""In-place writes through arena view APIs: all four must be flagged."""
+
+
+def corrupt(cache, hybrid):
+    v = cache.layer(0)
+    v[0] = 1.0
+    v += 2.0
+    hybrid.gather(0)[0] = 3.0
+    p = cache.positions
+    p[0] = 5

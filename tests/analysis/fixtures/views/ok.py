@@ -1,0 +1,13 @@
+"""Legal view usage: reads, explicit copies, and rebinding."""
+
+
+def legal(cache):
+    owned = cache.layer(0).copy()
+    owned[0] = 1.0
+
+    w = cache.layer(0)
+    total = w.sum()
+
+    w = w.copy()
+    w[1] = 2.0
+    return owned, total

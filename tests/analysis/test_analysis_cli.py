@@ -1,0 +1,135 @@
+"""CLI behaviour: exit codes, JSON schema, baseline workflow, subcommands."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+BAD_SOURCE = "import random\n"
+OK_SOURCE = "VALUE = 1\n"
+
+
+@pytest.fixture()
+def bad_file(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "bad.py").write_text(BAD_SOURCE)
+    return "bad.py"
+
+
+def test_findings_exit_one_with_text_report(bad_file, capsys):
+    assert main([bad_file]) == 1
+    out = capsys.readouterr().out
+    assert "determinism" in out
+    assert "bad.py:1" in out
+    assert "hint:" in out
+
+
+def test_clean_tree_exits_zero(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "ok.py").write_text(OK_SOURCE)
+    assert main(["ok.py"]) == 0
+    assert "clean: 0 findings" in capsys.readouterr().out
+
+
+def test_json_format_schema(bad_file, capsys):
+    assert main([bad_file, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["summary"]["errors"] >= 1
+    assert set(payload["rules"]) >= {"determinism", "layering", "hotpath-alloc"}
+    finding = payload["findings"][0]
+    assert {"file", "line", "rule_id", "message", "severity", "snippet"} <= set(finding)
+
+
+def test_output_artifact_written(bad_file, tmp_path, capsys):
+    artifact = tmp_path / "results" / "findings.json"
+    assert main([bad_file, "--output", str(artifact)]) == 1
+    capsys.readouterr()
+    payload = json.loads(artifact.read_text())
+    assert payload["summary"]["errors"] >= 1
+
+
+def test_baseline_workflow_end_to_end(bad_file, tmp_path, capsys):
+    """write-baseline skeleton is inert; justified entries suppress."""
+    bl = tmp_path / "bl.json"
+    assert main([bad_file, "--write-baseline", str(bl)]) == 0
+    # The TODO skeleton must not silence anything.
+    assert main([bad_file, "--baseline", str(bl)]) == 1
+    assert "no justification" in capsys.readouterr().out
+    payload = json.loads(bl.read_text())
+    for entry in payload["entries"]:
+        entry["justification"] = "accepted: fixture for the CLI test"
+    bl.write_text(json.dumps(payload))
+    assert main([bad_file, "--baseline", str(bl)]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_default_baseline_picked_up_from_cwd(bad_file, tmp_path, capsys):
+    bl = tmp_path / "analysis_baseline.json"
+    main([bad_file, "--write-baseline", str(bl)])
+    payload = json.loads(bl.read_text())
+    for entry in payload["entries"]:
+        entry["justification"] = "accepted: fixture"
+    bl.write_text(json.dumps(payload))
+    capsys.readouterr()
+    assert main([bad_file]) == 0  # no --baseline flag needed
+
+
+def test_stale_baseline_entry_reported(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "ok.py").write_text(OK_SOURCE)
+    bl = tmp_path / "bl.json"
+    bl.write_text(json.dumps({"version": 1, "entries": [{
+        "rule": "determinism", "file": "gone.py",
+        "content": "import random", "justification": "was real once",
+    }]}))
+    assert main(["ok.py", "--baseline", str(bl)]) == 0
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_rule_selection_and_listing(bad_file, capsys):
+    # Selecting a rule that cannot fire on the file -> clean.
+    assert main([bad_file, "--rules", "lock-discipline"]) == 0
+    capsys.readouterr()
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("layering", "determinism", "hotpath-alloc",
+                    "view-mutation", "except-discipline", "lock-discipline"):
+        assert rule_id in out
+
+
+def test_unknown_rule_id_is_usage_error(bad_file, capsys):
+    assert main([bad_file, "--rules", "nope"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit) as exc:
+        main(["does-not-exist"])
+    assert exc.value.code == 2
+
+
+def test_parse_error_surfaces_as_finding(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    assert main(["broken.py"]) == 1
+    assert "parse-error" in capsys.readouterr().out
+
+
+def test_docstrings_subcommand(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["docstrings"]) == 0
+    assert "public defs documented" in capsys.readouterr().out
+
+
+def test_docs_subcommand_links_only(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["docs", "--links-only"]) == 0
+    assert "links ok" in capsys.readouterr().out

@@ -1,0 +1,68 @@
+"""Baseline mechanics: matching, justification gating, staleness."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import Baseline, BaselineEntry, Finding, write_baseline
+
+
+def _finding(snippet="x = bad()", file="pkg/mod.py", rule="determinism"):
+    return Finding(file=file, line=3, rule_id=rule, message="m",
+                   fix_hint="", snippet=snippet)
+
+
+def test_justified_entry_suppresses_matching_finding():
+    entry = BaselineEntry(rule="determinism", file="pkg/mod.py",
+                          content="x = bad()", justification="known, accepted")
+    baseline = Baseline([entry])
+    assert baseline.suppresses(_finding())
+    assert baseline.unused() == []
+
+
+def test_matching_is_content_keyed_not_line_keyed():
+    """A finding on any line suppresses as long as the source text matches."""
+    entry = BaselineEntry(rule="determinism", file="pkg/mod.py",
+                          content="x = bad()", justification="ok")
+    moved = Finding(file="pkg/mod.py", line=99, rule_id="determinism",
+                    message="m", fix_hint="", snippet="x = bad()")
+    assert Baseline([entry]).suppresses(moved)
+
+
+def test_unjustified_entry_never_applies():
+    for justification in ("", "   ", "TODO: justify this suppression or fix the finding"):
+        entry = BaselineEntry(rule="determinism", file="pkg/mod.py",
+                              content="x = bad()", justification=justification)
+        baseline = Baseline([entry])
+        assert not baseline.suppresses(_finding())
+        assert entry in baseline.unjustified()
+
+
+def test_mismatches_do_not_suppress():
+    entry = BaselineEntry(rule="determinism", file="pkg/mod.py",
+                          content="x = bad()", justification="ok")
+    baseline = Baseline([entry])
+    assert not baseline.suppresses(_finding(rule="layering"))
+    assert not baseline.suppresses(_finding(file="pkg/other.py"))
+    assert not baseline.suppresses(_finding(snippet="y = bad()"))
+    assert baseline.unused() == [entry]
+
+
+def test_write_baseline_roundtrip_requires_human_edit(tmp_path):
+    """A freshly written skeleton suppresses nothing until justified."""
+    path = tmp_path / "bl.json"
+    n = write_baseline([_finding()], path)
+    assert n == 1
+    loaded = Baseline.load(path)
+    assert len(loaded) == 1
+    assert not loaded.suppresses(_finding())  # TODO placeholder -> inert
+    payload = json.loads(path.read_text())
+    payload["entries"][0]["justification"] = "reviewed: fine"
+    path.write_text(json.dumps(payload))
+    assert Baseline.load(path).suppresses(_finding())
+
+
+def test_load_missing_path_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "absent.json")
+    assert len(baseline) == 0
+    assert not baseline.suppresses(_finding())

@@ -1,0 +1,25 @@
+"""Exception-discipline rule: bare/broad/swallowed handlers."""
+
+from __future__ import annotations
+
+from repro.analysis.framework import run_rules
+from repro.analysis.rules.exceptions import ExceptionDisciplineRule
+
+
+def test_bad_fixture_flags_all_three_shapes(load_fixture):
+    project = load_fixture("exceptions")
+    findings = [f for f in run_rules(project, [ExceptionDisciplineRule()])
+                if f.file.endswith("bad.py")]
+    messages = [f.message for f in findings]
+    assert len(findings) == 3
+    assert any("bare except" in m for m in messages)
+    assert any("broad `except Exception`" in m for m in messages)
+    assert any("swallowed CheckpointError" in m for m in messages)
+
+
+def test_ok_fixture_is_clean(load_fixture):
+    """Narrow types, structured logging, re-raise, quarantine all pass."""
+    project = load_fixture("exceptions")
+    findings = [f for f in run_rules(project, [ExceptionDisciplineRule()])
+                if f.file.endswith("ok.py")]
+    assert findings == []

@@ -1,0 +1,38 @@
+"""The linter's dogfood gate: the shipped tree is clean modulo the baseline.
+
+This is the test that keeps the rules honest in both directions: a rule
+that over-fires breaks it immediately, and a regression in ``src/`` (an
+upward import, a stray ``np.concatenate`` on the hot path, a silent broad
+except) breaks it just as fast.  The committed baseline must stay small
+(<= 10 entries) and every entry must carry a real justification.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import Baseline
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BASELINE = REPO_ROOT / "analysis_baseline.json"
+
+
+def test_src_is_clean_modulo_baseline(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["src", "--baseline", str(BASELINE)]) == 0
+    out = capsys.readouterr().out
+    assert "clean: 0 findings" in out
+    assert "stale baseline entry" not in out
+    assert "no justification" not in out
+
+
+def test_baseline_is_small_and_fully_justified():
+    baseline = Baseline.load(BASELINE)
+    assert 0 < len(baseline) <= 10
+    assert baseline.unjustified() == []
+    payload = json.loads(BASELINE.read_text())
+    for entry in payload["entries"]:
+        # A justification is a sentence, not a token: forbid lazy entries.
+        assert len(entry["justification"].split()) >= 5, entry
