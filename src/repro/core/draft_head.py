@@ -228,12 +228,17 @@ class AASDDraftHead(Module):
         hybrid: HybridKVCache,
         disable_image_kv: bool = False,
         disable_text_kv: bool = False,
+        request_id: Optional[str] = None,
     ) -> np.ndarray:
         """One draft step: returns next-token logits ``(vocab,)``.
 
         Appends the token's own K/V to the hybrid cache's draft segment
         (the query attends to it, matching T-D Attention's ``j = i`` rule).
+        ``request_id`` identifies the requesting session; the head itself
+        ignores it, but wrappers (fault injectors, per-request telemetry)
+        key their behavior on it.
         """
+        del request_id
         positions = np.asarray([position], dtype=np.int64)
         x = self.embed(np.asarray([[token_id]], dtype=np.int64))
         h = self.attn_norm(x)

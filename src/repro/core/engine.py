@@ -155,7 +155,7 @@ class StepReport:
     session's own :class:`DecodeRecord` keeps solo-priced attribution.
     """
 
-    kind: str                           #: ``"verify"`` or ``"fallback"``
+    kind: str                           #: ``"verify"``, ``"fallback"``, or ``"expired"``
     feed_size: int                      #: tokens fed to the target forward
     draft_kv_lens: Tuple[int, ...]      #: hybrid KV length per draft-head step
     n_accepted: int = 0                 #: draft tokens accepted (verify only)
@@ -342,7 +342,13 @@ class AASDEngine(Decoder):
             controller.reset()
         return session
 
-    def step(self, session: DecodeSession) -> StepReport:
+    def step(
+        self,
+        session: DecodeSession,
+        *,
+        budget_ms: Optional[float] = None,
+        force_fallback: bool = False,
+    ) -> StepReport:
         """Advance one block: draft-then-verify, or one fallback target step.
 
         Mutates ``session`` in place (committed tokens, caches, fault
@@ -350,6 +356,22 @@ class AASDEngine(Decoder):
         describing the step's composition so batched schedulers can price
         the round.  Raises :class:`~repro.errors.DecodingError` if the
         session already finished.
+
+        ``budget_ms`` is the session's remaining deadline budget on the
+        server clock: when the draft phase alone already charges more
+        than the budget, the speculated block is dropped before the
+        verify forward and the step returns ``kind="expired"`` — the
+        session keeps its partial generation but stops consuming verify
+        compute for tokens a dead request could never use.  The check
+        prices the draft solo, a documented approximation of its batched
+        share (always within one phase of the scheduler's own
+        round-boundary accounting).
+
+        ``force_fallback`` takes one plain target step *without*
+        consulting or advancing the gamma controller, while still doing
+        draft-context maintenance — the circuit breaker uses it to flip a
+        batch to target-only decoding temporarily, so speculation can
+        resume the moment the breaker re-closes.
         """
         if session.finished:
             raise DecodingError("cannot step a finished session")
@@ -370,6 +392,35 @@ class AASDEngine(Decoder):
                     report = StepReport(kind="fallback", feed_size=1, draft_kv_lens=())
                 return report
 
+            if force_fallback:
+                with tracer.span("fallback") as sp:
+                    sp.set_attr("forced", True)
+                    cfg = self.config
+                    record = session.record
+                    hybrid = session.hybrid
+                    committed = session.committed
+                    last = committed[-1]
+                    last_pos = session.gen_base + len(committed) - 1
+                    token, out = self._target_step(last, session.target_cache, record, sp)
+                    try:
+                        self._append_committed_kv(
+                            out, last, [], 1, last_pos, hybrid, record, "fallback"
+                        )
+                        if cfg.guard_cache:
+                            check_hybrid_cache(hybrid)
+                    except Exception as exc:  # degrade to plain decode
+                        if not cfg.fallback_on_fault:
+                            raise
+                        log_exception(logger, "context_maintenance_fault", exc,
+                                      request_id=session.request_id,
+                                      phase="forced-fallback")
+                        record.note_fault(f"context maintenance failed: {exc}")
+                        sp.set_attr("fault", str(exc))
+                        self._disable_speculation(session, "context maintenance failed")
+                    committed.append(token)
+                    report = StepReport(kind="fallback", feed_size=1, draft_kv_lens=())
+                return report
+
             # ---- draft: gamma steps of the speculating module -------
             # Guarded: a fault truncates the block to the clean prefix
             # drafted so far instead of aborting the decode.
@@ -383,15 +434,18 @@ class AASDEngine(Decoder):
                 draft_tokens: List[int] = []
                 draft_probs: List[np.ndarray] = []
                 draft_kv_lens: List[int] = []
+                draft_ms = 0.0
                 gamma = session.gamma_controller.next_gamma()
                 sp.set_attr("gamma", gamma)
                 token, pos = last, last_pos
                 try:
                     for _ in range(gamma):
                         kv_len = hybrid.total_len + 1
-                        sp.add_sim_ms(record.charge_sim(
+                        step_ms = record.charge_sim(
                             self.cost_model.aasd_step(kv_len), "draft"
-                        ))
+                        )
+                        sp.add_sim_ms(step_ms)
+                        draft_ms += step_ms
                         draft_kv_lens.append(kv_len)
                         logits = self.head.step(
                             token,
@@ -399,6 +453,7 @@ class AASDEngine(Decoder):
                             hybrid,
                             disable_image_kv=cfg.disable_image_kv,
                             disable_text_kv=cfg.disable_text_kv,
+                            request_id=session.request_id,
                         )
                         ensure_finite(logits, "draft logits")
                         probs = logits_to_probs(logits, self.sampler.config)
@@ -426,6 +481,23 @@ class AASDEngine(Decoder):
                             session, f"{record.n_draft_faults} draft faults"
                         )
                 sp.set_attr("n_draft", len(draft_tokens))
+                expired = bool(
+                    budget_ms is not None and draft_tokens and draft_ms > budget_ms
+                )
+                if expired:
+                    # Mid-round deadline: the draft phase alone blew the
+                    # remaining budget, so skip the verify forward and
+                    # drop the (uncommitted) speculated block.  Partial
+                    # generation stays on the session; the scheduler
+                    # retires it as timed out without another round.
+                    sp.set_attr("expired", True)
+                    hybrid.clear_draft()
+                    report = StepReport(
+                        kind="expired", feed_size=0,
+                        draft_kv_lens=tuple(draft_kv_lens),
+                    )
+            if expired:
+                return report
 
             if not draft_tokens:
                 # Nothing drafted this block: take one plain target step

@@ -13,6 +13,7 @@ __all__ = [
     "GuardViolation",
     "ServingError",
     "AdmissionError",
+    "ChaosError",
 ]
 
 
@@ -72,4 +73,13 @@ class AdmissionError(ServingError):
     This is the backpressure signal of :mod:`repro.serving`: online callers
     should retry later or shed load; the offline ``serve_requests`` facade
     converts it into a ``rejected`` result instead of raising.
+    """
+
+
+class ChaosError(ReproError):
+    """A chaos-harness invariant was violated after a fault storm.
+
+    Raised by :func:`repro.robustness.chaos.assert_chaos`; the message
+    lists every violated invariant so a failing storm is diagnosable from
+    the exception alone.
     """

@@ -43,6 +43,11 @@ def main(argv=None) -> int:
                 "arena_grows": summary.arena_grows,
                 "peak_cache_tokens": summary.peak_cache_tokens,
             } if summary.has_memory else None,
+            "resilience": {
+                "n_retries": summary.n_retries,
+                "n_shed": summary.n_shed,
+                "breaker_rounds": summary.breaker_rounds,
+            } if summary.has_resilience else None,
             "phases": {
                 name: {
                     "count": s.count,

@@ -7,6 +7,12 @@ tiling guarantee the engine instrumentation maintains), and — when the
 ``decode`` spans carry the KV-arena attributes the engine stamps
 (``bytes_copied`` / ``arena_grows`` / ``peak_cache_tokens``) — a memory
 section showing the cache-copy story next to the wall table.
+
+Serving traces add a resilience section: ``schedule`` spans stamped by
+the continuous-batching scheduler carry ``breaker_state`` plus per-round
+``n_retried`` / ``n_shed`` deltas, which aggregate into retry/shed totals
+and a breaker-state round histogram (how many scheduler rounds ran
+closed / half-open / open).
 """
 
 from __future__ import annotations
@@ -54,6 +60,10 @@ class TraceSummary:
     arena_grows: int = 0                # KV-arena buffer reallocations, summed
     peak_cache_tokens: int = 0          # longest per-session KV seen
     has_memory: bool = False            # any decode span carried memory attrs
+    n_retries: int = 0                  # transient-fault retries, summed
+    n_shed: int = 0                     # requests shed under queue pressure
+    breaker_rounds: Dict[str, int] = field(default_factory=dict)
+    has_resilience: bool = False        # any schedule span carried resilience attrs
 
     @property
     def acceptance_rate(self) -> Optional[float]:
@@ -88,6 +98,17 @@ def summarize_spans(spans: Sequence[SpanRecord]) -> TraceSummary:
                     summary.peak_cache_tokens,
                     int(span.attrs.get("peak_cache_tokens", 0)),
                 )
+        elif span.name == "schedule":
+            attrs = span.attrs
+            if any(k in attrs for k in ("breaker_state", "n_retried", "n_shed")):
+                summary.has_resilience = True
+                summary.n_retries += int(attrs.get("n_retried", 0))
+                summary.n_shed += int(attrs.get("n_shed", 0))
+                state = attrs.get("breaker_state")
+                if state is not None:
+                    summary.breaker_rounds[str(state)] = (
+                        summary.breaker_rounds.get(str(state), 0) + 1
+                    )
     phase_in_decode_ms = 0.0
     for span in spans:
         if span.name == "decode":
@@ -151,6 +172,16 @@ def render_summary(summary: TraceSummary) -> str:
             f"{summary.arena_grows} arena grow(s), "
             f"peak cache {summary.peak_cache_tokens} tokens"
         )
+    if summary.has_resilience:
+        parts = [f"{summary.n_retries} retr{'y' if summary.n_retries == 1 else 'ies'}",
+                 f"{summary.n_shed} shed"]
+        if summary.breaker_rounds:
+            rounds = ", ".join(
+                f"{state}={count}"
+                for state, count in sorted(summary.breaker_rounds.items())
+            )
+            parts.append(f"breaker rounds: {rounds}")
+        lines.append("resilience: " + "; ".join(parts))
     alpha = summary.acceptance_rate
     tau = summary.block_efficiency
     if alpha is not None and tau is not None:

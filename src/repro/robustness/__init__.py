@@ -3,21 +3,31 @@
 ``faults`` corrupts things on purpose (checkpoint truncation/byte flips,
 NaN weights, failing draft heads) so tests can prove the stack degrades
 instead of dying; ``guards`` holds the runtime validators the decode
-engine uses to detect those faults in production.
+engine uses to detect those faults in production; ``chaos`` drives the
+serving layer under seeded fault storms and asserts the resilience
+invariants (see ``docs/robustness.md``).
 """
 
 from .faults import (
+    ArenaPressureFault,
     DraftFault,
     FaultyDraftHead,
+    LatencySpikeFault,
+    NaNLogitsFault,
     corrupt_checkpoint,
     flip_checkpoint_bytes,
     inject_nan_weights,
+    is_transient,
     truncate_checkpoint,
 )
 from .guards import all_finite, check_hybrid_cache, ensure_finite
 
 __all__ = [
     "DraftFault",
+    "LatencySpikeFault",
+    "ArenaPressureFault",
+    "NaNLogitsFault",
+    "is_transient",
     "FaultyDraftHead",
     "corrupt_checkpoint",
     "flip_checkpoint_bytes",

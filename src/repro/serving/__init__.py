@@ -9,7 +9,10 @@ The subsystem has three parts (see ``docs/serving.md``):
   :class:`~repro.errors.AdmissionError` on overload);
 * :mod:`~repro.serving.scheduler` — the continuous-batching round loop
   (:class:`ContinuousBatchingScheduler`) and the synchronous
-  :func:`serve_requests` facade for offline throughput runs.
+  :func:`serve_requests` facade for offline throughput runs;
+* :mod:`~repro.serving.resilience` — retry / circuit-breaker / shedding
+  policies (:class:`ResilienceConfig`), wired into the scheduler via
+  ``ServingConfig(resilience=...)``.
 """
 
 from .queue import AdmissionQueue
@@ -21,6 +24,13 @@ from .request import (
     ServeHandle,
     ServeRequest,
     ServeResult,
+)
+from .resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryPolicy,
+    ShedConfig,
 )
 from .scheduler import (
     ContinuousBatchingScheduler,
@@ -42,4 +52,9 @@ __all__ = [
     "ServingReport",
     "ContinuousBatchingScheduler",
     "serve_requests",
+    "RetryPolicy",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "ShedConfig",
+    "ResilienceConfig",
 ]

@@ -103,6 +103,75 @@ class AdmissionQueue:
             self._publish()
         return taken
 
+    def requeue(self, handle: ServeHandle) -> None:
+        """Front-insert a handle (retry re-admission).
+
+        Capacity-exempt: a retried request already passed admission once
+        and holds an unresolved handle a client is waiting on, so
+        backpressure must not orphan it.  It joins the *front* of the
+        queue — by submission time it is the oldest waiter.
+        """
+        with self._lock:
+            if handle.request_id in self._ids:
+                raise AdmissionError(
+                    f"request {handle.request_id!r} is already queued"
+                )
+            self._items.appendleft(handle)
+            self._ids.add(handle.request_id)
+            self._publish()
+
+    def oldest_wait_ms(self, now_ms: float) -> Optional[float]:
+        """Queue time of the oldest waiter (None when empty).
+
+        The scheduler's load-shedding pressure signal: sustained growth
+        here means admission is outpacing service.
+        """
+        with self._lock:
+            if not self._items:
+                return None
+            return now_ms - self._items[0].submitted_ms
+
+    def shed_newest(self, target_depth: int) -> List[ServeHandle]:
+        """Drop handles from the *tail* until at most ``target_depth`` wait.
+
+        The reject-newest shed policy: the oldest requests (closest to
+        service, longest already invested) keep their place.  Returns the
+        shed handles for the scheduler to reject.
+        """
+        if target_depth < 0:
+            raise ServingError(f"target_depth must be non-negative, got {target_depth}")
+        shed: List[ServeHandle] = []
+        with self._lock:
+            while len(self._items) > target_depth:
+                handle = self._items.pop()
+                self._ids.discard(handle.request_id)
+                shed.append(handle)
+            self._publish()
+        return shed
+
+    def shed_over_deadline(self, now_ms: float, horizon_ms: float) -> List[ServeHandle]:
+        """Drop queued handles whose deadline falls inside the horizon.
+
+        The reject-over-deadline shed policy: a request whose absolute
+        deadline is within ``horizon_ms`` (the projected further wait)
+        cannot finish in time anyway, so shedding it costs nothing and
+        frees queue space for requests that still can.  Deadline-less
+        requests are never shed by this policy.
+        """
+        shed: List[ServeHandle] = []
+        with self._lock:
+            kept: deque = deque()
+            for handle in self._items:
+                limit = expiry_ms(handle)
+                if limit is not None and limit < now_ms + horizon_ms:
+                    shed.append(handle)
+                    self._ids.discard(handle.request_id)
+                else:
+                    kept.append(handle)
+            self._items = kept
+            self._publish()
+        return shed
+
     def expire(self, now_ms: float) -> List[ServeHandle]:
         """Remove and return queued handles whose deadline has passed."""
         expired: List[ServeHandle] = []

@@ -38,6 +38,25 @@ relative simulated-ms budgets checked both while queued and after every
 round, so an expired request is retired mid-batch with the tokens it
 committed so far.
 
+Resilience
+----------
+``ServingConfig(resilience=ResilienceConfig(...))`` layers the policies of
+:mod:`repro.serving.resilience` onto the round loop; the default ``None``
+keeps the legacy fail-fast behavior exactly.  With a
+:class:`~repro.serving.resilience.RetryPolicy`, a session that dies on a
+*transient* fault (per :func:`repro.robustness.faults.is_transient`) is
+dropped and re-enqueued after a deterministic backoff: the retry restarts
+from a fresh prefill with the engine RNG restored to its pre-request
+snapshot, so — under greedy sampling, where decoding consumes no RNG draws
+— the retried output is token-identical to a clean run.  With a
+:class:`~repro.serving.resilience.BreakerConfig`, a circuit breaker watches
+per-round acceptance/fault rates and forces the whole batch target-only
+while open.  With a :class:`~repro.serving.resilience.ShedConfig`, queued
+requests are shed under queue-time pressure.  ``deadline_in_round=True``
+passes each session's remaining budget into
+:meth:`~repro.core.engine.AASDEngine.step` so a request expiring mid-round
+stops before its verify forward.
+
 Observability
 -------------
 Every round runs inside a ``schedule`` span (feeding the
@@ -53,11 +72,12 @@ KV-arena accounting into ``scheduler.memory`` (surfaced as
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from itertools import zip_longest
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..core.engine import AASDEngine, DecodeSession
+from ..core.engine import AASDEngine, DecodeSession, StepReport
 from ..core.kv_arena import ArenaStats
 from ..data.tasks import MultimodalSample
 from ..decoding.adaptive import FixedGamma, GammaController
@@ -65,8 +85,16 @@ from ..decoding.metrics import DecodeRecord
 from ..errors import AdmissionError, ServingError
 from ..obs.logsetup import get_logger, log_exception
 from ..obs.metrics import get_registry
+from ..robustness.faults import is_transient
 from ..utils.timing import SimulatedClock
 from .queue import AdmissionQueue
+from .resilience import (
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryPolicy,
+    ShedConfig,
+    SHED_REJECT_NEWEST,
+)
 from .request import (
     STATUS_COMPLETED,
     STATUS_FAILED,
@@ -97,6 +125,9 @@ class ServingConfig:
     #: Optional per-session controller factory (e.g. ``AdaptiveGamma``);
     #: default is a fresh ``FixedGamma`` at the request's effective depth.
     gamma_controller_factory: Optional[Callable[[], GammaController]] = None
+    #: Resilience policies (retry / breaker / shedding / in-round
+    #: deadlines); ``None`` keeps the legacy fail-fast behavior exactly.
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         """Validate the scheduler knobs."""
@@ -118,6 +149,10 @@ class ServingReport:
     bytes_copied: int = 0                   #: KV-arena bytes memcpy'd, all sessions
     arena_grows: int = 0                    #: KV-arena buffer reallocations
     peak_cache_tokens: int = 0              #: longest per-session KV seen
+    n_retries: int = 0                      #: transient-fault retries scheduled
+    n_shed: int = 0                         #: requests shed under queue pressure
+    #: breaker ``(round, from, to)`` transitions, in order (empty = no breaker)
+    breaker_transitions: Tuple[Tuple[int, str, str], ...] = ()
 
     @property
     def total_tokens(self) -> int:
@@ -151,6 +186,9 @@ class ServingReport:
             "bytes_copied": self.bytes_copied,
             "arena_grows": self.arena_grows,
             "peak_cache_tokens": self.peak_cache_tokens,
+            "n_retries": self.n_retries,
+            "n_shed": self.n_shed,
+            "breaker_transitions": len(self.breaker_transitions),
         }
 
 
@@ -161,6 +199,15 @@ class _Active:
     handle: ServeHandle
     session: DecodeSession
     started_ms: float   #: server clock at admission
+    n_faults_seen: int = 0   #: record.n_draft_faults already reported to the breaker
+
+
+@dataclass
+class _RetryState:
+    """Scheduler-internal retry bookkeeping for one request."""
+
+    attempts: int = 0                       #: retries consumed so far
+    rng_state: Optional[dict] = None        #: engine RNG snapshot at first admission
 
 
 class ContinuousBatchingScheduler:
@@ -181,6 +228,28 @@ class ContinuousBatchingScheduler:
         self.memory = ArenaStats()   #: KV-arena accounting over retired sessions
         self._active: List[_Active] = []
         self._batch_gamma: Optional[int] = None
+        resilience = self.config.resilience
+        #: Circuit breaker (None unless configured via the resilience bundle).
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(resilience.breaker)
+            if resilience is not None and resilience.breaker is not None
+            else None
+        )
+        self.n_retries = 0   #: transient-fault retries scheduled, lifetime
+        self.n_shed = 0      #: requests shed under queue pressure, lifetime
+        self._retry_state: Dict[str, _RetryState] = {}
+        #: ``(ready_ms, handle)`` for requests waiting out their backoff.
+        self._backoff: List[Tuple[float, ServeHandle]] = []
+
+    @property
+    def _retry_policy(self) -> Optional[RetryPolicy]:
+        resilience = self.config.resilience
+        return resilience.retry if resilience is not None else None
+
+    @property
+    def _shed_config(self) -> Optional[ShedConfig]:
+        resilience = self.config.resilience
+        return resilience.shed if resilience is not None else None
 
     # ------------------------------------------------------------------
     @property
@@ -195,8 +264,8 @@ class ContinuousBatchingScheduler:
 
     @property
     def idle(self) -> bool:
-        """True when nothing is queued or in flight."""
-        return not self._active and len(self.queue) == 0
+        """True when nothing is queued, in flight, or waiting out a backoff."""
+        return not self._active and len(self.queue) == 0 and not self._backoff
 
     def _effective_gamma(self, request: ServeRequest) -> int:
         """The depth used for batch-compatibility grouping."""
@@ -223,6 +292,8 @@ class ContinuousBatchingScheduler:
                  error: Optional[str] = None,
                  started_ms: Optional[float] = None) -> None:
         """Retire a request with a terminal status (updates counters)."""
+        retry_state = self._retry_state.pop(handle.request_id, None)
+        retry_count = retry_state.attempts if retry_state is not None else 0
         handle.resolve(ServeResult(
             request_id=handle.request_id,
             status=status,
@@ -239,7 +310,7 @@ class ContinuousBatchingScheduler:
                 handle.request_id,
                 status,
                 extra={"event": f"request_{status}", "request_id": handle.request_id,
-                       "error": error},
+                       "error": error, "retry_count": retry_count},
             )
 
     # ------------------------------------------------------------------
@@ -248,6 +319,120 @@ class ContinuousBatchingScheduler:
         for handle in self.queue.expire(self.now_ms):
             self._resolve(handle, STATUS_TIMEOUT,
                           error="deadline expired while queued")
+
+    # ------------------------------------------------------------------
+    # Resilience: retry scheduling, backoff waits, load shedding.
+    # ------------------------------------------------------------------
+    def _attempts(self, request_id: str) -> int:
+        """Retries already consumed by ``request_id`` (0 when untracked)."""
+        state = self._retry_state.get(request_id)
+        return state.attempts if state is not None else 0
+
+    def _restore_or_snapshot_rng(self, request_id: str) -> None:
+        """Make a retried admission replay the original RNG stream.
+
+        First admission snapshots the engine RNG state; a retry restores
+        it, so the restarted decode draws exactly what the failed attempt
+        would have.  Under greedy sampling decoding consumes no draws and
+        this is an exact no-op — which is why retried outputs are
+        token-identical to a clean run regardless of what batch-mates did
+        in between (the guarantee the chaos harness pins down).  No-op
+        unless a retry policy is configured.
+        """
+        if self._retry_policy is None:
+            return
+        state = self._retry_state.get(request_id)
+        if state is None:
+            self._retry_state[request_id] = _RetryState(
+                rng_state=copy.deepcopy(self.engine.rng.bit_generator.state)
+            )
+        elif state.rng_state is not None:
+            self.engine.rng.bit_generator.state = copy.deepcopy(state.rng_state)
+
+    def _maybe_retry(self, handle: ServeHandle, exc: BaseException) -> bool:
+        """Schedule a transient-fault retry; False means the fault is terminal.
+
+        A retry discards the failed attempt entirely (partial tokens,
+        record, caches) and re-enqueues the request after a deterministic
+        backoff — re-admission restores the engine RNG snapshot taken at
+        first admission, so the restarted decode replays the original
+        token stream.  Not retried: persistent faults, exhausted budgets,
+        and backoffs that would land past the request's deadline.
+        """
+        policy = self._retry_policy
+        if policy is None or not is_transient(exc):
+            return False
+        state = self._retry_state.get(handle.request_id)
+        if state is None or state.attempts >= policy.max_retries:
+            return False
+        ready_ms = self.now_ms + policy.backoff_ms(handle.request_id, state.attempts)
+        limit = expiry_ms(handle)
+        if limit is not None and ready_ms >= limit:
+            return False
+        state.attempts += 1
+        self.n_retries += 1
+        self._backoff.append((ready_ms, handle))
+        registry = get_registry()
+        registry.counter("resilience.retries_total").inc()
+        registry.gauge("resilience.pending_retries").set(len(self._backoff))
+        log_exception(logger, "request_retry", exc,
+                      request_id=handle.request_id,
+                      retry_count=state.attempts,
+                      ready_ms=ready_ms)
+        return True
+
+    def _requeue_ready_backoffs(self) -> None:
+        """Move retries whose backoff elapsed back into the admission queue."""
+        if not self._backoff:
+            return
+        still: List[Tuple[float, ServeHandle]] = []
+        for ready_ms, handle in self._backoff:
+            if ready_ms <= self.now_ms:
+                self.queue.requeue(handle)
+            else:
+                still.append((ready_ms, handle))
+        self._backoff = still
+        get_registry().gauge("resilience.pending_retries").set(len(self._backoff))
+
+    def _advance_to_next_backoff(self) -> None:
+        """Idle-wait (on the simulated clock) for the earliest pending retry.
+
+        Only called when retries are the *only* remaining work; the wait
+        is charged to the ``backoff`` category so reports show time spent
+        stalled versus decoding.
+        """
+        earliest = min(ready for ready, _ in self._backoff)
+        if earliest > self.now_ms:
+            self.clock.charge(earliest - self.now_ms, "backoff")
+        self._requeue_ready_backoffs()
+
+    def _shed_queued(self) -> None:
+        """Apply the configured shed policy under queue-time pressure."""
+        shed_cfg = self._shed_config
+        if shed_cfg is None:
+            return
+        wait = self.queue.oldest_wait_ms(self.now_ms)
+        if wait is None or wait <= shed_cfg.max_queue_ms:
+            return
+        if shed_cfg.policy == SHED_REJECT_NEWEST:
+            target = shed_cfg.shed_target_depth
+            if target is None:
+                target = self.config.max_queue_depth // 2
+            victims = self.queue.shed_newest(target)
+        else:
+            # The projected extra wait of a queued request is at least the
+            # current oldest wait (service is not outpacing arrivals when
+            # this fires), so deadlines inside that horizon are lost causes.
+            victims = self.queue.shed_over_deadline(self.now_ms, wait)
+        registry = get_registry()
+        for handle in victims:
+            self.n_shed += 1
+            registry.counter("resilience.requests_shed_total").inc()
+            self._resolve(
+                handle, STATUS_REJECTED,
+                error=f"shed under queue pressure ({shed_cfg.policy}, "
+                      f"oldest wait {wait:.0f}ms)",
+            )
 
     def _admit(self, span) -> None:
         """Fill free batch slots from the queue (batched prefill).
@@ -283,6 +468,7 @@ class ContinuousBatchingScheduler:
         for handle in handles:
             request = handle.request
             with tracer.span("request", request_id=request.request_id, phase="prefill"):
+                self._restore_or_snapshot_rng(request.request_id)
                 try:
                     session = self.engine.begin(
                         request.sample,
@@ -292,8 +478,11 @@ class ContinuousBatchingScheduler:
                         request_id=request.request_id,
                     )
                 except Exception as exc:  # isolate the fault to this request
+                    if self._maybe_retry(handle, exc):
+                        continue
                     log_exception(logger, "prefill_failed", exc,
-                                  request_id=request.request_id)
+                                  request_id=request.request_id,
+                                  retry_count=self._attempts(request.request_id))
                     self._resolve(handle, STATUS_FAILED, error=f"prefill failed: {exc}",
                                   started_ms=started_ms)
                     continue
@@ -309,29 +498,83 @@ class ContinuousBatchingScheduler:
             span.add_sim_ms(charge)
             span.set_attr("n_admitted", n_prefilled)
 
+    def _step_budget_ms(self, entry: _Active) -> Optional[float]:
+        """Remaining deadline budget to pass into the engine step (or None)."""
+        resilience = self.config.resilience
+        if resilience is None or not resilience.deadline_in_round:
+            return None
+        limit = expiry_ms(entry.handle)
+        if limit is None:
+            return None
+        return limit - self.now_ms
+
     def _step_batch(self, span) -> None:
-        """Advance every active session one block; charge batched prices."""
+        """Advance every active session one block; charge batched prices.
+
+        With resilience configured, this is also where the policies bite:
+        the breaker's ``force_fallback`` flips the whole batch target-only,
+        per-session deadline budgets let the engine expire a request
+        before its verify forward, and sessions dying on transient faults
+        are dropped for retry instead of failing.
+        """
         tracer = self.engine.tracer
-        reports = []
-        failed: List[_Active] = []
+        force_fallback = self.breaker is not None and self.breaker.force_fallback
+        stepped: List[Tuple[_Active, StepReport]] = []
+        removed: List[_Active] = []
+        n_escaped_faults = 0
+        n_record_faults = 0
         for entry in self._active:
             if entry.session.finished:
                 continue
             with tracer.span("request", request_id=entry.handle.request_id,
                              phase="step"):
                 try:
-                    reports.append(self.engine.step(entry.session))
+                    report = self.engine.step(
+                        entry.session,
+                        budget_ms=self._step_budget_ms(entry),
+                        force_fallback=force_fallback,
+                    )
                 except Exception as exc:  # isolate the fault to this request
-                    log_exception(logger, "step_failed", exc,
-                                  request_id=entry.handle.request_id)
-                    failed.append(entry)
+                    n_escaped_faults += 1
+                    n_record_faults += (
+                        entry.session.record.n_draft_faults - entry.n_faults_seen
+                    )
+                    removed.append(entry)
                     self.memory.add(entry.session.memory_stats())
+                    if self._maybe_retry(entry.handle, exc):
+                        continue
+                    log_exception(logger, "step_failed", exc,
+                                  request_id=entry.handle.request_id,
+                                  retry_count=self._attempts(entry.handle.request_id))
                     self._resolve(entry.handle, STATUS_FAILED,
                                   record=self.engine.finish(entry.session),
                                   error=f"step failed: {exc}",
                                   started_ms=entry.started_ms)
-        for entry in failed:
+                    continue
+            n_record_faults += (
+                entry.session.record.n_draft_faults - entry.n_faults_seen
+            )
+            entry.n_faults_seen = entry.session.record.n_draft_faults
+            stepped.append((entry, report))
+            if report.kind == "expired":
+                # Mid-round deadline: the engine dropped the speculated
+                # block before the verify; retire with the partial output
+                # now instead of letting it occupy a slot to round end.
+                removed.append(entry)
+                self.memory.add(entry.session.memory_stats())
+                self._resolve(entry.handle, STATUS_TIMEOUT,
+                              record=self.engine.finish(entry.session),
+                              error="deadline expired mid-round",
+                              started_ms=entry.started_ms)
+        for entry in removed:
             self._active.remove(entry)
+        reports = [r for _, r in stepped]
+        if self.breaker is not None and (stepped or n_escaped_faults):
+            self.breaker.observe_round(
+                n_drafted=sum(len(r.draft_kv_lens) for r in reports),
+                n_accepted=sum(r.n_accepted for r in reports),
+                n_faults=n_escaped_faults + n_record_faults,
+            )
         if not reports:
             return
         kv_tokens = sum(
@@ -367,15 +610,19 @@ class ContinuousBatchingScheduler:
                 ms = cost.batched_aasd_step(lens)
                 self.clock.charge(ms, "draft")
                 charged += ms
+        # Expired sessions drafted but never fed the target (feed_size 0):
+        # their draft work is priced above, but they join no verify.
+        feeds = [r.feed_size for r in reports if r.feed_size > 0]
         if len(reports) == 1 and reports[0].kind == "fallback":
             # Solo fallback: keep exact parity with sequential decoding,
             # which prices a plain target step (not a 1-token verify).
             ms = cost.target_step()
             self.clock.charge(ms, "fallback")
-        else:
-            ms = cost.batched_verify([r.feed_size for r in reports])
+            charged += ms
+        elif feeds:
+            ms = cost.batched_verify(feeds)
             self.clock.charge(ms, "verify")
-        charged += ms
+            charged += ms
         return charged
 
     def _retire(self) -> None:
@@ -408,17 +655,32 @@ class ContinuousBatchingScheduler:
     def run_round(self) -> bool:
         """One scheduler round; returns False when there was nothing to do.
 
-        A round: expire queued deadlines -> admit into free slots (batched
+        A round: requeue elapsed backoffs -> expire queued deadlines ->
+        shed under queue pressure -> admit into free slots (batched
         prefill) -> advance every active session one block (batched
         draft/verify) -> retire finished / expired / failed sessions.
+        When pending retries are the only remaining work, the round
+        idle-waits the simulated clock to the earliest backoff expiry
+        (charged as ``backoff``) before admitting.
         """
+        retries_before, shed_before = self.n_retries, self.n_shed
+        self._requeue_ready_backoffs()
         self._expire_queued()
+        self._shed_queued()
         if self.idle:
             return False
+        if not self._active and len(self.queue) == 0 and self._backoff:
+            self._advance_to_next_backoff()
         with self.engine.tracer.span("schedule", round=self.n_rounds) as span:
             self._admit(span)
             self._step_batch(span)
             self._retire()
+            if self.breaker is not None:
+                span.set_attr("breaker_state", self.breaker.state)
+            if self.n_retries > retries_before:
+                span.set_attr("n_retried", self.n_retries - retries_before)
+            if self.n_shed > shed_before:
+                span.set_attr("n_shed", self.n_shed - shed_before)
         self.n_rounds += 1
         get_registry().counter("serving.rounds_total").inc()
         return True
@@ -453,6 +715,8 @@ def serve_requests(
     engine: AASDEngine,
     requests: Iterable[Union[ServeRequest, MultimodalSample]],
     config: Optional[ServingConfig] = None,
+    *,
+    scheduler: Optional[ContinuousBatchingScheduler] = None,
 ) -> ServingReport:
     """Serve a batch of requests to completion and report aggregate throughput.
 
@@ -462,8 +726,15 @@ def serve_requests(
     input order plus server-clock throughput.  Raw
     :class:`~repro.data.tasks.MultimodalSample` items are auto-wrapped as
     requests with generated ids.
+
+    Pass a fresh ``scheduler`` to inspect its state (clock, memory,
+    breaker, gauges) after the run — ``engine`` and ``config`` are then
+    taken from it and the positional arguments must agree.
     """
-    scheduler = ContinuousBatchingScheduler(engine, config)
+    if scheduler is None:
+        scheduler = ContinuousBatchingScheduler(engine, config)
+    elif scheduler.engine is not engine:
+        raise ServingError("serve_requests: scheduler was built for a different engine")
     normalized = _normalize(requests)
     handles: Dict[str, ServeHandle] = {}
     early: Dict[str, ServeResult] = {}
@@ -499,4 +770,9 @@ def serve_requests(
         bytes_copied=scheduler.memory.bytes_copied,
         arena_grows=scheduler.memory.grow_events,
         peak_cache_tokens=scheduler.memory.peak_tokens,
+        n_retries=scheduler.n_retries,
+        n_shed=scheduler.n_shed,
+        breaker_transitions=(
+            tuple(scheduler.breaker.transitions) if scheduler.breaker else ()
+        ),
     )

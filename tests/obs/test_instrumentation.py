@@ -152,6 +152,34 @@ class TestMemorySection:
         assert payload["memory"]["peak_cache_tokens"] > 0
 
 
+class TestResilienceSection:
+    def _schedule_span(self, tracer, **attrs):
+        with tracer.span("schedule") as span:
+            for key, value in attrs.items():
+                span.set_attr(key, value)
+
+    def test_schedule_spans_aggregate_retries_and_breaker(self):
+        tracer = Tracer()
+        self._schedule_span(tracer, breaker_state="closed", n_retried=2)
+        self._schedule_span(tracer, breaker_state="open", n_shed=3)
+        self._schedule_span(tracer, breaker_state="open")
+        summary = summarize_spans(tracer.spans)
+        assert summary.has_resilience
+        assert summary.n_retries == 2 and summary.n_shed == 3
+        assert summary.breaker_rounds == {"closed": 1, "open": 2}
+        rendered = render_summary(summary)
+        assert "resilience: 2 retries; 3 shed" in rendered
+        assert "breaker rounds: closed=1, open=2" in rendered
+
+    def test_section_absent_without_resilience_attrs(self):
+        tracer = Tracer()
+        with tracer.span("schedule"):
+            pass
+        summary = summarize_spans(tracer.spans)
+        assert not summary.has_resilience
+        assert "resilience:" not in render_summary(summary)
+
+
 class TestTrainingTrace:
     def test_run_training_emits_spans(self, rng):
         from repro.obs.tracing import set_tracer

@@ -8,11 +8,16 @@ from repro.errors import ConfigError, DecodingError, GuardViolation
 from repro.decoding.sampling import SamplerConfig, logits_to_probs, speculative_verify
 from repro.nn.layers import Linear
 from repro.robustness import (
+    ArenaPressureFault,
+    DraftFault,
     FaultyDraftHead,
+    LatencySpikeFault,
+    NaNLogitsFault,
     all_finite,
     check_hybrid_cache,
     ensure_finite,
     inject_nan_weights,
+    is_transient,
 )
 
 
@@ -105,6 +110,86 @@ class TestFaultyDraftHeadSchedule:
     def test_delegates_attributes(self):
         head = FaultyDraftHead(self._StubHead())
         assert head.config.vocab_size == 11
+
+
+class TestFaultTaxonomy:
+    def test_transient_flags_by_type(self):
+        assert not is_transient(DraftFault("generic"))
+        assert is_transient(DraftFault("flaky", transient=True))
+        assert is_transient(LatencySpikeFault("slow"))
+        assert is_transient(ArenaPressureFault("oom"))
+        assert not is_transient(NaNLogitsFault("nan"))
+
+    def test_subtypes_are_draft_faults(self):
+        for cls in (LatencySpikeFault, ArenaPressureFault, NaNLogitsFault):
+            assert issubclass(cls, DraftFault)
+
+    def test_non_draft_exceptions_are_persistent(self):
+        assert not is_transient(RuntimeError("boom"))
+        assert not is_transient(ValueError("bad"))
+
+
+class TestPerRequestSchedule:
+    """Per-request fault keying: schedules must not depend on batch order."""
+
+    def _head(self, **kwargs):
+        return FaultyDraftHead(TestFaultyDraftHeadSchedule._StubHead(),
+                               mode="raise", per_request=True, **kwargs)
+
+    def _drive(self, head, plan):
+        """Step request ids in ``plan`` order; return ids that faulted."""
+        faulted = []
+        for rid in plan:
+            try:
+                head.step(0, 0, None, request_id=rid)
+            except DraftFault:
+                faulted.append(rid)
+        return faulted
+
+    def test_interleaving_does_not_move_faults(self):
+        # Each request faults at its *own* step 1, no matter how the
+        # scheduler interleaves the two requests.
+        sequential = self._drive(self._head(fail_steps=[1]),
+                                 ["a", "a", "a", "b", "b", "b"])
+        interleaved = self._drive(self._head(fail_steps=[1]),
+                                  ["a", "b", "a", "b", "a", "b"])
+        assert sorted(sequential) == sorted(interleaved) == ["a", "b"]
+
+    def test_global_schedule_remains_order_dependent_default(self):
+        # The legacy global counter is preserved as the default.
+        head = FaultyDraftHead(TestFaultyDraftHeadSchedule._StubHead(),
+                               mode="raise", fail_steps=[0])
+        faulted = self._drive(head, ["a", "b"])
+        assert faulted == ["a"]
+        assert not head.per_request
+
+    def test_storm_schedule_is_deterministic_and_rate_bounded(self):
+        head = self._head(request_fault_rate=0.2, seed=9)
+        ids = [f"req-{i:03d}" for i in range(200)]
+        afflicted = [rid for rid in ids if head.storm_steps(rid)]
+        # identical on a second head with the same seed
+        again = self._head(request_fault_rate=0.2, seed=9)
+        assert afflicted == [rid for rid in ids if again.storm_steps(rid)]
+        # roughly the configured rate, and inside the horizon
+        assert 0.1 <= len(afflicted) / len(ids) <= 0.3
+        for rid in afflicted:
+            assert all(0 <= s < head.fault_horizon for s in head.storm_steps(rid))
+
+    def test_storm_rate_extremes(self):
+        assert not self._head(request_fault_rate=0.0).storm_steps("anything")
+        assert self._head(request_fault_rate=1.0).storm_steps("anything")
+
+    def test_retry_runs_past_one_shot_fault(self):
+        # The per-request counter never resets: after the fault at step 0
+        # fires once, a retried request keeps stepping cleanly.
+        head = self._head(request_fault_rate=1.0, faults_per_request=1,
+                          fault_horizon=1, transient=True)
+        with pytest.raises(DraftFault) as excinfo:
+            head.step(0, 0, None, request_id="r")
+        assert excinfo.value.transient
+        for _ in range(5):   # the "retry" resumes at index 1
+            head.step(0, 0, None, request_id="r")
+        assert head.faults_by_request["r"] == 1
 
 
 class TestSamplingHardening:

@@ -1,0 +1,99 @@
+"""Concurrent-producer stress on admission control.
+
+The admission queue is the only scheduler surface that may be hit from
+other threads (an online frontend racing the serving loop), so these
+tests hammer it with producer threads and assert the backpressure
+contract stays exact: no handle is lost, none resolves twice, and
+``AdmissionError`` fires precisely when the queue is at capacity.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.data.tasks import make_dataset
+from repro.errors import AdmissionError
+from repro.serving import (
+    AdmissionQueue,
+    ContinuousBatchingScheduler,
+    ServeRequest,
+    ServingConfig,
+)
+
+TERMINAL = {"completed", "timeout", "rejected", "failed"}
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return make_dataset("coco-sim", 1, seed=0).samples[0]
+
+
+def _producer(submit, sample, prefix, n, accepted, errors, barrier):
+    barrier.wait()
+    for i in range(n):
+        request = ServeRequest(request_id=f"{prefix}-{i:03d}", sample=sample)
+        try:
+            accepted.append(submit(request))
+        except AdmissionError:
+            errors.append(request.request_id)
+
+
+class TestConcurrentAdmission:
+    N_THREADS = 4
+    PER_THREAD = 8
+
+    def _race(self, submit, sample, max_depth):
+        accepted, errors = [], []
+        barrier = threading.Barrier(self.N_THREADS)
+        threads = [
+            threading.Thread(
+                target=_producer,
+                args=(submit, sample, f"t{t}", self.PER_THREAD,
+                      accepted, errors, barrier),
+            )
+            for t in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return accepted, errors
+
+    def test_admission_error_exactly_at_capacity(self, sample):
+        # No consumer: the queue must admit exactly max_depth requests and
+        # refuse the rest, with no submission lost in between.
+        queue = AdmissionQueue(max_depth=8)
+        submit = lambda request: queue.submit(request, now_ms=0.0)
+        accepted, errors = self._race(submit, sample, max_depth=8)
+
+        assert len(accepted) == 8
+        assert len(errors) == self.N_THREADS * self.PER_THREAD - 8
+        assert queue.depth == 8 and queue.free == 0
+        with pytest.raises(AdmissionError):
+            queue.submit(ServeRequest(request_id="late", sample=sample), now_ms=0.0)
+        # every admitted handle is distinct and still queued
+        queued = queue.pop_ready(16)
+        assert {h.request_id for h in queued} == {h.request_id for h in accepted}
+
+    def test_producers_race_draining_scheduler(self, world, make_engine):
+        # Threads submit while the main thread drains rounds; afterwards
+        # every admitted handle must have resolved exactly once.
+        engine = make_engine()
+        scheduler = ContinuousBatchingScheduler(
+            engine, ServingConfig(max_batch_size=4, max_queue_depth=8))
+        accepted, errors = self._race(scheduler.submit, world["samples"][0],
+                                      max_depth=8)
+        scheduler.run_until_idle(max_rounds=10_000)
+
+        assert scheduler.idle and scheduler.n_active == 0
+        # no lost handles: all accepted resolved, and accepted + refused
+        # accounts for every submission attempt
+        assert len(accepted) + len(errors) == self.N_THREADS * self.PER_THREAD
+        assert len({h.request_id for h in accepted}) == len(accepted)
+        for handle in accepted:
+            assert handle.done
+            result = handle.result(timeout=0)   # resolved exactly once
+            assert result.status in TERMINAL
+            assert result.record is not None
