@@ -172,7 +172,18 @@ def test_speedup_summary():
         )
     rendered = "\n".join(lines)
     print("\n" + rendered)
-    save_results(_RESULTS, RESULTS_DIR / "kv_arena", rendered=rendered)
+    save_results(
+        _RESULTS, RESULTS_DIR / "kv_arena", rendered=rendered,
+        config={
+            "tokens": T_TOKENS,
+            "n_layers": N_LAYERS,
+            "n_heads": N_HEADS,
+            "head_dim": HEAD_DIM,
+            "gamma": GAMMA,
+            "append": APPEND,
+            "rollback": ROLLBACK,
+        },
+    )
 
     if T_TOKENS >= 1024:
         for key, row in _RESULTS.items():

@@ -15,6 +15,7 @@ claims are asserted:
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
@@ -96,7 +97,7 @@ def test_serving_concurrency(benchmark, zoo, runner, target, concurrency):
         assert result.record.token_ids == solo.token_ids, result.request_id
 
     speedup = baseline["sim_ms"] / report.total_sim_ms
-    _RESULTS[(target, concurrency, "serving")] = {
+    row = {
         "tok_per_s": report.tokens_per_s,
         "speedup": speedup,
         "sim_ms": report.total_sim_ms,
@@ -105,7 +106,12 @@ def test_serving_concurrency(benchmark, zoo, runner, target, concurrency):
         "wall_tok_per_s": report.total_tokens / wall_s,
         "bytes_copied": float(report.bytes_copied),
     }
-    benchmark.extra_info.update(_RESULTS[(target, concurrency, "serving")])
+    # Request-latency digests (server clock): TTFT / TPOT / E2E percentiles.
+    for metric, digest in sorted(report.latency_ms.items()):
+        for stat in ("p50", "p95", "p99"):
+            row[f"{metric}_{stat}"] = digest[stat]
+    _RESULTS[(target, concurrency, "serving")] = row
+    benchmark.extra_info.update(row)
 
 
 def test_serving_summary(runner):
@@ -114,17 +120,28 @@ def test_serving_summary(runner):
         f"serving throughput (gamma={GAMMA}, {N_REQUESTS} requests, "
         f"{runner.config.max_new_tokens} max tokens)",
         f"{'target':>10} {'conc':>5} {'tok/s':>9} {'speedup':>8} {'rounds':>7} "
-        f"{'wall tok/s':>11}",
+        f"{'wall tok/s':>11} {'ttft p50':>9} {'e2e p95':>9}",
     ]
     for (target, concurrency, _), row in sorted(_RESULTS.items()):
         lines.append(
             f"{target:>10} {concurrency:>5} {row['tok_per_s']:>9.1f} "
             f"{row['speedup']:>8.2f} {int(row['rounds']):>7} "
-            f"{row['wall_tok_per_s']:>11.1f}"
+            f"{row['wall_tok_per_s']:>11.1f} {row.get('ttft_ms_p50', 0.0):>9.1f} "
+            f"{row.get('e2e_ms_p95', 0.0):>9.1f}"
         )
     rendered = "\n".join(lines)
     print("\n" + rendered)
-    save_results(_RESULTS, RESULTS_DIR / "serving", rendered=rendered)
+    save_results(
+        _RESULTS, RESULTS_DIR / "serving", rendered=rendered,
+        config={
+            "profile": os.environ.get("REPRO_BENCH_PROFILE", "full"),
+            "targets": list(TARGETS),
+            "concurrency": list(CONCURRENCY),
+            "n_requests": N_REQUESTS,
+            "gamma": GAMMA,
+            "max_new_tokens": runner.config.max_new_tokens,
+        },
+    )
 
     for target in TARGETS:
         # concurrency 1 must price exactly like sequential decoding

@@ -1,0 +1,118 @@
+"""Perf-regression gate CLI over :mod:`repro.obs.perfgate`.
+
+Check the current ``results/`` files against the checked-in baseline::
+
+    python scripts/perf_gate.py check [--report-only] [--json]
+
+Bless the current numbers as the new baseline (requires a real
+justification — empty or TODO text is rejected, and the update history
+accumulates inside the baseline file)::
+
+    python scripts/perf_gate.py update --justification \\
+        "packed ragged-batch verify cut sim_ms 18%; see PR #12 benchmarks"
+
+Exit codes for ``check``: 0 = no gated metric regressed beyond its
+tolerance, 1 = regression or missing results file.  ``--report-only``
+always exits 0 (the CI perf job runs this mode while the gate bakes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.eval.reporting import run_metadata
+from repro.obs.logsetup import configure_logging, get_logger
+from repro.obs.perfgate import (
+    build_baseline,
+    compare,
+    load_baseline,
+    render_gate_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+logger = get_logger("repro.scripts.perf_gate")
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    baseline = load_baseline(args.baseline)
+    report = compare(args.results, baseline)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_gate_report(report, verbose=args.verbose))
+    if report.passed or args.report_only:
+        if not report.passed:
+            logger.warning(
+                "perf gate failed but running report-only",
+                extra={"event": "perf_gate_report_only",
+                       "n_regressions": len(report.regressions),
+                       "n_missing": len(report.missing)},
+            )
+        return 0
+    return 1
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    baseline_path = Path(args.baseline)
+    previous = load_baseline(baseline_path) if baseline_path.exists() else None
+    baseline = build_baseline(
+        args.results,
+        args.justification,
+        previous=previous,
+        meta=run_metadata(),
+    )
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    baseline_path.write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {baseline_path}")
+    # A fresh baseline must gate clean against the results it came from.
+    report = compare(args.results, baseline)
+    if not report.passed:
+        print(render_gate_report(report))
+        print("warning: new baseline does not pass against its own results",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", default=str(REPO_ROOT / "results"),
+                        help="directory holding the benchmark results files")
+    parser.add_argument("--baseline",
+                        default=str(REPO_ROOT / "results" / "perf_baseline.json"),
+                        help="checked-in baseline file")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="gate current results against the baseline")
+    p_check.add_argument("--report-only", action="store_true",
+                         help="print the report but always exit 0")
+    p_check.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON")
+    p_check.add_argument("--verbose", action="store_true",
+                         help="also list metrics that passed")
+
+    p_update = sub.add_parser("update", help="bless current results as the baseline")
+    p_update.add_argument("--justification", required=True,
+                          help="why the new numbers are correct (required; "
+                               "TODO placeholders rejected)")
+
+    args = parser.parse_args(argv)
+    configure_logging()
+    try:
+        if args.command == "check":
+            return cmd_check(args)
+        return cmd_update(args)
+    except ConfigError as exc:
+        print(f"perf_gate: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Profiled serving run: attribution report, flamegraph, latency digests.
+
+Serves a batch of requests through the continuous-batching scheduler on
+the smoke-profile zoo with tracing *and* op-level profiling enabled,
+then writes every profiling artifact this repo knows how to produce::
+
+    python scripts/profile_serving.py [--out results/profile] \\
+        [--concurrency 8] [--requests 8] [--target sim-7b]
+
+Outputs under ``--out``:
+
+* ``trace.jsonl``        — lossless span log (op attrs included)
+* ``flamegraph.collapsed`` — collapsed stacks for speedscope/flamegraph.pl
+* ``attribution.txt`` / ``attribution.json`` — the {gemm, arena_copy,
+  python_overhead, other} wall-clock split
+* ``metrics.json``       — registry snapshot (histograms with p50/p95/p99)
+
+The attribution table is the quantitative form of the ROADMAP's
+wall-clock question: how much of a batched round is fused compute vs.
+N× per-request Python.  Inspect any trace later with
+``python -m repro.obs summarize --attribution <out>/trace.jsonl``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.decoding.cost_model import CostModel, get_profile
+from repro.eval.baselines import build_aasd_engine
+from repro.obs import (
+    build_attribution,
+    configure_logging,
+    enable_profiling,
+    enable_tracing,
+    export_collapsed,
+    export_jsonl,
+    get_logger,
+    get_registry,
+    render_attribution,
+)
+from repro.serving import ServingConfig, serve_requests
+from repro.zoo import ModelZoo, PROFILE_SMOKE
+
+logger = get_logger("repro.scripts.profile_serving")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results/profile")
+    parser.add_argument("--requests", type=int, default=8)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--max-new-tokens", type=int, default=24)
+    parser.add_argument("--gamma", type=int, default=3)
+    parser.add_argument("--target", default="sim-7b")
+    args = parser.parse_args()
+
+    configure_logging()
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    zoo = ModelZoo(PROFILE_SMOKE)
+    cost_model = CostModel(get_profile(args.target))
+    engine = build_aasd_engine(
+        zoo, args.target, args.gamma, cost_model,
+        max_new_tokens=args.max_new_tokens,
+    )
+    samples = zoo.eval_dataset("coco-sim", args.requests)
+
+    tracer = enable_tracing()
+    enable_profiling()
+    report = serve_requests(
+        engine, samples, ServingConfig(max_batch_size=args.concurrency)
+    )
+    logger.info(
+        "served batch",
+        extra={"event": "profile_serving_done", **report.summary()},
+    )
+
+    spans = tracer.spans
+    jsonl = export_jsonl(spans, out_dir / "trace.jsonl")
+    flame = export_collapsed(spans, out_dir / "flamegraph.collapsed")
+    attribution = build_attribution(spans)
+    rendered = render_attribution(attribution)
+    (out_dir / "attribution.txt").write_text(rendered + "\n", encoding="utf-8")
+    (out_dir / "attribution.json").write_text(
+        json.dumps(attribution.to_dict(), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    metrics = out_dir / "metrics.json"
+    metrics.write_text(
+        json.dumps(get_registry().snapshot(), indent=2), encoding="utf-8"
+    )
+
+    print(rendered)
+    print()
+    for metric, digest in sorted(report.latency_ms.items()):
+        print(f"{metric:>8}: n={int(digest['count'])} mean {digest['mean']:.1f} "
+              f"p50 {digest['p50']:.1f} p95 {digest['p95']:.1f} "
+              f"p99 {digest['p99']:.1f} (server ms)")
+    print()
+    print(f"wrote {jsonl}, {flame}, {out_dir / 'attribution.txt'}, {metrics}")
+
+
+if __name__ == "__main__":
+    main()

@@ -610,6 +610,7 @@ class AASDEngine(Decoder):
             "decode", decoder=self.name
         ) as root:
             session = self.begin(sample, record=record)
+            record.ttft_wall_s = timer.split()   # begin() committed token 1
             root.set_attr("n_prompt_tokens", len(session.prompt_ids))
             # Inline the finished-check (rather than session.finished) to
             # keep the per-block gap between phase spans sub-microsecond.

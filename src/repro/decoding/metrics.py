@@ -60,6 +60,7 @@ class DecodeRecord:
     request_id: Optional[str] = None   # serving-layer attribution (None when decoded directly)
     sim_time_ms: float = 0.0
     wall_time_s: float = 0.0
+    ttft_wall_s: float = 0.0           # wall time to first committed token (prefill)
     blocks: List[BlockRecord] = field(default_factory=list)
     n_target_forwards: int = 0
     text: str = ""

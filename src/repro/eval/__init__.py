@@ -22,7 +22,14 @@ from .paper_reference import (
     PAPER_TABLE2,
 )
 from .quality import QualityReport, evaluate_quality, image_grounding_score
-from .reporting import load_results, results_to_json, save_results
+from .reporting import (
+    SCHEMA_VERSION,
+    load_envelope,
+    load_results,
+    results_to_json,
+    run_metadata,
+    save_results,
+)
 from .runner import EvalConfig, ExperimentRunner, MeanReport, mean_of_reports
 from .svg import grouped_bar_chart, save_svg
 from .tables import (
@@ -59,6 +66,9 @@ __all__ = [
     "results_to_json",
     "save_results",
     "load_results",
+    "load_envelope",
+    "run_metadata",
+    "SCHEMA_VERSION",
     "per_task_breakdown",
     "acceptance_by_position",
     "PositionalAcceptance",

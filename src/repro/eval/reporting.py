@@ -1,14 +1,52 @@
-"""Persist experiment results: JSON dumps and rendered reports."""
+"""Persist experiment results: versioned JSON envelopes and rendered reports.
+
+Every benchmark and experiment run saves through :func:`save_results`,
+which since schema 1 wraps the keyed rows in a provenance envelope::
+
+    {
+      "schema": 1,
+      "meta": {
+        "created_utc": "2026-08-08T12:34:56Z",
+        "created_unix_s": 1786537696.0,
+        "git_sha": "009d74d...",          # null outside a git checkout
+        "git_dirty": false,
+        "config": {"profile": "smoke"}    # caller-provided knobs
+      },
+      "results": {"sim-7b|3|serving": {"tok_per_s": 312.9, ...}, ...}
+    }
+
+so a ``results/`` directory is a reconstructible perf trajectory: which
+commit, which knobs, when.  :func:`load_results` returns just the rows
+(and still reads the pre-envelope flat files); :func:`load_envelope`
+returns rows *and* metadata — the perf-regression gate
+(``scripts/perf_gate.py``) compares envelopes, not bare rows.
+"""
 
 from __future__ import annotations
 
 import json
+import subprocess
+import time
 from pathlib import Path
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
-__all__ = ["results_to_json", "save_results", "load_results"]
+from ..obs.logsetup import get_logger
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "results_to_json",
+    "run_metadata",
+    "save_results",
+    "load_results",
+    "load_envelope",
+]
+
+logger = get_logger(__name__)
 
 RowKey = Tuple[str, int, str]
+
+#: Version of the on-disk results envelope written by :func:`save_results`.
+SCHEMA_VERSION = 1
 
 
 def results_to_json(results: Mapping[RowKey, Dict[str, float]]) -> str:
@@ -20,24 +58,94 @@ def results_to_json(results: Mapping[RowKey, Dict[str, float]]) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _git_state(repo_dir: Path) -> Tuple[Optional[str], Optional[bool]]:
+    """(commit sha, dirty?) of the checkout containing ``repo_dir``.
+
+    Returns ``(None, None)`` when git is unavailable or the directory is
+    not a work tree — results saved from an sdist install still stamp
+    timestamps and config.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_dir, capture_output=True, text=True, timeout=10,
+        )
+        if sha.returncode != 0:
+            return None, None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=repo_dir, capture_output=True, text=True, timeout=10,
+        )
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+        return sha.stdout.strip(), dirty
+    except (OSError, subprocess.SubprocessError) as exc:
+        logger.debug("git provenance unavailable: %s",
+                     exc, extra={"event": "git_provenance_unavailable"})
+        return None, None
+
+
+def run_metadata(config: Optional[Mapping[str, object]] = None,
+                 repo_dir: Optional[Path] = None) -> Dict[str, object]:
+    """Provenance stamp for one results file (time, git state, knobs)."""
+    now = time.time()
+    sha, dirty = _git_state(Path(repo_dir) if repo_dir is not None
+                            else Path(__file__).resolve().parent)
+    return {
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)),
+        "created_unix_s": now,
+        "git_sha": sha,
+        "git_dirty": dirty,
+        "config": dict(config) if config is not None else {},
+    }
+
+
 def save_results(
     results: Mapping[RowKey, Dict[str, float]],
     path: Path,
     rendered: str = "",
+    config: Optional[Mapping[str, object]] = None,
 ) -> None:
-    """Write ``<path>.json`` (data) and optionally ``<path>.txt`` (report)."""
+    """Write ``<path>.json`` (envelope) and optionally ``<path>.txt`` (report).
+
+    ``config`` lands in the envelope's ``meta.config`` — pass the knobs
+    that shaped the run (zoo profile, token budget, targets) so later
+    readers can tell incomparable runs apart.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.with_suffix(".json").write_text(results_to_json(results), encoding="utf-8")
+    envelope = {
+        "schema": SCHEMA_VERSION,
+        "meta": run_metadata(config),
+        "results": json.loads(results_to_json(results)),
+    }
+    path.with_suffix(".json").write_text(
+        json.dumps(envelope, indent=2, sort_keys=True), encoding="utf-8"
+    )
     if rendered:
         path.with_suffix(".txt").write_text(rendered + "\n", encoding="utf-8")
 
 
-def load_results(path: Path) -> Dict[RowKey, Dict[str, float]]:
-    """Inverse of :func:`save_results` for the JSON file."""
-    payload = json.loads(Path(path).with_suffix(".json").read_text(encoding="utf-8"))
+def _parse_rows(flat: Mapping[str, Dict[str, float]]) -> Dict[RowKey, Dict[str, float]]:
     out: Dict[RowKey, Dict[str, float]] = {}
-    for key, metrics in payload.items():
+    for key, metrics in flat.items():
         target, gamma, row = key.split("|", 2)
         out[(target, int(gamma), row)] = metrics
     return out
+
+
+def load_envelope(path: Path) -> Tuple[Dict[RowKey, Dict[str, float]], Dict[str, object]]:
+    """Load ``(results, meta)`` from a saved file.
+
+    Pre-envelope flat files (no ``schema`` field) load with empty
+    metadata, so old ``results/`` directories keep working.
+    """
+    payload = json.loads(Path(path).with_suffix(".json").read_text(encoding="utf-8"))
+    if isinstance(payload, dict) and "schema" in payload and "results" in payload:
+        return _parse_rows(payload["results"]), dict(payload.get("meta", {}))
+    return _parse_rows(payload), {}
+
+
+def load_results(path: Path) -> Dict[RowKey, Dict[str, float]]:
+    """Inverse of :func:`save_results` for the JSON file (rows only)."""
+    results, _ = load_envelope(path)
+    return results

@@ -21,9 +21,12 @@ Design notes
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from ..obs.profile import OP_GEMM, PROFILER as _PROFILER
 
 __all__ = [
     "Tensor",
@@ -294,7 +297,20 @@ class Tensor:
 
     def __matmul__(self, other: TensorLike) -> "Tensor":
         other = as_tensor(other)
-        out = self._make_child(np.matmul(self.data, other.data), (self, other))
+        # Every GEMM in the repo flows through this operator, so this one
+        # hook gives complete compute attribution.  One flag check when
+        # profiling is off; timing only (no RNG, no copies) when on.
+        if _PROFILER.enabled:
+            begin = time.perf_counter()
+            product = np.matmul(self.data, other.data)
+            _PROFILER.record(
+                OP_GEMM,
+                1000.0 * (time.perf_counter() - begin),
+                flops=2.0 * product.size * self.data.shape[-1],
+            )
+        else:
+            product = np.matmul(self.data, other.data)
+        out = self._make_child(product, (self, other))
         if out.requires_grad:
             def _backward(grad: np.ndarray, a=self, b=other) -> None:
                 if a.requires_grad:

@@ -30,6 +30,19 @@ from .metrics import (
     get_registry,
     set_registry,
 )
+from .profile import (
+    AttributionReport,
+    PhaseAttribution,
+    Profiler,
+    build_attribution,
+    collect_latencies,
+    disable_profiling,
+    enable_profiling,
+    get_profiler,
+    render_attribution,
+    summarize_latencies,
+)
+from .flamegraph import export_collapsed, read_collapsed
 from .summarize import PhaseStats, TraceSummary, render_summary, summarize_spans
 from .tracing import (
     Span,
@@ -68,6 +81,19 @@ __all__ = [
     "TraceSummary",
     "summarize_spans",
     "render_summary",
+    # profiling
+    "Profiler",
+    "get_profiler",
+    "enable_profiling",
+    "disable_profiling",
+    "AttributionReport",
+    "PhaseAttribution",
+    "build_attribution",
+    "render_attribution",
+    "collect_latencies",
+    "summarize_latencies",
+    "export_collapsed",
+    "read_collapsed",
     # logging
     "configure_logging",
     "get_logger",

@@ -1,10 +1,15 @@
 """Observability CLI.
 
 Usage:
-    python -m repro.obs summarize TRACE [--json]
+    python -m repro.obs summarize TRACE [--json] [--attribution]
+    python -m repro.obs flamegraph TRACE OUT
 
 ``TRACE`` may be a JSONL span log or a Chrome trace-event file (the format
-is sniffed from the content).  The breakdown table goes to stdout.
+is sniffed from the content).  ``summarize`` prints the per-phase
+breakdown table; ``--attribution`` adds the op-level wall-clock split
+({gemm, arena_copy, python_overhead, other}) from spans recorded with
+profiling enabled.  ``flamegraph`` folds the span tree into a
+collapsed-stack file loadable by speedscope / ``flamegraph.pl``.
 """
 
 from __future__ import annotations
@@ -14,7 +19,9 @@ import json
 import sys
 
 from .exporters import read_trace
+from .flamegraph import export_collapsed
 from .logsetup import configure_logging
+from .profile import build_attribution, render_attribution
 from .summarize import render_summary, summarize_spans
 
 
@@ -24,11 +31,23 @@ def main(argv=None) -> int:
     p_sum = sub.add_parser("summarize", help="per-phase breakdown of a trace file")
     p_sum.add_argument("trace", help="JSONL or Chrome trace file")
     p_sum.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    p_sum.add_argument("--attribution", action="store_true",
+                       help="add the op-level wall-clock attribution report")
+    p_flame = sub.add_parser(
+        "flamegraph", help="fold a trace into a collapsed-stack flamegraph file"
+    )
+    p_flame.add_argument("trace", help="JSONL or Chrome trace file")
+    p_flame.add_argument("out", help="output path for the collapsed-stack file")
     args = parser.parse_args(argv)
 
     configure_logging()
     spans = read_trace(args.trace)
+    if args.command == "flamegraph":
+        out = export_collapsed(spans, args.out)
+        print(f"wrote {out}")
+        return 0
     summary = summarize_spans(spans)
+    attribution = build_attribution(spans) if args.attribution else None
     if args.json:
         payload = {
             "n_spans": summary.n_spans,
@@ -55,13 +74,22 @@ def main(argv=None) -> int:
                     "sim_ms": s.sim_ms,
                     "n_draft": s.n_draft,
                     "n_accepted": s.n_accepted,
+                    "p50_ms": s.quantile_ms(0.5),
+                    "p95_ms": s.quantile_ms(0.95),
+                    "p99_ms": s.quantile_ms(0.99),
                 }
                 for name, s in summary.phases.items()
             },
+            "latency_ms": summary.latency_ms or None,
         }
+        if attribution is not None:
+            payload["attribution"] = attribution.to_dict()
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(render_summary(summary))
+        if attribution is not None:
+            print()
+            print(render_attribution(attribution))
     return 0
 
 

@@ -1,0 +1,109 @@
+"""Collapsed-stack flamegraph export from the span tree.
+
+Folds a recorded trace into the ``flamegraph.pl`` / speedscope collapsed
+format — one line per unique span stack::
+
+    decode;draft 1433
+    decode;verify 2871
+    decode 96
+
+The number is the stack's **self time** in integer microseconds (the
+wall time of spans on that stack *not* covered by their children), so
+frame widths in a rendered flamegraph sum exactly to traced wall time
+and interior frames shrink to what they personally cost.  Load the file
+with https://www.speedscope.app ("import"), ``flamegraph.pl``, or
+``inferno-flamegraph``.
+
+The format is lossy by design (no span ids, attrs, or timestamps — use
+the JSONL exporter for lossless round-trips), but :func:`read_collapsed`
+parses the files back so tests can verify the fold and tooling can diff
+two profiles.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from ..errors import ConfigError
+from .tracing import SpanRecord, Tracer
+
+__all__ = ["fold_spans", "export_collapsed", "read_collapsed"]
+
+PathLike = Union[str, Path]
+
+#: Frame separator of the collapsed format; span names must avoid it.
+_SEP = ";"
+
+
+def _spans(source: Union[Tracer, Iterable[SpanRecord]]) -> List[SpanRecord]:
+    if isinstance(source, Tracer):
+        return source.spans
+    return list(source)
+
+
+def fold_spans(source: Union[Tracer, Iterable[SpanRecord]]) -> Dict[str, int]:
+    """Collapse spans into ``{"root;child;leaf": self_time_us}``.
+
+    Self time is the span's wall minus its direct children's wall,
+    clamped at zero (clock jitter can make children nominally overrun
+    their parent), rounded to integer microseconds.  Stacks whose self
+    time rounds to zero are dropped — flamegraph renderers treat zero
+    samples as absent anyway.  Spans with a parent missing from the
+    trace (e.g. a drained buffer) root their own stack.
+    """
+    spans = _spans(source)
+    by_id = {s.span_id: s for s in spans}
+    child_s: Dict[int, float] = {}
+    for span in spans:
+        if span.parent_id is not None and span.parent_id in by_id:
+            child_s[span.parent_id] = child_s.get(span.parent_id, 0.0) + span.duration_s
+
+    folded: Dict[str, int] = {}
+    stack_cache: Dict[int, str] = {}
+
+    def stack_of(span: SpanRecord) -> str:
+        cached = stack_cache.get(span.span_id)
+        if cached is not None:
+            return cached
+        name = span.name.replace(_SEP, ":")
+        parent = by_id.get(span.parent_id) if span.parent_id is not None else None
+        stack = name if parent is None else f"{stack_of(parent)}{_SEP}{name}"
+        stack_cache[span.span_id] = stack
+        return stack
+
+    for span in spans:
+        self_us = round(1e6 * max(0.0, span.duration_s - child_s.get(span.span_id, 0.0)))
+        if self_us <= 0:
+            continue
+        stack = stack_of(span)
+        folded[stack] = folded.get(stack, 0) + self_us
+    return folded
+
+
+def export_collapsed(source: Union[Tracer, Iterable[SpanRecord]],
+                     path: PathLike) -> Path:
+    """Write the collapsed-stack file (sorted by stack); returns the path."""
+    folded = fold_spans(source)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        for stack in sorted(folded):
+            fh.write(f"{stack} {folded[stack]}\n")
+    return path
+
+
+def read_collapsed(path: PathLike) -> Dict[str, int]:
+    """Parse a collapsed-stack file back into ``{stack: samples}``."""
+    folded: Dict[str, int] = {}
+    for lineno, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), 1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, count = line.rpartition(" ")
+        if not stack or not count.lstrip("-").isdigit():
+            raise ConfigError(f"{path}:{lineno}: not a collapsed-stack line: {line!r}")
+        folded[stack] = folded.get(stack, 0) + int(count)
+    return folded

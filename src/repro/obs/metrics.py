@@ -26,12 +26,41 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "set_registry",
+    "exact_quantile",
 ]
 
 #: Default histogram bucket upper bounds (milliseconds-flavoured).
+#: Log-spaced 1/2.5/5 ladder from 1 µs to 10 s so sub-millisecond arena
+#: ops and multi-second decodes land in the same instrument without
+#: losing resolution at either end.  Override per histogram at
+#: registration for anything with known, tighter dynamic range.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
-    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
 )
+
+
+def exact_quantile(values: Sequence[float], q: float) -> float:
+    """Exact quantile with linear interpolation (numpy's default method).
+
+    The reference the bucket-interpolated :meth:`Histogram.quantile` is
+    tested against; also used directly where the raw samples are at hand
+    (latency digests over per-request records).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigError(f"quantile must be in [0, 1], got {q}")
+    if not values:
+        raise ConfigError("quantile of an empty sample")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
 
 
 class Counter:
@@ -134,6 +163,38 @@ class Histogram:
     def bucket_counts(self) -> List[int]:
         return list(self._counts)
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile by linear bucket interpolation.
+
+        Walks the cumulative bucket counts to the bucket containing the
+        target rank, then interpolates linearly inside it.  The first
+        bucket's lower edge is the observed minimum (not zero), the
+        overflow bucket reports the observed maximum, and the result is
+        clamped to ``[min, max]`` — so the estimate degrades gracefully
+        when a bucket ladder is coarse relative to the data.  Returns
+        ``None`` on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self.count == 0 or self.min is None or self.max is None:
+                return None
+            rank = q * self.count
+            cumulative = 0
+            for i, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if cumulative + bucket_count >= rank:
+                    if i == len(self.bounds):
+                        return self.max
+                    lower = self.bounds[i - 1] if i > 0 else self.min
+                    upper = self.bounds[i]
+                    frac = (rank - cumulative) / bucket_count
+                    estimate = lower + (upper - lower) * frac
+                    return min(max(estimate, self.min), self.max)
+                cumulative += bucket_count
+            return self.max
+
     def reset(self) -> None:
         with self._lock:
             self._counts = [0] * (len(self.bounds) + 1)
@@ -149,6 +210,9 @@ class Histogram:
             "sum": self.total,
             "min": self.min,
             "max": self.max,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": dict(zip([*map(str, self.bounds), "+inf"], self._counts)),
         }
 
@@ -183,8 +247,23 @@ class MetricsRegistry:
         return self._get(Gauge, name, description)
 
     def histogram(self, name: str, description: str = "",
-                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
-        return self._get(Histogram, name, description, buckets=buckets)
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Histogram under ``name``; ``buckets`` overrides the default ladder.
+
+        The override only applies when the histogram is first created.
+        Re-registering an existing histogram with *different* explicit
+        buckets raises :class:`~repro.errors.ConfigError` (silently
+        keeping the old ladder would mis-bucket the caller's data);
+        passing ``None`` (the default) always returns the existing one.
+        """
+        inst = self._get(Histogram, name, description,
+                         buckets=DEFAULT_BUCKETS if buckets is None else buckets)
+        if buckets is not None and inst.bounds != tuple(buckets):
+            raise ConfigError(
+                f"histogram {name!r} already registered with buckets "
+                f"{inst.bounds}, conflicting override {tuple(buckets)}"
+            )
+        return inst
 
     # -- access ----------------------------------------------------------
     def get(self, name: str):

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .metrics import exact_quantile
+from .profile import collect_latencies, summarize_latencies
 from .tracing import SpanRecord
 
 __all__ = ["PhaseStats", "TraceSummary", "summarize_spans", "render_summary"]
@@ -40,10 +42,18 @@ class PhaseStats:
     n_draft: int = 0
     n_accepted: int = 0
     has_accept: bool = False    # any span carried an n_accepted attribute
+    #: raw per-span wall durations (ms) so the table can show percentiles
+    durations_ms: List[float] = field(default_factory=list)
 
     @property
     def mean_wall_ms(self) -> float:
         return self.wall_ms / self.count if self.count else 0.0
+
+    def quantile_ms(self, q: float) -> float:
+        """Exact ``q``-quantile of this phase's per-span wall times."""
+        if not self.durations_ms:
+            return 0.0
+        return exact_quantile(self.durations_ms, q)
 
 
 @dataclass
@@ -64,6 +74,8 @@ class TraceSummary:
     n_shed: int = 0                     # requests shed under queue pressure
     breaker_rounds: Dict[str, int] = field(default_factory=dict)
     has_resilience: bool = False        # any schedule span carried resilience attrs
+    #: TTFT/TPOT/E2E digests from ``request_latency`` spans (serving traces)
+    latency_ms: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def acceptance_rate(self) -> Optional[float]:
@@ -111,11 +123,14 @@ def summarize_spans(spans: Sequence[SpanRecord]) -> TraceSummary:
                     )
     phase_in_decode_ms = 0.0
     for span in spans:
-        if span.name == "decode":
+        # ``request_latency`` spans are zero-duration latency markers, not
+        # phases — they feed the latency digest below, not the wall table.
+        if span.name in ("decode", "request_latency"):
             continue
         stats = summary.phases.setdefault(span.name, PhaseStats(span.name))
         stats.count += 1
         stats.wall_ms += span.duration_ms
+        stats.durations_ms.append(span.duration_ms)
         stats.sim_ms += span.sim_ms
         stats.n_draft += int(span.attrs.get("n_draft", 0))
         if "n_accepted" in span.attrs:
@@ -125,6 +140,7 @@ def summarize_spans(spans: Sequence[SpanRecord]) -> TraceSummary:
             phase_in_decode_ms += span.duration_ms
     if summary.decode_wall_ms > 0:
         summary.coverage = phase_in_decode_ms / summary.decode_wall_ms
+    summary.latency_ms = summarize_latencies(collect_latencies(spans))
     return summary
 
 
@@ -142,7 +158,7 @@ def render_summary(summary: TraceSummary) -> str:
     lines: List[str] = []
     header = (
         f"{'phase':>12} {'count':>7} {'wall ms':>10} {'mean ms':>9} "
-        f"{'sim ms':>10} {'accept':>7}"
+        f"{'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} {'sim ms':>10} {'accept':>7}"
     )
     lines.append(header)
     lines.append("-" * len(header))
@@ -157,7 +173,9 @@ def render_summary(summary: TraceSummary) -> str:
         )
         lines.append(
             f"{stats.name:>12} {stats.count:>7d} {stats.wall_ms:>10.2f} "
-            f"{stats.mean_wall_ms:>9.3f} {stats.sim_ms:>10.1f} {accept}"
+            f"{stats.mean_wall_ms:>9.3f} {stats.quantile_ms(0.5):>8.3f} "
+            f"{stats.quantile_ms(0.95):>8.3f} {stats.quantile_ms(0.99):>8.3f} "
+            f"{stats.sim_ms:>10.1f} {accept}"
         )
     lines.append("")
     lines.append(
@@ -182,6 +200,17 @@ def render_summary(summary: TraceSummary) -> str:
             )
             parts.append(f"breaker rounds: {rounds}")
         lines.append("resilience: " + "; ".join(parts))
+    if summary.latency_ms:
+        lines.append("request latency (server clock):")
+        for metric in ("ttft_ms", "tpot_ms", "e2e_ms"):
+            digest = summary.latency_ms.get(metric)
+            if digest is None:
+                continue
+            lines.append(
+                f"  {metric:>8}: n={int(digest['count']):<5d} "
+                f"mean {digest['mean']:>9.1f}  p50 {digest['p50']:>9.1f}  "
+                f"p95 {digest['p95']:>9.1f}  p99 {digest['p99']:>9.1f}"
+            )
     alpha = summary.acceptance_rate
     tau = summary.block_efficiency
     if alpha is not None and tau is not None:

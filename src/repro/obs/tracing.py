@@ -87,6 +87,9 @@ class _NullSpan:
     def set_attr(self, key: str, value: object) -> None:
         pass
 
+    def add_attr(self, key: str, delta: float) -> None:
+        pass
+
     def add_sim_ms(self, ms: float) -> None:
         pass
 
@@ -121,6 +124,10 @@ class Span:
 
     def set_attr(self, key: str, value: object) -> None:
         self.attrs[key] = value
+
+    def add_attr(self, key: str, delta: float) -> None:
+        """Accumulate a numeric attribute (used by op-level profiling hooks)."""
+        self.attrs[key] = float(self.attrs.get(key, 0.0)) + float(delta)
 
     def add_sim_ms(self, ms: float) -> None:
         """Attribute a simulated-clock charge (milliseconds) to this span."""

@@ -73,7 +73,7 @@ KV-arena accounting into ``scheduler.memory`` (surfaced as
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclasses_field
 from itertools import zip_longest
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -85,6 +85,7 @@ from ..decoding.metrics import DecodeRecord
 from ..errors import AdmissionError, ServingError
 from ..obs.logsetup import get_logger, log_exception
 from ..obs.metrics import get_registry
+from ..obs.profile import summarize_latencies
 from ..robustness.faults import is_transient
 from ..utils.timing import SimulatedClock
 from .queue import AdmissionQueue
@@ -153,6 +154,9 @@ class ServingReport:
     n_shed: int = 0                         #: requests shed under queue pressure
     #: breaker ``(round, from, to)`` transitions, in order (empty = no breaker)
     breaker_transitions: Tuple[Tuple[int, str, str], ...] = ()
+    #: per-metric latency digests on the server clock:
+    #: ``{"ttft_ms"|"tpot_ms"|"e2e_ms": {count, mean, p50, p95, p99}}``
+    latency_ms: Dict[str, Dict[str, float]] = dataclasses_field(default_factory=dict)
 
     @property
     def total_tokens(self) -> int:
@@ -189,6 +193,12 @@ class ServingReport:
             "n_retries": self.n_retries,
             "n_shed": self.n_shed,
             "breaker_transitions": len(self.breaker_transitions),
+            **{
+                f"{metric}_{stat}": value
+                for metric, digest in sorted(self.latency_ms.items())
+                for stat, value in sorted(digest.items())
+                if stat.startswith("p")
+            },
         }
 
 
@@ -200,6 +210,9 @@ class _Active:
     session: DecodeSession
     started_ms: float   #: server clock at admission
     n_faults_seen: int = 0   #: record.n_draft_faults already reported to the breaker
+    #: server clock when the first token was committed (after the round's
+    #: batched prefill charge); None only for sessions that never prefilled.
+    first_token_ms: Optional[float] = None
 
 
 @dataclass
@@ -237,6 +250,9 @@ class ContinuousBatchingScheduler:
         )
         self.n_retries = 0   #: transient-fault retries scheduled, lifetime
         self.n_shed = 0      #: requests shed under queue pressure, lifetime
+        #: raw per-request latency samples (server-clock ms) keyed
+        #: ``ttft_ms`` / ``tpot_ms`` / ``e2e_ms``; digested into the report.
+        self.latency_samples: Dict[str, List[float]] = {}
         self._retry_state: Dict[str, _RetryState] = {}
         #: ``(ready_ms, handle)`` for requests waiting out their backoff.
         self._backoff: List[Tuple[float, ServeHandle]] = []
@@ -290,7 +306,8 @@ class ContinuousBatchingScheduler:
     def _resolve(self, handle: ServeHandle, status: str, *,
                  record: Optional[DecodeRecord] = None,
                  error: Optional[str] = None,
-                 started_ms: Optional[float] = None) -> None:
+                 started_ms: Optional[float] = None,
+                 first_token_ms: Optional[float] = None) -> None:
         """Retire a request with a terminal status (updates counters)."""
         retry_state = self._retry_state.pop(handle.request_id, None)
         retry_count = retry_state.attempts if retry_state is not None else 0
@@ -303,6 +320,7 @@ class ContinuousBatchingScheduler:
             started_ms=started_ms,
             finished_ms=self.now_ms,
         ))
+        self._record_latency(handle, record, first_token_ms)
         get_registry().counter(f"serving.requests_{status}_total").inc()
         if status != STATUS_COMPLETED:
             logger.warning(
@@ -312,6 +330,37 @@ class ContinuousBatchingScheduler:
                 extra={"event": f"request_{status}", "request_id": handle.request_id,
                        "error": error, "retry_count": retry_count},
             )
+
+    def _record_latency(self, handle: ServeHandle,
+                        record: Optional[DecodeRecord],
+                        first_token_ms: Optional[float]) -> None:
+        """Digest one retired request's server-clock latencies.
+
+        TTFT = submit -> first committed token (queue wait plus the
+        round's batched prefill); TPOT = steady-state ms per token after
+        the first; E2E = submit -> retirement.  Every retirement
+        contributes E2E; only requests that actually committed tokens
+        contribute TTFT (and TPOT needs at least two).  Each sample feeds
+        three sinks: the raw lists digested into the report, registry
+        histograms (``serving.ttft_ms`` / ``serving.tpot_ms`` /
+        ``serving.e2e_ms``), and a zero-duration ``request_latency`` span
+        so exported traces carry per-request latencies for offline
+        ``summarize`` runs.
+        """
+        samples: Dict[str, float] = {"e2e_ms": self.now_ms - handle.submitted_ms}
+        if first_token_ms is not None and record is not None and record.n_tokens > 0:
+            samples["ttft_ms"] = first_token_ms - handle.submitted_ms
+            if record.n_tokens > 1:
+                samples["tpot_ms"] = (
+                    (self.now_ms - first_token_ms) / (record.n_tokens - 1)
+                )
+        registry = get_registry()
+        for metric, value in samples.items():
+            self.latency_samples.setdefault(metric, []).append(value)
+            registry.histogram(f"serving.{metric}").observe(value)
+        with self.engine.tracer.span("request_latency",
+                                     request_id=handle.request_id, **samples):
+            pass
 
     # ------------------------------------------------------------------
     def _expire_queued(self) -> None:
@@ -463,7 +512,7 @@ class ContinuousBatchingScheduler:
             return
 
         started_ms = self.now_ms
-        n_prefilled = 0
+        admitted: List[_Active] = []
         tracer = self.engine.tracer
         for handle in handles:
             request = handle.request
@@ -486,9 +535,11 @@ class ContinuousBatchingScheduler:
                     self._resolve(handle, STATUS_FAILED, error=f"prefill failed: {exc}",
                                   started_ms=started_ms)
                     continue
-            self._active.append(_Active(handle, session, started_ms))
-            n_prefilled += 1
-        if n_prefilled:
+            entry = _Active(handle, session, started_ms)
+            self._active.append(entry)
+            admitted.append(entry)
+        if admitted:
+            n_prefilled = len(admitted)
             cost = self.engine.cost_model
             charge = cost.batched_prefill(n_prefilled)
             head = self.engine.head
@@ -497,6 +548,10 @@ class ContinuousBatchingScheduler:
             self.clock.charge(charge, "prefill")
             span.add_sim_ms(charge)
             span.set_attr("n_admitted", n_prefilled)
+            # begin() committed each session's first token; on the server
+            # clock that token exists once the batched prefill is charged.
+            for entry in admitted:
+                entry.first_token_ms = self.now_ms
 
     def _step_budget_ms(self, entry: _Active) -> Optional[float]:
         """Remaining deadline budget to pass into the engine step (or None)."""
@@ -549,7 +604,8 @@ class ContinuousBatchingScheduler:
                     self._resolve(entry.handle, STATUS_FAILED,
                                   record=self.engine.finish(entry.session),
                                   error=f"step failed: {exc}",
-                                  started_ms=entry.started_ms)
+                                  started_ms=entry.started_ms,
+                                  first_token_ms=entry.first_token_ms)
                     continue
             n_record_faults += (
                 entry.session.record.n_draft_faults - entry.n_faults_seen
@@ -565,7 +621,8 @@ class ContinuousBatchingScheduler:
                 self._resolve(entry.handle, STATUS_TIMEOUT,
                               record=self.engine.finish(entry.session),
                               error="deadline expired mid-round",
-                              started_ms=entry.started_ms)
+                              started_ms=entry.started_ms,
+                              first_token_ms=entry.first_token_ms)
         for entry in removed:
             self._active.remove(entry)
         reports = [r for _, r in stepped]
@@ -635,7 +692,8 @@ class ContinuousBatchingScheduler:
                 self.memory.add(session.memory_stats())
                 self._resolve(handle, STATUS_COMPLETED,
                               record=self.engine.finish(session),
-                              started_ms=entry.started_ms)
+                              started_ms=entry.started_ms,
+                              first_token_ms=entry.first_token_ms)
             else:
                 limit = expiry_ms(handle)
                 if limit is not None and now >= limit:
@@ -644,7 +702,8 @@ class ContinuousBatchingScheduler:
                     self._resolve(handle, STATUS_TIMEOUT,
                                   record=self.engine.finish(session),
                                   error="deadline expired mid-batch",
-                                  started_ms=entry.started_ms)
+                                  started_ms=entry.started_ms,
+                                  first_token_ms=entry.first_token_ms)
                 else:
                     still.append(entry)
         self._active = still
@@ -775,4 +834,5 @@ def serve_requests(
         breaker_transitions=(
             tuple(scheduler.breaker.transitions) if scheduler.breaker else ()
         ),
+        latency_ms=summarize_latencies(scheduler.latency_samples),
     )

@@ -33,6 +33,7 @@ See ``docs/performance.md`` for the full design discussion.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -40,6 +41,7 @@ import numpy as np
 
 from ..errors import ShapeError
 from ..obs.metrics import get_registry
+from ..obs.profile import OP_ARENA_COPY, OP_ARENA_VIEW, PROFILER as _PROFILER
 
 __all__ = ["Arena", "ArenaStats", "MIN_CAPACITY", "combined_stats"]
 
@@ -179,7 +181,13 @@ class Arena:
         place).  Copy it if you need to hold it across mutations.
         """
         if self._view is None:
-            self._view = self._store.buf[self._slice(self._len)]
+            if _PROFILER.enabled:
+                begin = time.perf_counter()
+                self._view = self._store.buf[self._slice(self._len)]
+                _PROFILER.record(OP_ARENA_VIEW,
+                                 1000.0 * (time.perf_counter() - begin))
+            else:
+                self._view = self._store.buf[self._slice(self._len)]
         return self._view
 
     # ------------------------------------------------------------------
@@ -189,7 +197,14 @@ class Arena:
         shape[self._axis] = capacity
         fresh = np.empty(tuple(shape), dtype=self._store.buf.dtype)
         live = self._store.buf[self._slice(self._len)]
-        fresh[self._slice(self._len)] = live
+        if _PROFILER.enabled:
+            begin = time.perf_counter()
+            fresh[self._slice(self._len)] = live
+            _PROFILER.record(OP_ARENA_COPY,
+                             1000.0 * (time.perf_counter() - begin),
+                             nbytes=live.nbytes)
+        else:
+            fresh[self._slice(self._len)] = live
         if self._store.refs > 1:
             self._store.refs -= 1
             self._store = _Store(fresh)
@@ -228,7 +243,14 @@ class Arena:
             self._relocate(_grown_capacity(self.capacity, need))
         index = [slice(None)] * self._store.buf.ndim
         index[self._axis] = slice(self._len, need)
-        self._store.buf[tuple(index)] = array
+        if _PROFILER.enabled:
+            begin = time.perf_counter()
+            self._store.buf[tuple(index)] = array
+            _PROFILER.record(OP_ARENA_COPY,
+                             1000.0 * (time.perf_counter() - begin),
+                             nbytes=array.nbytes)
+        else:
+            self._store.buf[tuple(index)] = array
         self._len = need
         self._view = None
         self._stats.bytes_copied += array.nbytes

@@ -51,3 +51,11 @@ class WallTimer:
 
     def __exit__(self, *exc_info) -> None:
         self.elapsed = time.perf_counter() - self._start
+
+    def split(self) -> float:
+        """Wall seconds elapsed so far, without stopping the timer.
+
+        Used for intermediate marks inside the timed block — e.g. the
+        engine stamps time-to-first-token right after prefill commits.
+        """
+        return time.perf_counter() - self._start

@@ -1,0 +1,230 @@
+"""Perf-regression gate: baseline build, comparison, and CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.reporting import save_results
+from repro.obs.perfgate import (
+    DEFAULT_SPECS,
+    STATUS_IMPROVED,
+    STATUS_MISSING,
+    STATUS_OK,
+    STATUS_REGRESSED,
+    STATUS_SKIPPED,
+    MetricSpec,
+    build_baseline,
+    compare,
+    load_baseline,
+    render_gate_report,
+    validate_justification,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SERVING_ROW = ("sim-7b", 3, "c=4")
+ARENA_ROW = ("sim-7b", 3, "arena")
+
+
+def _write_results(results_dir: Path, *, tok_per_s: float = 100.0,
+                   sim_ms: float = 50.0, arena_ms: float = 2.0,
+                   serving_config=None) -> Path:
+    save_results(
+        {SERVING_ROW: {"speedup": 2.0, "tok_per_s": tok_per_s, "sim_ms": sim_ms,
+                       "ttft_ms_p50": 120.0, "e2e_ms_p95": 900.0,
+                       "wall_tok_per_s": 40.0}},
+        results_dir / "serving",
+        config=serving_config or {"profile": "smoke", "n_requests": 8},
+    )
+    save_results(
+        {ARENA_ROW: {"speedup": 3.0, "arena_ms": arena_ms}},
+        results_dir / "kv_arena",
+        config={"tokens": 256},
+    )
+    return results_dir
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    return _write_results(tmp_path / "results")
+
+
+class TestJustification:
+    def test_accepts_real_text(self):
+        text = "packed verify cut sim_ms 18% on the smoke profile"
+        assert validate_justification(text) == text
+
+    @pytest.mark.parametrize("bad", ["", "   ", "short", "TODO: fill in later",
+                                     "fixme", "xxx placeholder", "tbd"])
+    def test_rejects_placeholders(self, bad):
+        with pytest.raises(ConfigError):
+            validate_justification(bad)
+
+
+class TestBaseline:
+    def test_build_snapshots_gated_metrics(self, results_dir):
+        baseline = build_baseline(results_dir, "initial smoke-profile numbers")
+        serving = baseline["sources"]["serving"]
+        row = serving["rows"]["sim-7b|3|c=4"]
+        assert row["tok_per_s"] == {"value": 100.0, "direction": "higher",
+                                    "rel_tol": 0.02}
+        assert serving["config"]["profile"] == "smoke"
+        assert baseline["sources"]["kv_arena"]["rows"]["sim-7b|3|arena"]
+        assert len(baseline["updated"]) == 1
+
+    def test_history_carries_forward(self, results_dir):
+        first = build_baseline(results_dir, "initial smoke-profile numbers")
+        second = build_baseline(results_dir, "re-blessed after scheduler change",
+                                previous=first,
+                                meta={"created_utc": "t", "git_sha": "abc"})
+        assert [e["justification"] for e in second["updated"]] == [
+            "initial smoke-profile numbers",
+            "re-blessed after scheduler change",
+        ]
+        assert second["updated"][1]["git_sha"] == "abc"
+
+    def test_missing_source_is_an_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="kv_arena"):
+            build_baseline(tmp_path, "numbers without benchmarks")
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "perf_baseline.json"
+        path.write_text(json.dumps({"schema": 99, "sources": {}}))
+        with pytest.raises(ConfigError):
+            load_baseline(path)
+        with pytest.raises(ConfigError, match="not found"):
+            load_baseline(tmp_path / "nope.json")
+
+
+class TestCompare:
+    def test_unchanged_results_pass(self, results_dir):
+        baseline = build_baseline(results_dir, "initial smoke-profile numbers")
+        report = compare(results_dir, baseline)
+        assert report.passed
+        assert not report.regressions
+        assert {e.status for e in report.entries} == {STATUS_OK}
+        assert "PASS" in render_gate_report(report)
+
+    def test_higher_is_better_regression(self, results_dir, tmp_path):
+        baseline = build_baseline(results_dir, "initial smoke-profile numbers")
+        worse = _write_results(tmp_path / "worse", tok_per_s=90.0)  # -10% > 2%
+        report = compare(worse, baseline)
+        assert not report.passed
+        bad = [e for e in report.regressions if e.metric == "tok_per_s"]
+        assert len(bad) == 1
+        assert bad[0].rel_change == pytest.approx(-0.10)
+        assert "FAIL" in render_gate_report(report)
+
+    def test_lower_is_better_regression(self, results_dir, tmp_path):
+        baseline = build_baseline(results_dir, "initial smoke-profile numbers")
+        worse = _write_results(tmp_path / "worse", sim_ms=55.0)  # +10% > 2%
+        report = compare(worse, baseline)
+        assert [e.metric for e in report.regressions] == ["sim_ms"]
+
+    def test_improvement_and_within_tolerance_pass(self, results_dir, tmp_path):
+        baseline = build_baseline(results_dir, "initial smoke-profile numbers")
+        better = _write_results(tmp_path / "better", tok_per_s=130.0,
+                                sim_ms=50.5)  # +1% sim_ms is inside 2%
+        report = compare(better, baseline)
+        assert report.passed
+        statuses = {e.metric: e.status for e in report.entries
+                    if e.source == "serving"}
+        assert statuses["tok_per_s"] == STATUS_IMPROVED
+        assert statuses["sim_ms"] == STATUS_OK
+
+    def test_noisy_metric_needs_wide_tolerance(self, results_dir, tmp_path):
+        baseline = build_baseline(results_dir, "initial smoke-profile numbers")
+        # wall_tok_per_s gates at 60%: a 50% wobble passes, 70% fails.
+        wobble = _write_results(tmp_path / "wobble")
+        payload = json.loads((wobble / "serving.json").read_text())
+        payload["results"]["sim-7b|3|c=4"]["wall_tok_per_s"] = 20.0
+        (wobble / "serving.json").write_text(json.dumps(payload))
+        assert compare(wobble, baseline).passed
+        payload["results"]["sim-7b|3|c=4"]["wall_tok_per_s"] = 10.0
+        (wobble / "serving.json").write_text(json.dumps(payload))
+        report = compare(wobble, baseline)
+        assert [e.metric for e in report.regressions] == ["wall_tok_per_s"]
+
+    def test_config_mismatch_skips_source(self, results_dir, tmp_path):
+        baseline = build_baseline(results_dir, "initial smoke-profile numbers")
+        other = _write_results(tmp_path / "other", tok_per_s=1.0,
+                               serving_config={"profile": "full",
+                                               "n_requests": 64})
+        report = compare(other, baseline)
+        skipped = [e for e in report.entries if e.status == STATUS_SKIPPED]
+        assert len(skipped) == 1 and skipped[0].source == "serving"
+        assert report.passed   # incomparable runs do not fail the gate
+
+    def test_missing_results_file_fails(self, results_dir, tmp_path):
+        baseline = build_baseline(results_dir, "initial smoke-profile numbers")
+        partial = _write_results(tmp_path / "partial")
+        (partial / "kv_arena.json").unlink()
+        report = compare(partial, baseline)
+        assert not report.passed
+        assert [e.source for e in report.missing] == ["kv_arena"]
+
+    def test_missing_metric_fails(self, results_dir, tmp_path):
+        baseline = build_baseline(results_dir, "initial smoke-profile numbers")
+        partial = _write_results(tmp_path / "partial")
+        payload = json.loads((partial / "serving.json").read_text())
+        del payload["results"]["sim-7b|3|c=4"]["speedup"]
+        (partial / "serving.json").write_text(json.dumps(payload))
+        report = compare(partial, baseline)
+        missing = [e for e in report.missing if e.metric == "speedup"]
+        assert len(missing) == 1 and not report.passed
+
+    def test_custom_specs(self, results_dir):
+        specs = {"serving": (MetricSpec("tok_per_s", "higher", 0.5),)}
+        baseline = build_baseline(results_dir, "gate tok_per_s only at 50%",
+                                  specs=specs)
+        rows = baseline["sources"]["serving"]["rows"]["sim-7b|3|c=4"]
+        assert list(rows) == ["tok_per_s"]
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigError):
+            MetricSpec("tok_per_s", "sideways", 0.02)
+        with pytest.raises(ConfigError):
+            MetricSpec("tok_per_s", "higher", -0.1)
+
+
+class TestCli:
+    """scripts/perf_gate.py exit codes, run end-to-end in a subprocess."""
+
+    def _run(self, results_dir: Path, *argv: str):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "perf_gate.py"),
+             "--results", str(results_dir),
+             "--baseline", str(results_dir / "perf_baseline.json"), *argv],
+            capture_output=True, text=True, env=env,
+        )
+
+    def test_update_then_check_then_regress(self, results_dir, tmp_path):
+        update = self._run(results_dir, "update", "--justification",
+                           "initial smoke numbers for the CLI test")
+        assert update.returncode == 0, update.stderr
+
+        check = self._run(results_dir, "check")
+        assert check.returncode == 0, check.stdout + check.stderr
+        assert "PASS" in check.stdout
+
+        bad_justification = self._run(results_dir, "update",
+                                      "--justification", "TODO")
+        assert bad_justification.returncode == 2
+
+        worse = _write_results(tmp_path / "worse", tok_per_s=80.0)
+        (results_dir / "perf_baseline.json").rename(
+            worse / "perf_baseline.json")
+        failing = self._run(worse, "check")
+        assert failing.returncode == 1
+        assert "FAIL" in failing.stdout
+
+        report_only = self._run(worse, "check", "--report-only")
+        assert report_only.returncode == 0
