@@ -10,7 +10,19 @@ claims are asserted:
   scheduling change, not a decoding change);
 * **throughput** — aggregate tokens/s at concurrency 16 is at least 2x
   the sequential baseline (memory-bound batched pricing, see the
-  "Batched serving" section of ``repro/decoding/cost_model.py``).
+  "Batched serving" section of ``repro/decoding/cost_model.py``);
+* **wall-clock scaling** — host ``wall_tok_per_s`` at concurrency 16 is
+  at least 2.5x concurrency 1: the packed ragged-batch rounds
+  (``docs/kernels.md``) must win on the *real* clock, not only on the
+  simulated one.  Wall times are best-of-3 with engine construction
+  hoisted out of the timed region — noise on a shared runner only ever
+  *adds* time, so the per-side minimum is the robust estimator of the
+  quiet-machine serving cost.  Quiet-machine scaling measures 2.9-3.4x
+  (docs/performance.md has the floor analysis: the largest smoke
+  target's fused-GEMM floor caps its ratio near 2.9x on this
+  single-core runner), so the asserted 2.5x is a regression gate with
+  noise headroom, not the headline number — reverting to per-request
+  Python loops measures ~1.0x and fails it immediately.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ TARGETS = bench_targets()
 CONCURRENCY = (1, 4, 16)
 N_REQUESTS = 16
 GAMMA = 3
+WALL_PASSES = 3  # best-of-N wall timing; min is the noise-robust estimator
 _RESULTS = {}
 _SEQUENTIAL = {}
 
@@ -51,9 +64,18 @@ def test_sequential_baseline(benchmark, zoo, runner, target):
     samples = _requests(zoo)
 
     def run():
-        t0 = time.perf_counter()
-        out = [_engine(zoo, runner, target).decode(s) for s in samples]
-        return out, time.perf_counter() - t0
+        # One engine per pass, built before its timer starts: the wall
+        # number is the serving cost, not construction cost.
+        engines = [
+            [_engine(zoo, runner, target) for _ in samples]
+            for _ in range(WALL_PASSES)
+        ]
+        walls = []
+        for pass_engines in engines:
+            t0 = time.perf_counter()
+            out = [eng.decode(s) for eng, s in zip(pass_engines, samples)]
+            walls.append(time.perf_counter() - t0)
+        return out, min(walls)
 
     records, wall_s = benchmark.pedantic(run, rounds=1, iterations=1)
     sim_ms = sum(r.sim_time_ms for r in records)
@@ -80,12 +102,15 @@ def test_serving_concurrency(benchmark, zoo, runner, target, concurrency):
     samples = _requests(zoo)
 
     def run():
-        t0 = time.perf_counter()
-        out = serve_requests(
-            _engine(zoo, runner, target), samples,
-            ServingConfig(max_batch_size=concurrency),
-        )
-        return out, time.perf_counter() - t0
+        engines = [_engine(zoo, runner, target) for _ in range(WALL_PASSES)]
+        walls = []
+        for eng in engines:
+            t0 = time.perf_counter()
+            out = serve_requests(
+                eng, samples, ServingConfig(max_batch_size=concurrency),
+            )
+            walls.append(time.perf_counter() - t0)
+        return out, min(walls)
 
     report, wall_s = benchmark.pedantic(run, rounds=1, iterations=1)
     baseline = _SEQUENTIAL[target]
@@ -153,3 +178,15 @@ def test_serving_summary(runner):
                 >= _RESULTS[(target, 4, "serving")]["tok_per_s"])
         # the headline acceptance criterion: >=2x aggregate tokens/s at 16
         assert _RESULTS[(target, 16, "serving")]["speedup"] >= 2.0, _RESULTS[(target, 16, "serving")]
+        # real wall-clock scaling: packed ragged-batch rounds must beat
+        # per-session execution on the host clock, not just the simulated
+        # server clock (docs/kernels.md; docs/performance.md has the
+        # before/after attribution and the GEMM-floor analysis behind
+        # the 2.5x gate — quiet-machine scaling is 2.9-3.4x, a
+        # per-request-loop regression is ~1.0x)
+        wall_1 = _RESULTS[(target, 1, "serving")]["wall_tok_per_s"]
+        wall_16 = _RESULTS[(target, 16, "serving")]["wall_tok_per_s"]
+        assert wall_16 >= 2.5 * wall_1, (
+            f"{target}: wall tok/s scaled only {wall_16 / wall_1:.2f}x "
+            f"from c=1 ({wall_1:.1f}) to c=16 ({wall_16:.1f})"
+        )

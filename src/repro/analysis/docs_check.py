@@ -7,7 +7,8 @@ Folded into ``repro.analysis`` from the original ``scripts/check_docs.py``
    ``README.md`` must point at an existing file (fragments are stripped;
    external ``http(s)``/``mailto`` links are not fetched).
 2. **Examples** — the fenced ``python`` blocks of the executable pages
-   (``docs/api_guide.md``, ``docs/serving.md``) are run top-to-bottom in
+   (``docs/api_guide.md``, ``docs/serving.md``, ``docs/kernels.md``)
+   are run top-to-bottom in
    one shared namespace per page, from a scratch working directory.  A
    block preceded by an ``<!-- doccheck: skip -->`` marker is
    compile-checked only (used for pages whose examples would train
@@ -40,7 +41,7 @@ FENCE_RE = re.compile(r"^```")
 SKIP_MARKER = "<!-- doccheck: skip -->"
 
 #: Pages whose python blocks must execute end-to-end.
-EXECUTABLE_PAGES = ("docs/api_guide.md", "docs/serving.md")
+EXECUTABLE_PAGES = ("docs/api_guide.md", "docs/serving.md", "docs/kernels.md")
 
 
 def iter_doc_files(root: Path) -> Iterator[Path]:

@@ -14,19 +14,33 @@ versus the 112M independent drafts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigError, ShapeError
 from ..models.llama import MiniLlama
 from ..nn import functional as F
-from ..nn.attention import MultiHeadAttention, causal_mask, merge_heads, split_heads
+from ..nn.attention import (
+    MultiHeadAttention,
+    attend_data,
+    causal_mask,
+    merge_heads,
+    split_heads,
+)
+from ..nn.kernels import (
+    linear_data,
+    merge_heads_data,
+    rmsnorm_data,
+    rope_data,
+    split_heads_data,
+    swiglu_data,
+)
 from ..nn.layers import Embedding, Linear
 from ..nn.module import Module
 from ..nn.normalization import RMSNorm
 from ..nn.rope import RotaryEmbedding, apply_rope
-from ..nn.tensor import Tensor, concat
+from ..nn.tensor import Tensor, concat, is_grad_enabled, matmul_data
 from ..nn.transformer import SwiGLU
 from .hybrid_cache import SEGMENT_TEXT, SEGMENT_VISION, HybridKVCache
 from .kv_projector import KVProjector
@@ -79,6 +93,12 @@ class DraftHeadConfig:
 
 class AASDDraftHead(Module):
     """One hybrid-attention transformer block + tied LM head."""
+
+    #: The engine's packed batched rounds (``step_batch``) may drive this
+    #: head via :meth:`step_packed`.  Wrappers that intercept per-request
+    #: ``step`` calls (e.g. the fault injector) advertise ``False`` so the
+    #: engine falls back to per-session stepping.
+    supports_packed = True
 
     def __init__(self, config: DraftHeadConfig, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__()
@@ -260,3 +280,166 @@ class AASDDraftHead(Module):
 
         hybrid.append_draft(k.data, v.data, positions)
         return logits.data[0, -1]
+
+    def step_packed(
+        self,
+        token_ids: Sequence[int],
+        positions: Sequence[int],
+        hybrids: Sequence[HybridKVCache],
+        disable_image_kv: bool = False,
+        disable_text_kv: bool = False,
+        request_ids: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[np.ndarray]:
+        """One *lockstep* draft step for B sessions; per-session logits.
+
+        Each session feeds exactly one token, so the batch runs as a
+        ``(B, 1, D)`` tensor: the embedding gather, norms, q/k/v/o
+        projections, RoPE, MLP, and LM head each execute as **one** numpy
+        call instead of B.  Because numpy evaluates a ``(B, 1, K) @ (K, N)``
+        matmul by looping the batch axis, every slice still takes the
+        single-row gemv kernel — bitwise identical to B solo :meth:`step`
+        calls (the M=1 side of the packing-stability contract in
+        :mod:`repro.nn.ragged`).  Attention runs per session over each
+        hybrid cache's zero-copy gather view, again at exactly the solo
+        shapes.
+
+        When no ablation flag is set the attention mask is skipped
+        outright: during draft steps every gathered key position is
+        strictly below the query position (compressed vision keys sit at
+        ``0..k-1``, committed-text keys below the last committed
+        position, draft keys at earlier draft positions), so the solo
+        path's causal+segment mask is all-``False`` — and
+        ``masked_fill`` with an all-``False`` mask is a bitwise identity.
+        The packed-vs-solo identity tests would catch any violation.
+
+        Appends each session's fresh draft K/V to its own hybrid cache,
+        exactly as :meth:`step` does.  Returns one ``(vocab,)`` logits
+        row per session, in input order.
+        """
+        del request_ids
+        if not (len(token_ids) == len(positions) == len(hybrids)):
+            raise ShapeError(
+                f"step_packed arity mismatch: {len(token_ids)} tokens, "
+                f"{len(positions)} positions, {len(hybrids)} caches"
+            )
+        b = len(token_ids)
+        pos = np.asarray(positions, dtype=np.int64)
+        ids = np.asarray(token_ids, dtype=np.int64).reshape(b, 1)
+        ablated = disable_image_kv or disable_text_kv
+        fast = not is_grad_enabled()
+
+        def masks():
+            rows = []
+            for i, hybrid in enumerate(hybrids):
+                ctx_k, ctx_v, key_pos, key_blocked = hybrid.gather(
+                    disable_image_kv=disable_image_kv,
+                    disable_text_kv=disable_text_kv,
+                )
+                if ablated:
+                    all_pos = np.concatenate([key_pos, pos[i : i + 1]])
+                    blocked = causal_mask(pos[i : i + 1], all_pos)
+                    blocked = blocked | np.concatenate(
+                        [key_blocked, [False]]
+                    )[None, :]
+                else:
+                    blocked = None
+                rows.append((ctx_k, ctx_v, blocked))
+            return rows
+
+        if fast:
+            xd = self.embed.weight.data[ids]
+            h = rmsnorm_data(xd, self.attn_norm.weight.data, self.attn_norm.eps)
+            n_heads = self.config.n_heads
+            qd = split_heads_data(linear_data(h, self.wq.weight.data), n_heads)
+            kd = split_heads_data(linear_data(h, self.wk.weight.data), n_heads)
+            vd = split_heads_data(linear_data(h, self.wv.weight.data), n_heads)
+            cos, sin = self.rope.tables(pos)
+            cos4, sin4 = cos[:, None, None, :], sin[:, None, None, :]
+            qd = rope_data(qd, cos4, sin4)
+            kd = rope_data(kd, cos4, sin4)
+            if not ablated:
+                # Append-then-view: the hybrid cache's arena views then
+                # hold exactly (context | own key) — the same values the
+                # concat would build — and each per-head 2-D slice of the
+                # view is contiguous, so the gemms run copy-free.  Solo
+                # identity is unaffected (post-step cache state matches,
+                # and a round fault rolls the draft segment back).
+                for i, hybrid in enumerate(hybrids):
+                    hybrid.append_draft(
+                        kd[i : i + 1], vd[i : i + 1], pos[i : i + 1]
+                    )
+                outs = []
+                for i, hybrid in enumerate(hybrids):
+                    k_all, v_all, _, _ = hybrid.gather()
+                    outs.append(
+                        attend_data(
+                            qd[i : i + 1],
+                            np.asarray(k_all),
+                            np.asarray(v_all),
+                            None,
+                        )
+                    )
+            else:
+                outs = [
+                    attend_data(
+                        qd[i : i + 1],
+                        np.concatenate(
+                            [np.asarray(ctx_k), kd[i : i + 1]], axis=2
+                        ),
+                        np.concatenate(
+                            [np.asarray(ctx_v), vd[i : i + 1]], axis=2
+                        ),
+                        blocked,
+                    )
+                    for i, (ctx_k, ctx_v, blocked) in enumerate(masks())
+                ]
+            attn_d = np.concatenate(outs, axis=0) if b > 1 else outs[0]
+            # residuals accumulate in place into the fresh branch output
+            # (bitwise equal: IEEE addition is commutative)
+            delta = linear_data(merge_heads_data(attn_d), self.wo.weight.data)
+            delta += xd
+            xd = delta
+            mlp = self.mlp
+            delta = swiglu_data(
+                rmsnorm_data(xd, self.mlp_norm.weight.data, self.mlp_norm.eps),
+                mlp.gate.weight.data, mlp.up.weight.data, mlp.down.weight.data,
+            )
+            delta += xd
+            xd = delta
+            normed = rmsnorm_data(xd, self.out_norm.weight.data, self.out_norm.eps)
+            logits_d = matmul_data(normed, self.embed.weight.data.swapaxes(0, 1))
+            if ablated:
+                for i, hybrid in enumerate(hybrids):
+                    hybrid.append_draft(
+                        kd[i : i + 1], vd[i : i + 1], pos[i : i + 1]
+                    )
+            return [logits_d[i, -1] for i in range(b)]
+
+        x = self.embed(ids)
+        h = self.attn_norm(x)
+        q = split_heads(self.wq(h), self.config.n_heads)
+        k = split_heads(self.wk(h), self.config.n_heads)
+        v = split_heads(self.wv(h), self.config.n_heads)
+        cos, sin = self.rope.tables(pos)
+        cos4, sin4 = cos[:, None, None, :], sin[:, None, None, :]
+        q = apply_rope(q, cos4, sin4)
+        k = apply_rope(k, cos4, sin4)
+
+        outs = [
+            MultiHeadAttention.attend(
+                q[i : i + 1],
+                concat([Tensor(ctx_k), k[i : i + 1]], axis=2),
+                concat([Tensor(ctx_v), v[i : i + 1]], axis=2),
+                blocked=blocked,
+            )
+            for i, (ctx_k, ctx_v, blocked) in enumerate(masks())
+        ]
+        x = x + self.wo(merge_heads(concat(outs, axis=0)))
+        x = x + self.mlp(self.mlp_norm(x))
+        logits = self.lm_head(self.out_norm(x))
+
+        for i, hybrid in enumerate(hybrids):
+            hybrid.append_draft(
+                k.data[i : i + 1], v.data[i : i + 1], pos[i : i + 1]
+            )
+        return [logits.data[i, -1] for i in range(b)]

@@ -47,7 +47,7 @@ tokens.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -143,6 +143,28 @@ class DecodeSession:
         simply contribute nothing.
         """
         return combined_stats(self.target_cache, self.hybrid)
+
+
+@dataclass
+class _PackedDraftState:
+    """Per-session scratch state of one packed draft/verify round.
+
+    Mirrors the locals of the solo :meth:`AASDEngine.step` draft phase so
+    the packed round can replicate its bookkeeping (charges, fault
+    handling, budget expiry) session by session.
+    """
+
+    session: DecodeSession
+    last: int                       #: last committed token (verify anchor)
+    last_pos: int                   #: absolute position of ``last``
+    gamma: int                      #: depth the controller granted this round
+    token: int                      #: token fed to the next draft step
+    pos: int                        #: position of ``token``
+    tokens: List[int] = field(default_factory=list)       #: drafted tokens
+    probs: List[np.ndarray] = field(default_factory=list)  #: draft distributions
+    kv_lens: List[int] = field(default_factory=list)      #: hybrid KV len per step
+    draft_ms: float = 0.0           #: solo-priced draft charge (budget check)
+    faulted: bool = False           #: a draft fault truncated this block
 
 
 @dataclass(frozen=True)
@@ -341,6 +363,163 @@ class AASDEngine(Decoder):
             session.committed.append(self.sampler.sample(last_logits[0]))
             controller.reset()
         return session
+
+    # ------------------------------------------------------------------
+    # Packed batched rounds (docs/kernels.md).  A batch of B sessions
+    # runs its prefill / draft / verify phases as fused kernels — one set
+    # of GEMMs over a cu-seqlen-packed tensor (prefill/verify) or a
+    # (B, 1, D) lockstep tensor (draft) — instead of B per-session Python
+    # loops, while every per-session side effect (record charges, fault
+    # handling, controller updates, cache maintenance) replicates the
+    # solo path exactly.  Greedy outputs are bitwise token-identical to
+    # per-session stepping; that identity is what licenses the fusion.
+    # ------------------------------------------------------------------
+    @property
+    def packed_ready(self) -> bool:
+        """Whether batched calls may take the packed fused path.
+
+        Requires a draft head that advertises ``supports_packed`` (fault
+        injection wrappers intercept per-session ``step`` calls and opt
+        out) and greedy sampling — non-greedy decode draws RNG in
+        session order, which a batch-ordered round would permute.
+        """
+        return bool(getattr(self.head, "supports_packed", False)) and bool(
+            self.sampler.config.greedy
+        )
+
+    def begin_batch(
+        self,
+        samples: Sequence[MultimodalSample],
+        *,
+        records: Optional[Sequence[Optional[DecodeRecord]]] = None,
+        max_new_tokens: Optional[Sequence[Optional[int]]] = None,
+        gamma_controllers: Optional[Sequence[Optional[GammaController]]] = None,
+        request_ids: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[Union[DecodeSession, Exception]]:
+        """Prefill B requests as one packed forward; per-request outcomes.
+
+        The per-request option sequences parallel ``samples`` (``None``
+        entries take the :meth:`begin` defaults).  Returns one entry per
+        request *in order*: the started :class:`DecodeSession`, or the
+        exception that request's prefill raised (failures are isolated —
+        one bad sample never aborts its batchmates, mirroring the
+        scheduler's per-request fault handling around solo ``begin``).
+
+        When the engine is not :attr:`packed_ready` (or B == 1) each
+        request simply runs solo :meth:`begin`.  On the packed path the
+        image batch is encoded in one vision call and the LM prefill runs
+        cu-seqlen-packed (:meth:`MiniLlava.prefill_batch`), bitwise
+        token-identical to B solo prefills; records are charged and the
+        draft context built per session exactly as in :meth:`begin`.
+        """
+        n = len(samples)
+        recs = list(records) if records is not None else [None] * n
+        mnts = list(max_new_tokens) if max_new_tokens is not None else [None] * n
+        ctrls = list(gamma_controllers) if gamma_controllers is not None else [None] * n
+        rids = list(request_ids) if request_ids is not None else [None] * n
+        if not (len(recs) == len(mnts) == len(ctrls) == len(rids) == n):
+            raise DecodingError("begin_batch per-request sequences must parallel samples")
+
+        outcomes: List[Union[DecodeSession, Exception]] = [None] * n  # type: ignore[list-item]
+        if n == 1 or not self.packed_ready:
+            for i in range(n):
+                try:
+                    outcomes[i] = self.begin(
+                        samples[i],
+                        record=recs[i],
+                        max_new_tokens=mnts[i],
+                        gamma_controller=ctrls[i],
+                        request_id=rids[i],
+                    )
+                except Exception as exc:
+                    log_exception(logger, "prefill_fault", exc, request_id=rids[i])
+                    outcomes[i] = exc
+            return outcomes
+
+        cfg = self.config
+        n_vis = self.target.n_vision_tokens
+        with no_grad(), self.tracer.span("prefill") as sp:
+            sp.set_attr("batch", n)
+            prepped: List[Tuple[int, DecodeRecord, np.ndarray, GammaController]] = []
+            for i in range(n):
+                try:
+                    record = recs[i] if recs[i] is not None else DecodeRecord()
+                    if rids[i] is not None:
+                        record.request_id = rids[i]
+                    prompt_ids = encode_prompt(self.tokenizer, samples[i])
+                    controller = ctrls[i] if ctrls[i] is not None else self.gamma_controller
+                    prepped.append((i, record, prompt_ids, controller))
+                except Exception as exc:
+                    log_exception(logger, "prefill_fault", exc, request_id=rids[i])
+                    outcomes[i] = exc
+            caches: List[object] = []
+            logit_rows: List[np.ndarray] = []
+            if prepped:
+                try:
+                    caches, logit_rows = self.target.prefill_batch(
+                        [samples[i].image for i, *_ in prepped],
+                        [p for _, _, p, _ in prepped],
+                    )
+                except Exception as exc:
+                    # A batch-wide failure (e.g. one malformed image makes
+                    # the image stack ragged) must not take down the whole
+                    # admission: redo each request as a solo prefill so
+                    # only the requests that genuinely fault are failed.
+                    log_exception(logger, "prefill_fault", exc, batch=len(prepped))
+                    survivors: List[Tuple[int, DecodeRecord, np.ndarray, GammaController]] = []
+                    for entry in prepped:
+                        i, _, prompt_ids, _ = entry
+                        try:
+                            cache, last = self.target.prefill(
+                                samples[i].image[None], prompt_ids[None]
+                            )
+                        except Exception as solo_exc:
+                            log_exception(logger, "prefill_fault", solo_exc,
+                                          request_id=rids[i])
+                            outcomes[i] = solo_exc
+                            continue
+                        survivors.append(entry)
+                        caches.append(cache)
+                        logit_rows.append(last)
+                    prepped = survivors
+            for (i, record, prompt_ids, controller), cache, last_logits in zip(
+                prepped, caches, logit_rows
+            ):
+                sp.add_sim_ms(
+                    record.charge_sim(self.cost_model.target_prefill(), "prefill")
+                )
+                record.count_target_forward()
+                hybrid = HybridKVCache(self.head.config.n_heads, self.head.config.head_dim)
+                session = DecodeSession(
+                    sample=samples[i],
+                    record=record,
+                    prompt_ids=prompt_ids,
+                    eos=self.tokenizer.vocab.eos_id,
+                    gen_base=n_vis + len(prompt_ids),
+                    max_new_tokens=mnts[i] or cfg.max_new_tokens,
+                    gamma_controller=controller,
+                    target_cache=cache,
+                    hybrid=hybrid,
+                    request_id=rids[i],
+                )
+                speculating = True
+                try:
+                    sp.add_sim_ms(
+                        self._build_context(cache, hybrid, prompt_ids, n_vis, record)
+                    )
+                except Exception as exc:  # any head fault degrades, never aborts
+                    if not cfg.fallback_on_fault:
+                        raise
+                    log_exception(logger, "context_build_fault", exc, request_id=rids[i])
+                    record.note_fault(f"context build failed: {exc}")
+                    self._disable_speculation(session, "context build failed")
+                    sp.set_attr("fault", str(exc))
+                    speculating = False
+                session.speculating = speculating
+                session.committed.append(self.sampler.sample(last_logits[0]))
+                controller.reset()
+                outcomes[i] = session
+        return outcomes
 
     def step(
         self,
@@ -588,6 +767,293 @@ class AASDEngine(Decoder):
                     n_accepted=outcome.n_accepted,
                 )
             return report
+
+    def step_batch(
+        self,
+        sessions: Sequence[DecodeSession],
+        *,
+        budgets_ms: Optional[Sequence[Optional[float]]] = None,
+        force_fallback: bool = False,
+    ) -> List[StepReport]:
+        """Advance B sessions one block each, as one packed fused round.
+
+        Semantically ``[self.step(s) for s in sessions]`` — same committed
+        tokens (bitwise, under greedy), same per-session record charges,
+        fault handling, controller updates, and budget expiry — but the
+        compute is batched: all speculating sessions draft in lockstep
+        through :meth:`AASDDraftHead.step_packed` (one ``(B, 1, D)``
+        kernel set per draft position, sessions dropping out as their
+        gamma is reached or a fault truncates their block) and verify in
+        one cu-seqlen-packed target forward
+        (:meth:`MiniLlava.decode_batch`).  The round is traced as one
+        batch-level ``draft`` span and one ``verify`` span.
+
+        Sessions that cannot take the packed path — not speculating, or
+        with nothing drafted — fall through to solo stepping / fallback
+        within the same round.  When the engine is not
+        :attr:`packed_ready`, ``force_fallback`` is set, or B == 1, every
+        session runs solo :meth:`step`.  A draft-head exception faults
+        the sessions active at that draft position (each handled exactly
+        like a solo draft fault); with ``fallback_on_fault=False`` it is
+        re-raised.
+
+        Returns one :class:`StepReport` per session, in input order.
+        """
+        n = len(sessions)
+        budgets = list(budgets_ms) if budgets_ms is not None else [None] * n
+        if len(budgets) != n:
+            raise DecodingError("step_batch budgets_ms must parallel sessions")
+        for session in sessions:
+            if session.finished:
+                raise DecodingError("cannot step a finished session")
+        if n == 1 or force_fallback or not self.packed_ready:
+            return [
+                self.step(s, budget_ms=b, force_fallback=force_fallback)
+                for s, b in zip(sessions, budgets)
+            ]
+
+        cfg = self.config
+        tracer = self.tracer
+        reports: List[Optional[StepReport]] = [None] * n
+        with no_grad():
+            spec_idx: List[int] = []
+            for i, session in enumerate(sessions):
+                if session.speculating:
+                    spec_idx.append(i)
+                else:
+                    reports[i] = self.step(session, budget_ms=budgets[i])
+            if len(spec_idx) == 1:
+                i = spec_idx[0]
+                reports[i] = self.step(sessions[i], budget_ms=budgets[i])
+                spec_idx = []
+            if not spec_idx:
+                return reports  # type: ignore[return-value]
+
+            # ---- packed draft: lockstep gamma steps -----------------
+            st: dict = {}
+            with tracer.span("draft") as sp:
+                sp.set_attr("batch", len(spec_idx))
+                for i in spec_idx:
+                    session = sessions[i]
+                    last = session.committed[-1]
+                    last_pos = session.gen_base + len(session.committed) - 1
+                    st[i] = _PackedDraftState(
+                        session=session,
+                        last=last,
+                        last_pos=last_pos,
+                        gamma=session.gamma_controller.next_gamma(),
+                        token=last,
+                        pos=last_pos,
+                    )
+                sp.set_attr("gamma", max(st[i].gamma for i in spec_idx))
+                for depth in range(max(st[i].gamma for i in spec_idx)):
+                    active = [
+                        i for i in spec_idx
+                        if st[i].gamma > depth and not st[i].faulted
+                    ]
+                    if not active:
+                        break
+                    for i in active:
+                        s = st[i]
+                        kv_len = s.session.hybrid.total_len + 1
+                        step_ms = s.session.record.charge_sim(
+                            self.cost_model.aasd_step(kv_len), "draft"
+                        )
+                        sp.add_sim_ms(step_ms)
+                        s.draft_ms += step_ms
+                        s.kv_lens.append(kv_len)
+                    try:
+                        logit_rows = self.head.step_packed(
+                            [st[i].token for i in active],
+                            [st[i].pos for i in active],
+                            [sessions[i].hybrid for i in active],
+                            disable_image_kv=cfg.disable_image_kv,
+                            disable_text_kv=cfg.disable_text_kv,
+                            request_ids=[sessions[i].request_id for i in active],
+                        )
+                    except Exception as exc:  # faults every active session
+                        if not cfg.fallback_on_fault:
+                            raise
+                        log_exception(logger, "draft_fault", exc,
+                                      batch=len(active), depth=depth)
+                        for i in active:
+                            self._note_packed_draft_fault(st[i], exc, sp)
+                        continue
+                    for i, logits in zip(active, logit_rows):
+                        s = st[i]
+                        try:
+                            ensure_finite(logits, "draft logits")
+                            probs = logits_to_probs(logits, self.sampler.config)
+                            token = self.sampler.sample(logits)
+                        except Exception as exc:
+                            if not cfg.fallback_on_fault:
+                                raise
+                            log_exception(logger, "draft_fault", exc,
+                                          request_id=s.session.request_id,
+                                          position=s.pos)
+                            self._note_packed_draft_fault(s, exc, sp)
+                            continue
+                        s.probs.append(probs)
+                        s.tokens.append(token)
+                        s.token = token
+                        s.pos += 1
+                if cfg.guard_cache:
+                    for i in spec_idx:
+                        if st[i].faulted:
+                            continue
+                        try:
+                            check_hybrid_cache(sessions[i].hybrid)
+                        except Exception as exc:
+                            if not cfg.fallback_on_fault:
+                                raise
+                            log_exception(logger, "draft_fault", exc,
+                                          request_id=sessions[i].request_id,
+                                          position=st[i].pos)
+                            self._note_packed_draft_fault(st[i], exc, sp)
+                sp.set_attr("n_draft", sum(len(st[i].tokens) for i in spec_idx))
+                for i in spec_idx:
+                    s = st[i]
+                    if budgets[i] is not None and s.tokens and s.draft_ms > budgets[i]:
+                        sp.set_attr("expired", True)
+                        sessions[i].hybrid.clear_draft()
+                        reports[i] = StepReport(
+                            kind="expired", feed_size=0,
+                            draft_kv_lens=tuple(s.kv_lens),
+                        )
+
+            # ---- solo fallback for sessions with nothing drafted ----
+            for i in spec_idx:
+                if reports[i] is not None:
+                    continue
+                s = st[i]
+                session = sessions[i]
+                if s.tokens:
+                    continue
+                with tracer.span("fallback") as sp:
+                    record = session.record
+                    token, out = self._target_step(
+                        s.last, session.target_cache, record, sp
+                    )
+                    if session.speculating:
+                        try:
+                            self._append_committed_kv(
+                                out, s.last, [], 1, s.last_pos, session.hybrid,
+                                record, "fallback",
+                            )
+                            if cfg.guard_cache:
+                                check_hybrid_cache(session.hybrid)
+                        except Exception as exc:  # degrade to plain decode
+                            if not cfg.fallback_on_fault:
+                                raise
+                            log_exception(logger, "context_maintenance_fault", exc,
+                                          request_id=session.request_id,
+                                          phase="fallback")
+                            record.note_fault(f"context maintenance failed: {exc}")
+                            sp.set_attr("fault", str(exc))
+                            self._disable_speculation(session, "context maintenance failed")
+                    session.committed.append(token)
+                    reports[i] = StepReport(
+                        kind="fallback", feed_size=1, draft_kv_lens=tuple(s.kv_lens)
+                    )
+
+            # ---- packed verify: one fused target forward ------------
+            verify_idx = [i for i in spec_idx if reports[i] is None]
+            if verify_idx:
+                with tracer.span("verify") as sp:
+                    sp.set_attr("batch", len(verify_idx))
+                    sp.set_attr(
+                        "n_draft", sum(len(st[i].tokens) for i in verify_idx)
+                    )
+                    feeds = [
+                        np.asarray([st[i].last] + st[i].tokens, dtype=np.int64)
+                        for i in verify_idx
+                    ]
+                    caches = [sessions[i].target_cache for i in verify_idx]
+                    verify_starts = [cache.seq_len for cache in caches]
+                    outs = self.target.decode_batch(feeds, caches)
+                    n_accepted_total = 0
+                    for i, out, verify_start in zip(verify_idx, outs, verify_starts):
+                        s = st[i]
+                        session = sessions[i]
+                        record = session.record
+                        gamma_used = len(s.tokens)
+                        sp.add_sim_ms(record.charge_sim(
+                            self.cost_model.target_verify(gamma_used + 1), "verify"
+                        ))
+                        record.count_target_forward()
+
+                        outcome = speculative_verify(
+                            s.tokens,
+                            np.stack(s.probs),
+                            out.logits.data[0],
+                            self.sampler.config,
+                            self.rng,
+                        )
+                        record.add_block(
+                            BlockRecord(
+                                n_draft=gamma_used,
+                                n_accepted=outcome.n_accepted,
+                                n_emitted=outcome.tokens_emitted,
+                            )
+                        )
+                        n_accepted_total += outcome.n_accepted
+                        session.gamma_controller.update(outcome.n_accepted, gamma_used)
+
+                        keep = 1 + outcome.n_accepted
+                        session.target_cache.truncate(verify_start + keep)
+                        session.hybrid.clear_draft()
+                        try:
+                            self._append_committed_kv(
+                                out, s.last, outcome.accepted, keep, s.last_pos,
+                                session.hybrid, record, "verify",
+                            )
+                        except Exception as exc:  # degrade to plain decode
+                            if not cfg.fallback_on_fault:
+                                raise
+                            log_exception(logger, "context_maintenance_fault", exc,
+                                          request_id=session.request_id,
+                                          phase="verify")
+                            record.note_fault(f"context maintenance failed: {exc}")
+                            sp.set_attr("fault", str(exc))
+                            self._disable_speculation(session, "context maintenance failed")
+
+                        session.committed.extend(outcome.accepted)
+                        session.committed.append(outcome.next_token)
+                        if session.eos in session.committed:
+                            del session.committed[
+                                session.committed.index(session.eos) + 1:
+                            ]
+                        elif len(session.committed) > session.max_new_tokens:
+                            del session.committed[session.max_new_tokens:]
+                        reports[i] = StepReport(
+                            kind="verify",
+                            feed_size=gamma_used + 1,
+                            draft_kv_lens=tuple(s.kv_lens),
+                            n_accepted=outcome.n_accepted,
+                        )
+                    sp.set_attr("n_accepted", n_accepted_total)
+        return reports  # type: ignore[return-value]
+
+    def _note_packed_draft_fault(self, state: _PackedDraftState, exc: Exception, sp) -> None:
+        """Apply the solo draft-fault handling to one packed session.
+
+        The caller logs the exception (handlers own their logging so the
+        except-discipline lint can see it); this helper only mutates
+        session state the way the solo draft-fault path would.
+        """
+        session = state.session
+        session.record.note_fault(f"draft fault at position {state.pos}: {exc}")
+        sp.set_attr("fault", str(exc))
+        # The draft segment may be poisoned; the context store is
+        # target-provided and still trusted.
+        session.hybrid.clear_draft()
+        state.tokens = []
+        state.probs = []
+        state.faulted = True
+        if session.record.n_draft_faults >= self.config.max_draft_faults:
+            self._disable_speculation(
+                session, f"{session.record.n_draft_faults} draft faults"
+            )
 
     def finish(self, session: DecodeSession) -> DecodeRecord:
         """Finalize a session: detokenize and return its record.

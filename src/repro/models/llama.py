@@ -13,11 +13,20 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..errors import ShapeError
+from ..nn.attention import attend_data, causal_mask, merge_heads, ragged_attend
+from ..nn.kernels import (
+    linear_data,
+    merge_heads_data,
+    project_qkv_data,
+    rmsnorm_data,
+    swiglu_data,
+)
 from ..nn.layers import Embedding
 from ..nn.module import Module
 from ..nn.normalization import RMSNorm
+from ..nn.ragged import cu_seqlens, row_extents
 from ..nn.rope import RotaryEmbedding
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, concat, is_grad_enabled, matmul_data
 from ..nn.transformer import DecoderBlock
 from .config import LlamaConfig
 from .kv_cache import KVCache
@@ -37,6 +46,55 @@ class LlamaOutput:
     def last_layer_kv(self) -> Tuple[Tensor, Tensor]:
         """The slice of fresh KV that AASD's draft head consumes."""
         return self.new_kv[-1]
+
+
+class _PackedSliceOutput:
+    """One request's view of a packed forward, materialised on access.
+
+    Quacks like :class:`LlamaOutput` (``logits`` / ``hidden`` / ``new_kv``
+    / ``last_layer_kv``) but builds each per-request ``Tensor`` slice only
+    when the field is read.  The serving rounds consume just ``logits``
+    and ``last_layer_kv`` — the prefill round only the last-position
+    logits — so the eager construction of B x n_layers x 2 slice tensors
+    per forward was almost entirely thrown away.  Slicing the raw packed
+    array and wrapping it is the same view ``Tensor.__getitem__`` would
+    produce, so values are bitwise unchanged.
+    """
+
+    __slots__ = ("_logits_d", "_normed_d", "_kv_data", "_start", "_end")
+
+    def __init__(self, logits_d, normed_d, kv_data, start: int, end: int) -> None:
+        self._logits_d = logits_d
+        self._normed_d = normed_d
+        self._kv_data = kv_data
+        self._start = start
+        self._end = end
+
+    @property
+    def logits(self) -> Tensor:
+        return Tensor(self._logits_d[:, self._start:self._end, :])
+
+    @property
+    def hidden(self) -> Tensor:
+        return Tensor(self._normed_d[:, self._start:self._end, :])
+
+    @property
+    def new_kv(self) -> List[Tuple[Tensor, Tensor]]:
+        return [
+            (
+                Tensor(k[:, :, self._start:self._end, :]),
+                Tensor(v[:, :, self._start:self._end, :]),
+            )
+            for k, v in self._kv_data
+        ]
+
+    @property
+    def last_layer_kv(self) -> Tuple[Tensor, Tensor]:
+        k, v = self._kv_data[-1]
+        return (
+            Tensor(k[:, :, self._start:self._end, :]),
+            Tensor(v[:, :, self._start:self._end, :]),
+        )
 
 
 class MiniLlama(Module):
@@ -125,6 +183,227 @@ class MiniLlama(Module):
             positions = np.arange(start, start + token_ids.shape[1], dtype=np.int64)
         return self.forward_embeds(
             self.embed_tokens(token_ids), positions, cache=cache, update_cache=update_cache
+        )
+
+    # ------------------------------------------------------------------
+    # Packed ragged-batch forward (docs/kernels.md).
+    #
+    # B variable-length requests run as ONE fused pass: every row-wise op
+    # (norms, q/k/v/o projections, RoPE, MLP, LM head) executes once over
+    # the packed (1, sum_tokens, D) tensor, while attention runs
+    # segment-exact per request so each request's logits stay bitwise
+    # identical to a solo forward_embeds call.  Bitwise safety requires
+    # every row to contribute >= 2 tokens (single rows take the gemv
+    # kernel, whose K-reduction differs from gemm's at large K — the
+    # packing-stability contract in repro.nn.ragged).
+
+    def forward_packed_embeds(
+        self,
+        x: Tensor,
+        position_rows: List[np.ndarray],
+        caches: List[Optional[KVCache]],
+        update_cache: bool = True,
+    ) -> List[LlamaOutput]:
+        """Fused decoder pass over a cu-seqlen-packed ragged batch.
+
+        Parameters
+        ----------
+        x:
+            Packed embeddings ``(1, sum_tokens, D)``; request ``i`` owns
+            the rows at offsets ``cu[i]:cu[i+1]`` where ``cu`` is the
+            cumulative sum of ``len(position_rows[i])``.
+        position_rows:
+            Per-request absolute positions of the new tokens.
+        caches:
+            Per-request KV caches (entries may be ``None`` for cacheless
+            requests); request ``i``'s queries attend to ``caches[i]``'s
+            context plus its own new tokens — never across requests.
+        update_cache:
+            Append each request's fresh KV to its cache (as in
+            :meth:`forward_embeds`).
+
+        Returns one :class:`LlamaOutput`-shaped result per request whose
+        ``logits`` / ``hidden`` / ``new_kv`` are zero-copy slices of the
+        packed results, bitwise identical to that request's solo forward
+        (the inference fast path returns them lazily — see
+        :class:`_PackedSliceOutput`).
+        """
+        if len(position_rows) != len(caches):
+            raise ShapeError(
+                f"{len(position_rows)} position rows vs {len(caches)} caches"
+            )
+        if x.ndim != 3:
+            raise ShapeError(f"expected (1, sum_tokens, D) embeddings, got {x.shape}")
+        pos_rows = [np.asarray(p, dtype=np.int64) for p in position_rows]
+        lengths = [p.shape[0] for p in pos_rows]
+        cu = cu_seqlens(lengths)
+        extents = row_extents(cu)
+        if x.shape[1] != int(cu[-1]):
+            raise ShapeError(
+                f"packed length {x.shape[1]} != sum of row lengths {int(cu[-1])}"
+            )
+        positions = np.concatenate(pos_rows) if pos_rows else np.zeros(0, np.int64)
+        use_cache = [c is not None and c.seq_len > 0 for c in caches]
+
+        # Masks depend on positions only, never on layer values — build
+        # them once and reuse across the whole stack.
+        blocked: List[np.ndarray] = []
+        for i in range(len(extents)):
+            if use_cache[i]:
+                all_pos = np.concatenate(
+                    [np.asarray(caches[i].positions, dtype=np.int64), pos_rows[i]]
+                )
+            else:
+                all_pos = pos_rows[i]
+            blocked.append(causal_mask(pos_rows[i], all_pos))
+
+        # Inference (the serving rounds) skips the autograd wrappers
+        # entirely: every row-wise op runs through the raw-ndarray
+        # kernels of repro.nn.kernels (same ufuncs in the same order,
+        # so bitwise identity holds), and the per-request attention loop
+        # appends each request's fresh KV to its cache first, then
+        # attends over the cache's arena view — same values the concat
+        # would build, without the per-layer-per-request concat copies.
+        fast = not is_grad_enabled()
+        if fast:
+            new_kv_data: List[Tuple[np.ndarray, np.ndarray]] = []
+            hidden_d = x.data
+            for layer_idx, block in enumerate(self.blocks):
+                attn_layer = block.attn
+                attn_in = rmsnorm_data(
+                    hidden_d, block.attn_norm.weight.data, block.attn_norm.eps
+                )
+                qd, kd, vd = project_qkv_data(attn_layer, attn_in, positions)
+                outs: List[np.ndarray] = []
+                for i, (start, end) in enumerate(extents):
+                    k_i = kd[:, :, start:end, :]
+                    v_i = vd[:, :, start:end, :]
+                    if update_cache and caches[i] is not None:
+                        caches[i].append(layer_idx, k_i, v_i)
+                        k_all, v_all = caches[i].layer(layer_idx)
+                        k_all, v_all = np.asarray(k_all), np.asarray(v_all)
+                    elif use_cache[i]:
+                        past_k, past_v = caches[i].layer(layer_idx)
+                        k_all = np.concatenate([np.asarray(past_k), k_i], axis=2)
+                        v_all = np.concatenate([np.asarray(past_v), v_i], axis=2)
+                    else:
+                        k_all, v_all = k_i, v_i
+                    outs.append(
+                        attend_data(qd[:, :, start:end, :], k_all, v_all, blocked[i])
+                    )
+                if len(outs) > 1:
+                    # segment writes into one preallocated packed buffer:
+                    # same values np.concatenate would copy, minus its
+                    # temporary-list machinery (this runs per layer)
+                    attn_out = np.empty_like(qd)
+                    for (start, end), seg in zip(extents, outs):
+                        attn_out[:, :, start:end, :] = seg
+                else:
+                    attn_out = outs[0]
+                # residuals accumulate in place into the fresh branch
+                # output (bitwise equal: IEEE addition is commutative)
+                delta = linear_data(
+                    merge_heads_data(attn_out), attn_layer.wo.weight.data
+                )
+                delta += hidden_d
+                hidden_d = delta
+                mlp = block.mlp
+                delta = swiglu_data(
+                    rmsnorm_data(
+                        hidden_d, block.mlp_norm.weight.data, block.mlp_norm.eps
+                    ),
+                    mlp.gate.weight.data, mlp.up.weight.data, mlp.down.weight.data,
+                )
+                delta += hidden_d
+                hidden_d = delta
+                new_kv_data.append((kd, vd))
+            if update_cache:
+                for cache, pos in zip(caches, pos_rows):
+                    if cache is not None:
+                        cache.extend_positions(pos)
+            normed_d = rmsnorm_data(hidden_d, self.norm.weight.data, self.norm.eps)
+            logits_d = matmul_data(normed_d, self.embed.weight.data.swapaxes(0, 1))
+            return [
+                _PackedSliceOutput(logits_d, normed_d, new_kv_data, start, end)
+                for start, end in extents
+            ]
+
+        new_kv_layers: List[Tuple[Tensor, Tensor]] = []
+        hidden = x
+        for layer_idx, block in enumerate(self.blocks):
+            q, k_new, v_new = block.attn.project_qkv(
+                block.attn_norm(hidden), positions
+            )
+            keys: List[Tensor] = []
+            values: List[Tensor] = []
+            for i, (start, end) in enumerate(extents):
+                k_i = k_new[:, :, start:end, :]
+                v_i = v_new[:, :, start:end, :]
+                if use_cache[i]:
+                    past_k, past_v = caches[i].layer(layer_idx)
+                    k_i = concat([Tensor(np.asarray(past_k)), k_i], axis=2)
+                    v_i = concat([Tensor(np.asarray(past_v)), v_i], axis=2)
+                keys.append(k_i)
+                values.append(v_i)
+            attn = ragged_attend(q, cu, keys, values, blocked)
+            hidden = hidden + block.attn.wo(merge_heads(attn))
+            hidden = hidden + block.mlp(block.mlp_norm(hidden))
+            new_kv_layers.append((k_new, v_new))
+            if update_cache:
+                for i, (start, end) in enumerate(extents):
+                    if caches[i] is not None:
+                        caches[i].append(
+                            layer_idx,
+                            k_new.data[:, :, start:end, :],
+                            v_new.data[:, :, start:end, :],
+                        )
+        if update_cache:
+            for cache, pos in zip(caches, pos_rows):
+                if cache is not None:
+                    cache.extend_positions(pos)
+
+        normed = self.norm(hidden)
+        logits = self.lm_head(normed)
+        return [
+            LlamaOutput(
+                logits=logits[:, start:end, :],
+                hidden=normed[:, start:end, :],
+                new_kv=[
+                    (k[:, :, start:end, :], v[:, :, start:end, :])
+                    for (k, v) in new_kv_layers
+                ],
+            )
+            for start, end in extents
+        ]
+
+    def forward_packed(
+        self,
+        token_rows: List[np.ndarray],
+        caches: List[Optional[KVCache]],
+        update_cache: bool = True,
+    ) -> List[LlamaOutput]:
+        """Packed ragged-batch forward over per-request token-id rows.
+
+        Each ``token_rows[i]`` is request ``i``'s new token ids (1-D or
+        ``(1, T_i)``); positions continue from ``caches[i].next_position()``
+        exactly as in :meth:`forward`.  The embedding gather and all
+        row-wise ops run fused over the packed batch; see
+        :meth:`forward_packed_embeds`.
+        """
+        if len(token_rows) != len(caches):
+            raise ShapeError(f"{len(token_rows)} token rows vs {len(caches)} caches")
+        rows2d = []
+        position_rows = []
+        for ids, cache in zip(token_rows, caches):
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.ndim == 1:
+                ids = ids[None, :]
+            rows2d.append(ids)
+            start = cache.next_position() if cache is not None else 0
+            position_rows.append(np.arange(start, start + ids.shape[1], dtype=np.int64))
+        packed_ids = np.concatenate(rows2d, axis=1)
+        return self.forward_packed_embeds(
+            self.embed_tokens(packed_ids), position_rows, caches, update_cache
         )
 
     def new_cache(self) -> KVCache:

@@ -8,11 +8,12 @@ slice and the ablations can mask segments.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ShapeError
+from ..nn.ragged import pack_rows
 from ..nn.tensor import Tensor, concat
 from .config import LlavaConfig
 from .connector import Connector
@@ -127,6 +128,69 @@ class MiniLlava:
     def decode(self, token_ids: np.ndarray, cache: KVCache, update_cache: bool = True) -> LlamaOutput:
         """Decode new tokens against the cache (verification / AR steps)."""
         return self.llama.forward(token_ids, cache=cache, update_cache=update_cache)
+
+    # ------------------------------------------------------------------
+    # Packed ragged-batch paths (docs/kernels.md)
+    # ------------------------------------------------------------------
+    def prefill_batch(
+        self,
+        images: Sequence[np.ndarray],
+        text_rows: Sequence[np.ndarray],
+    ) -> Tuple[List[KVCache], List[np.ndarray]]:
+        """Prefill B requests as one packed forward; per-request results.
+
+        ``images`` is the image batch — a stacked ``(B, ...)`` array or a
+        sequence of per-request images — and ``text_rows[i]`` request
+        ``i``'s prompt ids (ragged lengths allowed).  The vision tower
+        and connector run once over the whole image batch (numpy loops
+        the batch axis per image, so each image's embedding is bitwise
+        equal to its solo encode), then the LM prefill runs as one
+        cu-seqlen-packed forward over the concatenated ``[vision][text]``
+        rows.  Returns per-request primed caches (segments set as in
+        :meth:`prefill`) and the ``(1, vocab)`` last-position logits,
+        bitwise identical to B solo prefills.
+        """
+        if not isinstance(images, np.ndarray):
+            images = np.stack([np.asarray(img) for img in images])
+        if images.shape[0] != len(text_rows):
+            raise ShapeError(
+                f"batch mismatch: {images.shape[0]} images vs {len(text_rows)} text rows"
+            )
+        vis = self.encode_image(images)
+        pieces: List[Tensor] = []
+        position_rows: List[np.ndarray] = []
+        caches: List[KVCache] = []
+        rows2d: List[np.ndarray] = []
+        for i, text_ids in enumerate(text_rows):
+            text_ids = np.asarray(text_ids, dtype=np.int64)
+            if text_ids.ndim == 1:
+                text_ids = text_ids[None, :]
+            rows2d.append(text_ids)
+            pieces.append(vis[i : i + 1])
+            pieces.append(self.llama.embed_tokens(text_ids))
+            total = self.n_vision_tokens + text_ids.shape[1]
+            position_rows.append(np.arange(total, dtype=np.int64))
+            caches.append(self.llama.new_cache())
+        outs = self.llama.forward_packed_embeds(
+            pack_rows(pieces, axis=1), position_rows, list(caches)
+        )
+        for cache, text_ids in zip(caches, rows2d):
+            cache.set_segments(self.n_vision_tokens, text_ids.shape[1])
+        return caches, [out.logits.data[:, -1, :] for out in outs]
+
+    def decode_batch(
+        self,
+        token_rows: Sequence[np.ndarray],
+        caches: Sequence[KVCache],
+        update_cache: bool = True,
+    ) -> List[LlamaOutput]:
+        """Batched :meth:`decode`: one packed forward over B feed rows.
+
+        Used by the engine's packed verification round; every row must
+        hold >= 2 tokens for the packing-stability contract to apply
+        (verify feeds are ``gamma + 1 >= 2`` tokens by construction).
+        """
+        return self.llama.forward_packed(list(token_rows), list(caches), update_cache)
 
     def forward_train(self, images: np.ndarray, text_ids: np.ndarray) -> LlamaOutput:
         """Full teacher-forced pass (no cache) for training and KV harvest.

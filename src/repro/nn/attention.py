@@ -12,17 +12,115 @@ needs:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from . import functional as F
 from .layers import Linear
 from .module import Module
+from .ragged import pack_rows, ragged_blocked
 from .rope import RotaryEmbedding, apply_rope
-from .tensor import Tensor, concat
+from .tensor import Tensor, concat, is_grad_enabled, matmul_data
 
-__all__ = ["MultiHeadAttention", "causal_mask", "split_heads", "merge_heads"]
+__all__ = [
+    "MultiHeadAttention",
+    "attend_data",
+    "causal_mask",
+    "split_heads",
+    "merge_heads",
+    "ragged_attend",
+]
+
+
+def attend_data(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    blocked: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Scaled dot-product attention on raw arrays (inference fast path).
+
+    Exactly the op sequence of :meth:`MultiHeadAttention.attend` — same
+    numpy calls in the same order, so the result is bitwise identical —
+    minus the autograd graph nodes.  Decode paths call attention once per
+    request per layer per round, which makes those five skipped ``Tensor``
+    allocations a measurable wall-clock win; the packed serving kernels
+    (``docs/kernels.md``) call this directly on cache views.
+    """
+    scale = 1.0 / np.sqrt(q.shape[-1])
+    # 0-d array, not a scalar: matches as_tensor(scale)'s dtype
+    # promotion in the autograd path exactly
+    scores = matmul_data(q, k.swapaxes(-1, -2)) * np.asarray(scale)
+    if blocked is not None:
+        # same masked value np.where would produce, without a new array
+        np.copyto(scores, np.asarray(-1e9, dtype=scores.dtype), where=blocked)
+    # in-place softmax: identical ufuncs in identical order, fewer
+    # temporaries (attention runs once per request per layer per round)
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    return matmul_data(scores, v)
+
+
+def ragged_attend(
+    q: Tensor,
+    cu_q: np.ndarray,
+    keys: Sequence[Tensor],
+    values: Sequence[Tensor],
+    blocked: Optional[Sequence[Optional[np.ndarray]]] = None,
+    *,
+    fused: bool = False,
+    query_positions: Optional[Sequence[np.ndarray]] = None,
+    key_positions: Optional[Sequence[np.ndarray]] = None,
+) -> Tensor:
+    """Attention over a cu-seqlen-packed ragged batch of B requests.
+
+    ``q`` is the packed query tensor ``(1, H, sum_q, Dh)`` whose segment
+    ``i`` (rows ``cu_q[i]:cu_q[i+1]``) belongs to request ``i``;
+    ``keys[i]``/``values[i]`` are that request's keys/values
+    ``(1, H, Tk_i, Dh)`` — typically zero-copy arena views from a
+    :class:`repro.core.kv_arena.BlockTable`.  Queries never attend
+    across requests.
+
+    Two execution modes:
+
+    * **Segment-exact** (default): runs :meth:`MultiHeadAttention.attend`
+      once per request on the query segment, with ``blocked[i]`` as that
+      request's mask (``None`` entries skip masking entirely — the fast
+      path when causality is vacuous).  Each segment's scores/softmax/
+      value GEMMs have exactly the solo path's shapes, so the result is
+      **bitwise identical** to per-request attention.  This is the mode
+      the packed decode paths use.
+    * **Fused** (``fused=True``): concatenates all keys/values and runs a
+      single attention over the block-diagonal mask built by
+      :func:`repro.nn.ragged.ragged_blocked` from ``query_positions`` /
+      ``key_positions`` (required in this mode; ``blocked`` is ignored).
+      One GEMM instead of B, but the score/value reductions run at
+      different shapes than the solo path, so the result is only
+      *numerically close* (allclose), not bitwise — suitable for
+      experiments and the tree-verification direction, not for the
+      token-identity-gated serving path.
+
+    Returns the packed attention output ``(1, H, sum_q, Dh)``.
+    """
+    if len(keys) != len(values):
+        raise ValueError(f"{len(keys)} key blocks vs {len(values)} value blocks")
+    if len(keys) != len(cu_q) - 1:
+        raise ValueError(f"{len(keys)} KV blocks vs {len(cu_q) - 1} query segments")
+    if fused:
+        if query_positions is None or key_positions is None:
+            raise ValueError("fused ragged attention requires query/key positions")
+        k_all = pack_rows(keys, axis=2)
+        v_all = pack_rows(values, axis=2)
+        mask = ragged_blocked(query_positions, key_positions)
+        return MultiHeadAttention.attend(q, k_all, v_all, blocked=mask)
+    outs = []
+    for i, (k, v) in enumerate(zip(keys, values)):
+        q_i = q[:, :, int(cu_q[i]):int(cu_q[i + 1]), :]
+        mask = blocked[i] if blocked is not None else None
+        outs.append(MultiHeadAttention.attend(q_i, k, v, blocked=mask))
+    return pack_rows(outs, axis=2)
 
 
 def causal_mask(query_positions: np.ndarray, key_positions: np.ndarray) -> np.ndarray:
@@ -100,8 +198,19 @@ class MultiHeadAttention(Module):
         """Scaled dot-product attention; ``blocked`` marks disallowed pairs.
 
         ``blocked`` broadcasts against the score tensor ``(B, H, Tq, Tk)``.
+
+        When no gradient can flow (inference, or no input requires grad)
+        the same numpy ops run in the same order without the autograd
+        wrappers — bitwise-identical output, but decode-path attention is
+        called once per request per layer per round, so skipping the
+        five intermediate graph nodes is a real wall-clock win.
         """
         scale = 1.0 / np.sqrt(q.shape[-1])
+        track = is_grad_enabled() and (
+            q.requires_grad or k.requires_grad or v.requires_grad
+        )
+        if not track:
+            return Tensor(attend_data(q.data, k.data, v.data, blocked))
         scores = (q @ k.swapaxes(-1, -2)) * scale
         if blocked is not None:
             scores = scores.masked_fill(blocked, -1e9)

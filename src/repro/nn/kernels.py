@@ -1,0 +1,139 @@
+"""Raw-ndarray inference kernels that bitwise-mirror the autograd layers.
+
+The packed serving rounds (``docs/kernels.md``) promise **bitwise** token
+identity with the per-request autograd path, so these helpers replay the
+*exact* numpy op sequence of their :mod:`repro.nn` counterparts — same
+ufuncs, same order, same scalar-promotion behaviour (python scalars are
+wrapped with ``np.asarray`` exactly where ``as_tensor`` would wrap them) —
+minus the per-op graph-node allocations.  GEMMs go through
+:func:`repro.nn.tensor.matmul_data` so the wall-clock profiler keeps
+attributing them to the ``gemm`` bucket.
+
+Only inference may call these: they take and return plain ``np.ndarray``
+and build no autograd graph.  Training code must keep using the layer
+``Module`` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import matmul_data
+
+__all__ = [
+    "linear_data",
+    "rmsnorm_data",
+    "sigmoid_data",
+    "silu_data",
+    "swiglu_data",
+    "split_heads_data",
+    "merge_heads_data",
+    "rope_data",
+    "project_qkv_data",
+]
+
+
+def linear_data(
+    x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """``x @ W^T (+ b)`` with ``weight`` in the ``(out, in)`` layout of
+    :class:`repro.nn.layers.Linear`."""
+    out = matmul_data(x, weight.swapaxes(-1, -2))
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def rmsnorm_data(x: np.ndarray, weight: np.ndarray, eps: float) -> np.ndarray:
+    """:class:`repro.nn.normalization.RMSNorm` on raw arrays.
+
+    Mirrors ``x / sqrt(mean(x*x) + eps) * weight`` where the mean is
+    computed as ``sum * (1/n)`` — the decomposition ``Tensor.mean`` uses —
+    so the reduction order (and hence every bit) matches the layer.  The
+    final scale runs in place on the quotient (same product, one fewer
+    ``(sum_tokens, D)`` temporary).
+    """
+    ms = (x * x).sum(axis=-1, keepdims=True) * np.asarray(1.0 / x.shape[-1])
+    out = x / np.sqrt(ms + np.asarray(eps))
+    out *= weight
+    return out
+
+
+def sigmoid_data(x: np.ndarray) -> np.ndarray:
+    """Logistic function, the ``1/(1 + exp(-x))`` form ``Tensor.sigmoid`` uses.
+
+    Runs in place on the ``-x`` copy: ``t += 1.0`` and ``1/t`` produce the
+    exact bits of ``1.0 + exp(-x)`` and ``1.0 / (...)`` (IEEE addition is
+    commutative) with three fewer full-size temporaries.
+    """
+    t = np.negative(x)
+    np.exp(t, out=t)
+    t += 1.0
+    np.divide(1.0, t, out=t)
+    return t
+
+
+def silu_data(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish: ``x * sigmoid(x)``, multiplied in place on the sigmoid."""
+    s = sigmoid_data(x)
+    np.multiply(x, s, out=s)
+    return s
+
+
+def swiglu_data(
+    x: np.ndarray, gate_w: np.ndarray, up_w: np.ndarray, down_w: np.ndarray
+) -> np.ndarray:
+    """:class:`repro.nn.transformer.SwiGLU` MLP: ``down(silu(gate(x)) * up(x))``."""
+    gated = silu_data(linear_data(x, gate_w))
+    gated *= linear_data(x, up_w)
+    return linear_data(gated, down_w)
+
+
+def split_heads_data(x: np.ndarray, n_heads: int) -> np.ndarray:
+    """``(B, T, D) -> (B, H, T, D/H)`` (zero-copy view chain)."""
+    b, t, d = x.shape
+    return x.reshape(b, t, n_heads, d // n_heads).transpose(0, 2, 1, 3)
+
+
+def merge_heads_data(x: np.ndarray) -> np.ndarray:
+    """``(B, H, T, Dh) -> (B, T, H*Dh)``."""
+    b, h, t, dh = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(b, t, h * dh)
+
+
+def rope_data(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    """Rotary transform ``x*cos + rotate_half(x)*sin`` on raw arrays.
+
+    ``cos``/``sin`` are the float32 tables from
+    :meth:`repro.nn.rope.RotaryEmbedding.tables`; the float64 activations
+    promote exactly as in the autograd path.
+    """
+    half = x.shape[-1] // 2
+    x1 = x[..., :half]
+    x2 = x[..., half:]
+    out = x * cos
+    rot = np.concatenate([-x2, x1], axis=-1)
+    rot *= sin
+    out += rot
+    return out
+
+
+def project_qkv_data(
+    attn, x: np.ndarray, positions: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:meth:`MultiHeadAttention.project_qkv` on raw arrays.
+
+    ``attn`` is the :class:`repro.nn.attention.MultiHeadAttention` whose
+    weights (and rotary table) to use; returns per-head ``(q, k, v)`` with
+    RoPE applied when the layer owns a rotary embedding.
+    """
+    q = split_heads_data(linear_data(x, attn.wq.weight.data), attn.n_heads)
+    k = split_heads_data(linear_data(x, attn.wk.weight.data), attn.n_heads)
+    v = split_heads_data(linear_data(x, attn.wv.weight.data), attn.n_heads)
+    if attn.rope is not None:
+        cos, sin = attn.rope.tables(positions)
+        q = rope_data(q, cos, sin)
+        k = rope_data(k, cos, sin)
+    return q, k, v

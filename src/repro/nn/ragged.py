@@ -1,0 +1,131 @@
+"""Ragged (variable-length) batch packing: the cu-seqlen kernel layout.
+
+A batch of B requests with lengths ``L_0..L_{B-1}`` is packed into one
+``(1, sum(L_i), d)`` tensor plus an offsets vector ``cu`` (*cumulative
+sequence lengths*, the flash-attention / vLLM idiom): request ``i`` owns
+rows ``cu[i]:cu[i+1]``.  Every *row-wise* op of a transformer stack —
+embedding gather, RMSNorm, the q/k/v/o projections, RoPE, the MLP, the
+LM head — then runs as **one** fused call over all rows instead of B
+per-request Python dispatches.  Only attention needs per-request
+structure, because request ``i``'s queries may attend to request ``i``'s
+keys alone; see :func:`repro.nn.attention.ragged_attend`.
+
+Packing-stability contract
+--------------------------
+Packing is used by decode paths whose outputs must be **bitwise**
+identical to the sequential per-request path (greedy speculative
+decoding is lossless, and the serving tests assert token identity).
+That works because of two empirical properties of the BLAS this repo
+runs on, pinned by ``tests/nn/test_ragged.py::TestPackingStability``:
+
+* **M >= 2 rows are stable under packing**: row ``r`` of
+  ``(M, K) @ (K, N)`` is bitwise independent of ``M`` for every
+  ``M >= 2`` — the kernel reduces over K identically per row, so
+  stacking more rows on top never changes an existing row.
+* **M == 1 is different**: a single-row matmul takes the gemv kernel,
+  whose K-reduction order differs from the gemm kernel's once K is large
+  enough (observed at K >= 64 in float32).  A lone row therefore may NOT
+  be packed into a taller matrix.  Instead, B single-token requests are
+  run *lockstep* as ``np.matmul((B, 1, K), (K, N))`` — numpy loops the
+  batch axis, so each slice still takes the gemv kernel (bitwise equal
+  to the solo call) while Python pays one dispatch instead of B.
+
+Consequently: the verify/prefill paths (every row >= 2 tokens) use
+cu-seqlen packing via :func:`pack_rows`, and the draft path (1 token per
+request per step) uses lockstep ``(B, 1, d)`` batching.  Layout details
+and a worked example live in ``docs/kernels.md``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, concat
+
+__all__ = [
+    "cu_seqlens",
+    "row_extents",
+    "pack_rows",
+    "unpack_rows",
+    "ragged_blocked",
+]
+
+
+def cu_seqlens(lengths: Sequence[int]) -> np.ndarray:
+    """Cumulative sequence-length offsets ``[0, L0, L0+L1, ...]``.
+
+    The returned int64 vector has ``len(lengths) + 1`` entries; segment
+    ``i`` of a packed tensor is ``packed[cu[i]:cu[i+1]]`` along the
+    packed axis.
+    """
+    cu = np.zeros(len(lengths) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(lengths, dtype=np.int64), out=cu[1:])
+    return cu
+
+
+def row_extents(cu: np.ndarray) -> List[Tuple[int, int]]:
+    """``(start, end)`` pairs per segment of a cu-seqlen offsets vector."""
+    return [(int(cu[i]), int(cu[i + 1])) for i in range(len(cu) - 1)]
+
+
+def pack_rows(rows: Sequence[Union[Tensor, np.ndarray]], axis: int = 1) -> Tensor:
+    """Concatenate per-request rows into one packed tensor.
+
+    ``rows`` are tensors shaped ``(1, L_i, ...)`` (or any shapes equal
+    outside ``axis``); the result is their concatenation along ``axis``
+    — one allocation, one memcpy per row.  Use :func:`cu_seqlens` on the
+    per-row lengths to index the result.
+    """
+    tensors = [r if isinstance(r, Tensor) else Tensor(np.asarray(r)) for r in rows]
+    if len(tensors) == 1:
+        return tensors[0]
+    return concat(tensors, axis=axis)
+
+
+def unpack_rows(packed: np.ndarray, cu: np.ndarray, axis: int = 1) -> List[np.ndarray]:
+    """Split a packed array back into per-request views (zero-copy).
+
+    The inverse of :func:`pack_rows`: returns one numpy view per
+    segment, sliced along ``axis`` at the ``cu`` offsets.
+    """
+    data = np.asarray(packed)
+    index: List[slice] = [slice(None)] * data.ndim
+    views = []
+    for start, end in row_extents(cu):
+        index[axis] = slice(start, end)
+        views.append(data[tuple(index)])
+    return views
+
+
+def ragged_blocked(
+    query_positions: Sequence[np.ndarray],
+    key_positions: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Block-diagonal ragged attention mask; ``True`` marks blocked pairs.
+
+    Generalizes :func:`repro.nn.attention.causal_mask` to a packed batch:
+    for per-request query/key position rows, the returned
+    ``(sum_q, sum_k)`` boolean matrix blocks every cross-request pair
+    outright and applies the causal rule (key position > query position)
+    inside each request's diagonal block.
+
+    This is the mask a *fused* ragged attention over concatenated keys
+    would use (``ragged_attend(..., fused=True)``); the bitwise-exact
+    serving path instead attends per segment and never materializes it.
+    """
+    if len(query_positions) != len(key_positions):
+        raise ValueError(
+            f"{len(query_positions)} query rows vs {len(key_positions)} key rows"
+        )
+    q_rows = [np.asarray(q).reshape(-1) for q in query_positions]
+    k_rows = [np.asarray(k).reshape(-1) for k in key_positions]
+    cu_q = cu_seqlens([len(q) for q in q_rows])
+    cu_k = cu_seqlens([len(k) for k in k_rows])
+    blocked = np.ones((int(cu_q[-1]), int(cu_k[-1])), dtype=bool)
+    for i, (q, k) in enumerate(zip(q_rows, k_rows)):
+        blocked[cu_q[i]:cu_q[i + 1], cu_k[i]:cu_k[i + 1]] = (
+            k.reshape(1, -1) > q.reshape(-1, 1)
+        )
+    return blocked

@@ -31,6 +31,7 @@ from ..obs.profile import OP_GEMM, PROFILER as _PROFILER
 __all__ = [
     "Tensor",
     "as_tensor",
+    "matmul_data",
     "no_grad",
     "is_grad_enabled",
     "unbroadcast",
@@ -90,6 +91,28 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
     return grad.reshape(shape)
+
+
+def matmul_data(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``np.matmul`` with the repo's GEMM attribution hook.
+
+    Every GEMM in the repo flows through here (``Tensor.__matmul__``
+    delegates, and inference fast paths that skip the autograd wrapper —
+    e.g. :meth:`repro.nn.attention.MultiHeadAttention.attend` — call it
+    directly), so this one hook gives complete compute attribution.  One
+    flag check when profiling is off; timing only (no RNG, no copies)
+    when on.
+    """
+    if _PROFILER.enabled:
+        begin = time.perf_counter()
+        product = np.matmul(a, b)
+        _PROFILER.record(
+            OP_GEMM,
+            1000.0 * (time.perf_counter() - begin),
+            flops=2.0 * product.size * a.shape[-1],
+        )
+        return product
+    return np.matmul(a, b)
 
 
 class Tensor:
@@ -297,19 +320,7 @@ class Tensor:
 
     def __matmul__(self, other: TensorLike) -> "Tensor":
         other = as_tensor(other)
-        # Every GEMM in the repo flows through this operator, so this one
-        # hook gives complete compute attribution.  One flag check when
-        # profiling is off; timing only (no RNG, no copies) when on.
-        if _PROFILER.enabled:
-            begin = time.perf_counter()
-            product = np.matmul(self.data, other.data)
-            _PROFILER.record(
-                OP_GEMM,
-                1000.0 * (time.perf_counter() - begin),
-                flops=2.0 * product.size * self.data.shape[-1],
-            )
-        else:
-            product = np.matmul(self.data, other.data)
+        product = matmul_data(self.data, other.data)
         out = self._make_child(product, (self, other))
         if out.requires_grad:
             def _backward(grad: np.ndarray, a=self, b=other) -> None:

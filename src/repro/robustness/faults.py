@@ -206,6 +206,12 @@ class FaultyDraftHead:
     MODES = ("nan-logits", "inf-logits", "raise", "latency", "arena-pressure",
              "corrupt-cache")
 
+    #: The fault schedules hook per-request ``step`` calls, so the engine
+    #: must not route this wrapper through the packed lockstep path (a
+    #: class attribute, because ``__getattr__`` delegation would otherwise
+    #: surface the wrapped head's ``True``).
+    supports_packed = False
+
     def __init__(
         self,
         head,

@@ -11,16 +11,26 @@ draft-then-verify block; new requests join at these block boundaries (a
 batched prefill) and finished ones retire without stalling the rest —
 classic continuous batching.
 
-Execution is per-session numpy, but the **server clock** is charged as if
-each round's draft steps and target forwards ran as single batched GPU
-forwards, using the ``batched_*`` prices of
-:class:`~repro.decoding.cost_model.CostModel` (memory-bound batching: base
-cost paid once per forward, per-token work summed, small per-sequence
-increment).  Each session's own :class:`~repro.decoding.metrics.DecodeRecord`
-is still charged solo prices by the engine, so per-request attribution is
-identical to sequential decoding — and with one request in the system every
-round reduces exactly to the sequential prices, which the equivalence tests
-pin down.
+Execution *and* pricing are batched.  When the engine is
+:attr:`~repro.core.engine.AASDEngine.packed_ready` (a packable draft head
+and greedy sampling) and the round holds more than one session, the
+scheduler drives the engine's packed batched calls
+(:meth:`~repro.core.engine.AASDEngine.begin_batch` /
+:meth:`~repro.core.engine.AASDEngine.step_batch`): each round's prefills
+and verify forwards run as one cu-seqlen-packed set of fused GEMMs and its
+draft steps in ``(B, 1, D)`` lockstep — see ``docs/kernels.md`` — with
+outputs bitwise token-identical to per-session stepping.  Otherwise
+(fault-injection wrappers, non-greedy sampling, a batch of one, or a
+breaker-forced fallback round) execution falls back to per-session numpy.
+Either way the **server clock** is charged as if each round's draft steps
+and target forwards ran as single batched GPU forwards, using the
+``batched_*`` prices of :class:`~repro.decoding.cost_model.CostModel`
+(memory-bound batching: base cost paid once per forward, per-token work
+summed, small per-sequence increment).  Each session's own
+:class:`~repro.decoding.metrics.DecodeRecord` is still charged solo prices
+by the engine, so per-request attribution is identical to sequential
+decoding — and with one request in the system every round reduces exactly
+to the sequential prices, which the equivalence tests pin down.
 
 Batch compatibility
 -------------------
@@ -514,6 +524,41 @@ class ContinuousBatchingScheduler:
         started_ms = self.now_ms
         admitted: List[_Active] = []
         tracer = self.engine.tracer
+        if len(handles) > 1 and self.engine.packed_ready:
+            # Packed path: one cu-seqlen-packed prefill forward for the
+            # whole admission (docs/kernels.md).  Per-request rng snapshot
+            # and span bookkeeping are preserved; begin_batch returns a
+            # per-request session or exception so fault isolation matches
+            # the solo loop below.
+            for handle in handles:
+                with tracer.span("request", request_id=handle.request_id,
+                                 phase="prefill"):
+                    self._restore_or_snapshot_rng(handle.request_id)
+            outcomes = self.engine.begin_batch(
+                [h.request.sample for h in handles],
+                records=[DecodeRecord() for _ in handles],
+                max_new_tokens=[h.request.max_new_tokens for h in handles],
+                gamma_controllers=[
+                    self._controller(self._effective_gamma(h.request))
+                    for h in handles
+                ],
+                request_ids=[h.request_id for h in handles],
+            )
+            for handle, outcome in zip(handles, outcomes):
+                if isinstance(outcome, Exception):
+                    if self._maybe_retry(handle, outcome):
+                        continue
+                    log_exception(logger, "prefill_failed", outcome,
+                                  request_id=handle.request_id,
+                                  retry_count=self._attempts(handle.request_id))
+                    self._resolve(handle, STATUS_FAILED,
+                                  error=f"prefill failed: {outcome}",
+                                  started_ms=started_ms)
+                    continue
+                entry = _Active(handle, outcome, started_ms)
+                self._active.append(entry)
+                admitted.append(entry)
+            handles = []
         for handle in handles:
             request = handle.request
             with tracer.span("request", request_id=request.request_id, phase="prefill"):
@@ -578,35 +623,64 @@ class ContinuousBatchingScheduler:
         removed: List[_Active] = []
         n_escaped_faults = 0
         n_record_faults = 0
-        for entry in self._active:
-            if entry.session.finished:
-                continue
-            with tracer.span("request", request_id=entry.handle.request_id,
-                             phase="step"):
-                try:
-                    report = self.engine.step(
-                        entry.session,
-                        budget_ms=self._step_budget_ms(entry),
-                        force_fallback=force_fallback,
-                    )
-                except Exception as exc:  # isolate the fault to this request
-                    n_escaped_faults += 1
-                    n_record_faults += (
-                        entry.session.record.n_draft_faults - entry.n_faults_seen
-                    )
-                    removed.append(entry)
-                    self.memory.add(entry.session.memory_stats())
-                    if self._maybe_retry(entry.handle, exc):
+        eligible = [e for e in self._active if not e.session.finished]
+        outcomes: List[Tuple[_Active, object]] = []
+        if len(eligible) > 1 and not force_fallback and self.engine.packed_ready:
+            # Packed path: one lockstep draft + one cu-seqlen-packed verify
+            # forward for the whole round (docs/kernels.md).  Per-request
+            # spans are still emitted so traces keep request granularity;
+            # a batch-wide engine failure is attributed to every session
+            # (each then goes through the same retry/fail path as a solo
+            # step failure would).
+            for entry in eligible:
+                with tracer.span("request", request_id=entry.handle.request_id,
+                                 phase="step"):
+                    pass
+            try:
+                reports = self.engine.step_batch(
+                    [e.session for e in eligible],
+                    budgets_ms=[self._step_budget_ms(e) for e in eligible],
+                )
+                outcomes = list(zip(eligible, reports))
+            except Exception as exc:
+                log_exception(logger, "step_fault", exc, batch=len(eligible))
+                outcomes = [(e, exc) for e in eligible]
+        else:
+            for entry in eligible:
+                with tracer.span("request", request_id=entry.handle.request_id,
+                                 phase="step"):
+                    try:
+                        report = self.engine.step(
+                            entry.session,
+                            budget_ms=self._step_budget_ms(entry),
+                            force_fallback=force_fallback,
+                        )
+                    except Exception as exc:  # isolate the fault to this request
+                        log_exception(logger, "step_fault", exc,
+                                      request_id=entry.handle.request_id)
+                        outcomes.append((entry, exc))
                         continue
-                    log_exception(logger, "step_failed", exc,
-                                  request_id=entry.handle.request_id,
-                                  retry_count=self._attempts(entry.handle.request_id))
-                    self._resolve(entry.handle, STATUS_FAILED,
-                                  record=self.engine.finish(entry.session),
-                                  error=f"step failed: {exc}",
-                                  started_ms=entry.started_ms,
-                                  first_token_ms=entry.first_token_ms)
+                outcomes.append((entry, report))
+        for entry, outcome in outcomes:
+            if isinstance(outcome, Exception):
+                n_escaped_faults += 1
+                n_record_faults += (
+                    entry.session.record.n_draft_faults - entry.n_faults_seen
+                )
+                removed.append(entry)
+                self.memory.add(entry.session.memory_stats())
+                if self._maybe_retry(entry.handle, outcome):
                     continue
+                log_exception(logger, "step_failed", outcome,
+                              request_id=entry.handle.request_id,
+                              retry_count=self._attempts(entry.handle.request_id))
+                self._resolve(entry.handle, STATUS_FAILED,
+                              record=self.engine.finish(entry.session),
+                              error=f"step failed: {outcome}",
+                              started_ms=entry.started_ms,
+                              first_token_ms=entry.first_token_ms)
+                continue
+            report = outcome
             n_record_faults += (
                 entry.session.record.n_draft_faults - entry.n_faults_seen
             )

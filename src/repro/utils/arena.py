@@ -122,7 +122,10 @@ class Arena:
     reads".
     """
 
-    __slots__ = ("_store", "_len", "_axis", "_owner", "_stats", "_view")
+    __slots__ = (
+        "_store", "_len", "_axis", "_owner", "_stats", "_view",
+        "_reg", "_ctr_bytes", "_gauge_peak",
+    )
 
     def __init__(
         self,
@@ -140,6 +143,7 @@ class Arena:
         self._owner = True
         self._stats = stats if stats is not None else ArenaStats()
         self._view: Optional[np.ndarray] = None
+        self._reg = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -171,6 +175,22 @@ class Arena:
         index = [slice(None)] * self._store.buf.ndim
         index[self._axis] = slice(0, n)
         return tuple(index)
+
+    def _metrics(self):
+        """Cached (bytes counter, peak gauge) handles for the hot append path.
+
+        Appends run per request per layer per round, so re-resolving the
+        metric objects through the registry's name->object map (a lock
+        plus a dict probe each) on every call is measurable.  The cache
+        is keyed on registry identity so ``set_registry`` swaps in tests
+        still take effect.
+        """
+        registry = get_registry()
+        if registry is not self._reg:
+            self._reg = registry
+            self._ctr_bytes = registry.counter("kv_arena.bytes_copied_total")
+            self._gauge_peak = registry.gauge("kv_arena.peak_tokens")
+        return self._ctr_bytes, self._gauge_peak
 
     def view(self) -> np.ndarray:
         """Zero-copy view of the live prefix; cached until a mutation.
@@ -226,8 +246,8 @@ class Arena:
             raise ShapeError(
                 f"arena append ndim {array.ndim} != {self._store.buf.ndim}"
             )
-        expect = list(self._store.buf.shape)
-        got = list(array.shape)
+        expect = self._store.buf.shape
+        got = array.shape
         if got[: self._axis] != expect[: self._axis] or got[self._axis + 1:] != expect[self._axis + 1:]:
             raise ShapeError(
                 f"arena append shape {array.shape} incompatible with "
@@ -255,11 +275,10 @@ class Arena:
         self._view = None
         self._stats.bytes_copied += array.nbytes
         self._stats.peak_tokens = max(self._stats.peak_tokens, need)
-        registry = get_registry()
-        registry.counter("kv_arena.bytes_copied_total").inc(array.nbytes)
-        peak = registry.gauge("kv_arena.peak_tokens")
-        if need > peak.value:
-            peak.set(need)
+        ctr_bytes, gauge_peak = self._metrics()
+        ctr_bytes.inc(array.nbytes)
+        if need > gauge_peak.value:
+            gauge_peak.set(need)
 
     def truncate(self, new_len: int) -> None:
         """Drop tokens beyond ``new_len``: a pointer decrement, no copy."""
@@ -290,4 +309,5 @@ class Arena:
         fork._owner = False
         fork._stats = stats if stats is not None else ArenaStats()
         fork._view = None
+        fork._reg = None
         return fork

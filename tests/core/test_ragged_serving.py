@@ -1,0 +1,233 @@
+"""Packed ragged-batch serving: token identity, gating, edge cases.
+
+The packed engine paths (``begin_batch`` / ``step_batch``) promise
+**bitwise** token identity with per-session stepping under greedy
+decoding.  The world here uses dim=96 deliberately: the gemv/gemm
+K-reduction divergence that makes naive packing lossy only appears at
+K >= 64 (``tests/nn/test_ragged.py::TestPackingStability``), so a
+small-dim world would pass even with a broken packing scheme.
+
+Also pins: B == 1 and non-packable heads reduce to the solo path, the
+``packed_ready`` gate (greedy only, ``supports_packed`` heads only),
+per-request fault isolation in batched prefill, mixed per-session
+gammas, reference-cache compatibility of the packed path, and rollback
+visibility of packed draft blocks through a ``BlockTable`` view.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.core.engine as engine_mod
+import repro.models.llama as llama_mod
+from repro.core import AASDDraftHead, AASDEngine, AASDEngineConfig, DraftHeadConfig
+from repro.core.kv_arena import BlockTable
+from repro.core.reference import ReferenceHybridKVCache, ReferenceKVCache
+from repro.data.tasks import make_dataset
+from repro.decoding import CostModel, get_profile
+from repro.decoding.adaptive import FixedGamma
+from repro.decoding.sampling import SamplerConfig
+from repro.errors import DecodingError
+from repro.models.config import LlamaConfig, LlavaConfig, VisionConfig
+from repro.models.llava import MiniLlava
+from repro.robustness.faults import FaultyDraftHead
+
+MAX_NEW_TOKENS = 24
+N_SAMPLES = 6
+
+
+@pytest.fixture(scope="module")
+def world(tokenizer):
+    gen = np.random.default_rng(0)
+    vocab = tokenizer.vocab_size
+    target = MiniLlava(
+        LlavaConfig(
+            llama=LlamaConfig(vocab_size=vocab, dim=96, n_layers=2, n_heads=6,
+                              mlp_hidden=128),
+            vision=VisionConfig(image_size=48, patch_size=16, dim=32, n_layers=1,
+                                n_heads=2, mlp_hidden=48),
+        ),
+        rng=gen,
+    )
+    head = AASDDraftHead(
+        DraftHeadConfig(
+            vocab_size=vocab, dim=96, n_heads=6, mlp_hidden=128,
+            n_vision_tokens=9, k_compressed=3,
+        ),
+        rng=gen,
+    )
+    cm = CostModel(get_profile("sim-7b"))
+    samples = make_dataset("coco-sim", N_SAMPLES, seed=4).samples
+    return dict(target=target, head=head, cm=cm, samples=samples, tokenizer=tokenizer)
+
+
+def _engine(world, seed=7, head=None, **overrides):
+    sampler_config = overrides.pop("sampler_config", None)
+    return AASDEngine(
+        world["target"],
+        head if head is not None else world["head"],
+        world["tokenizer"], world["cm"],
+        AASDEngineConfig(
+            gamma=overrides.pop("gamma", 3),
+            max_new_tokens=overrides.pop("max_new_tokens", MAX_NEW_TOKENS),
+            **overrides,
+        ),
+        rng=np.random.default_rng(seed),
+        sampler_config=sampler_config,
+    )
+
+
+def _solo_tokens(world, samples, **overrides):
+    engine = _engine(world, **overrides)
+    out = []
+    for sample in samples:
+        session = engine.begin(sample)
+        while not session.finished:
+            engine.step(session)
+        out.append(list(session.committed))
+    return out
+
+
+def _packed_tokens(world, samples, gamma_controllers=None, **overrides):
+    engine = _engine(world, **overrides)
+    assert engine.packed_ready
+    sessions = engine.begin_batch(list(samples), gamma_controllers=gamma_controllers)
+    for outcome in sessions:
+        assert not isinstance(outcome, Exception), outcome
+    while any(not s.finished for s in sessions):
+        engine.step_batch([s for s in sessions if not s.finished])
+    return [list(s.committed) for s in sessions]
+
+
+class TestTokenIdentity:
+    def test_packed_matches_solo_bitwise(self, world):
+        assert _packed_tokens(world, world["samples"]) == _solo_tokens(
+            world, world["samples"]
+        )
+
+    def test_finished_sessions_drop_out_mid_round(self, world):
+        # budgets shrink the batch as short generations finish; the
+        # remaining sessions' tokens must be unaffected by the shrink
+        engine = _engine(world)
+        budgets = [4 + 4 * i for i in range(len(world["samples"]))]
+        sessions = engine.begin_batch(
+            list(world["samples"]),
+            max_new_tokens=budgets,
+        )
+        while any(not s.finished for s in sessions):
+            engine.step_batch([s for s in sessions if not s.finished])
+        solo = _solo_tokens(world, world["samples"])
+        for session, budget, reference in zip(sessions, budgets, solo):
+            assert list(session.committed) == reference[:budget]
+
+    def test_mixed_gammas(self, world):
+        gammas = [1, 2, 4, 3, 2, 5][: len(world["samples"])]
+        packed = _packed_tokens(
+            world, world["samples"],
+            gamma_controllers=[FixedGamma(g) for g in gammas],
+        )
+        engine = _engine(world)
+        for sample, gamma, reference in zip(world["samples"], gammas, packed):
+            session = engine.begin(sample, gamma_controller=FixedGamma(gamma))
+            while not session.finished:
+                engine.step(session)
+            assert list(session.committed) == reference
+
+    def test_reference_cache_compat(self, world, monkeypatch):
+        # the packed path builds caches through the same monkeypatchable
+        # names as the solo path, so the pre-arena reference stores must
+        # run packed and stay token-identical
+        arena = _packed_tokens(world, world["samples"])
+        monkeypatch.setattr(llama_mod, "KVCache", ReferenceKVCache)
+        monkeypatch.setattr(engine_mod, "HybridKVCache", ReferenceHybridKVCache)
+        assert _packed_tokens(world, world["samples"]) == arena
+
+
+class TestSoloReduction:
+    def test_batch_of_one_uses_solo_begin(self, world):
+        engine = _engine(world)
+        (packed,) = engine.begin_batch([world["samples"][0]])
+        solo = _engine(world).begin(world["samples"][0])
+        assert list(packed.committed) == list(solo.committed)
+        report_packed = engine.step_batch([packed])[0]
+        report_solo = _engine(world)
+        # a singleton step_batch must behave exactly like step
+        session = report_solo.begin(world["samples"][0])
+        assert report_packed.kind == report_solo.step(session).kind
+        assert list(packed.committed) == list(session.committed)
+
+    def test_step_batch_rejects_finished_session(self, world):
+        engine = _engine(world)
+        sessions = engine.begin_batch(list(world["samples"][:2]))
+        while not sessions[0].finished:
+            engine.step_batch([s for s in sessions if not s.finished])
+        with pytest.raises(DecodingError):
+            engine.step_batch(sessions)
+
+
+class TestPackedGate:
+    def test_greedy_packable_head_is_ready(self, world):
+        assert _engine(world).packed_ready
+
+    def test_non_greedy_disables_packing(self, world):
+        engine = _engine(
+            world, sampler_config=SamplerConfig(greedy=False, temperature=1.0)
+        )
+        assert not engine.packed_ready
+
+    def test_faulty_head_wrapper_disables_packing(self, world):
+        wrapped = FaultyDraftHead(world["head"], mode="nan-logits", fail_every=1000)
+        assert not _engine(world, head=wrapped).packed_ready
+        # the gate must come from the wrapper itself, not delegation
+        assert wrapped.supports_packed is False
+        assert wrapped._head.supports_packed is True
+
+
+class TestFaultIsolation:
+    def test_bad_image_faults_only_its_request(self, world):
+        bad = dataclasses.replace(
+            world["samples"][0], image=np.zeros((8, 8, 3), dtype=np.float32)
+        )
+        engine = _engine(world)
+        outcomes = engine.begin_batch([bad, world["samples"][1]])
+        assert isinstance(outcomes[0], Exception)
+        assert not isinstance(outcomes[1], Exception)
+        solo = _solo_tokens(world, [world["samples"][1]])[0]
+        session = outcomes[1]
+        while not session.finished:
+            engine.step_batch([session])
+        assert list(session.committed) == solo
+
+
+class TestBlockTableRollback:
+    def test_packed_draft_rollback_visible_through_view(self, world):
+        # speculate a draft block through the packed lockstep path, then
+        # reject it: the pointer-decrement rollback must be visible
+        # through a BlockTable built over the same hybrid caches
+        engine = _engine(world)
+        sessions = engine.begin_batch(list(world["samples"][:3]))
+        table = BlockTable([s.hybrid for s in sessions])
+        before = table.seq_lens()
+        engine.step_batch(sessions)
+        # every draft block was either committed (context grew) or rolled
+        # back; in both cases no speculative entries may linger
+        for hybrid, n_before in zip(table.caches, before):
+            assert hybrid.draft_len == 0
+            assert hybrid.total_len >= n_before
+        assert table.seq_lens() == [h.total_len for h in table.caches]
+        assert table.cu_seqlens().tolist() == np.cumsum(
+            [0] + [h.total_len for h in table.caches]
+        ).tolist()
+
+    def test_layer_blocks_are_views(self, world):
+        engine = _engine(world)
+        sessions = engine.begin_batch(list(world["samples"][:2]))
+        table = BlockTable([s.target_cache for s in sessions])
+        keys, values = table.layer_blocks(0)
+        assert len(keys) == len(values) == 2
+        for cache, k in zip(table.caches, keys):
+            layer_k, _ = cache.layer(0)
+            assert np.shares_memory(np.asarray(k), np.asarray(layer_k))

@@ -1,0 +1,181 @@
+"""Ragged packing helpers, packing-stability contract, ragged attention.
+
+``TestPackingStability`` pins the empirical BLAS properties the packed
+serving paths depend on (see the ``repro.nn.ragged`` module docstring):
+row stability under M >= 2 packing, the M == 1 gemv divergence that
+forbids packing lone rows, and the lockstep ``(B, 1, K)`` identity that
+the draft path uses instead.  If any of these ever fails on a new BLAS,
+the packed engine paths must be re-audited before trusting token
+identity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention, causal_mask, ragged_attend
+from repro.nn.ragged import (
+    cu_seqlens,
+    pack_rows,
+    ragged_blocked,
+    row_extents,
+    unpack_rows,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestCuSeqlens:
+    def test_offsets(self):
+        cu = cu_seqlens([3, 1, 4])
+        assert cu.dtype == np.int64
+        assert cu.tolist() == [0, 3, 4, 8]
+
+    def test_empty_batch(self):
+        assert cu_seqlens([]).tolist() == [0]
+
+    def test_row_extents(self):
+        assert row_extents(cu_seqlens([2, 5])) == [(0, 2), (2, 7)]
+
+
+class TestPackUnpack:
+    def test_roundtrip(self, rng):
+        rows = [rng.standard_normal((1, n, 4)) for n in (3, 1, 5)]
+        packed = pack_rows(rows)
+        assert isinstance(packed, Tensor)
+        assert packed.shape == (1, 9, 4)
+        views = unpack_rows(packed.data, cu_seqlens([3, 1, 5]))
+        for row, view in zip(rows, views):
+            assert np.array_equal(row, view)
+
+    def test_unpack_is_zero_copy(self, rng):
+        packed = rng.standard_normal((1, 6, 2))
+        views = unpack_rows(packed, cu_seqlens([2, 4]))
+        assert all(v.base is not None for v in views)
+
+    def test_single_row_passthrough(self, rng):
+        row = Tensor(rng.standard_normal((1, 4, 2)))
+        assert pack_rows([row]) is row
+
+
+class TestRaggedBlocked:
+    def test_cross_request_pairs_blocked(self):
+        blocked = ragged_blocked(
+            [np.arange(2), np.arange(3)], [np.arange(2), np.arange(3)]
+        )
+        assert blocked.shape == (5, 5)
+        assert blocked[:2, 2:].all() and blocked[2:, :2].all()
+
+    def test_diagonal_blocks_are_causal(self):
+        blocked = ragged_blocked(
+            [np.arange(2), np.arange(3)], [np.arange(2), np.arange(3)]
+        )
+        assert np.array_equal(blocked[:2, :2], causal_mask(np.arange(2), np.arange(2)))
+        assert np.array_equal(blocked[2:, 2:], causal_mask(np.arange(3), np.arange(3)))
+
+    def test_ragged_key_rows(self):
+        # decode-style: 1 query over 4 past keys per request
+        blocked = ragged_blocked(
+            [np.array([3]), np.array([3])], [np.arange(4), np.arange(4)]
+        )
+        assert not blocked[0, :4].any()
+        assert blocked[0, 4:].all()
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            ragged_blocked([np.arange(2)], [np.arange(2), np.arange(2)])
+
+
+class TestPackingStability:
+    """Empirical BLAS contract behind bitwise-exact packing (float32)."""
+
+    @pytest.mark.parametrize("k", [16, 64, 256])
+    def test_rows_stable_under_packing(self, rng, k):
+        # row r of (M, K) @ (K, N) is bitwise independent of M for M >= 2
+        w = rng.standard_normal((k, 32)).astype(np.float32)
+        x = rng.standard_normal((8, k)).astype(np.float32)
+        full = x @ w
+        for m in range(2, 9):
+            assert np.array_equal((x[:m] @ w)[:m], full[:m]), f"M={m} K={k}"
+
+    def test_lone_row_takes_gemv_kernel(self, rng):
+        # the M == 1 product (gemv) diverges bitwise from the same row
+        # inside an M >= 2 product (gemm) once K is large; this is WHY
+        # single-token draft steps must never be packed into one matrix
+        k = 256
+        w = rng.standard_normal((k, 32)).astype(np.float32)
+        x = rng.standard_normal((4, k)).astype(np.float32)
+        gemv = x[:1] @ w
+        gemm_row = (x @ w)[:1]
+        assert np.allclose(gemv, gemm_row)
+        assert not np.array_equal(gemv, gemm_row), (
+            "gemv == gemm bitwise: the lockstep draft path is then "
+            "unnecessary but not incorrect — re-audit before relying on it"
+        )
+
+    @pytest.mark.parametrize("k", [64, 256])
+    def test_lockstep_matches_solo_gemv(self, rng, k):
+        # np.matmul((B, 1, K), (K, N)) loops the batch axis, so each
+        # slice is bitwise equal to its solo (1, K) @ (K, N) call
+        w = rng.standard_normal((k, 32)).astype(np.float32)
+        x = rng.standard_normal((5, 1, k)).astype(np.float32)
+        lockstep = np.matmul(x, w)
+        for b in range(5):
+            assert np.array_equal(lockstep[b], x[b] @ w), f"B-slice {b} K={k}"
+
+
+class TestRaggedAttend:
+    def make(self, rng, dim=24, heads=4):
+        return MultiHeadAttention(dim, heads, rng=rng)
+
+    def _qkv(self, attn, rng, lens, n_heads=4, head_dim=6):
+        qs, ks, vs = [], [], []
+        for n in lens:
+            qs.append(rng.standard_normal((1, n_heads, n, head_dim)).astype(np.float32))
+            ks.append(Tensor(rng.standard_normal((1, n_heads, n, head_dim)).astype(np.float32)))
+            vs.append(Tensor(rng.standard_normal((1, n_heads, n, head_dim)).astype(np.float32)))
+        q = Tensor(np.concatenate(qs, axis=2))
+        return q, ks, vs
+
+    def test_segment_path_matches_solo(self, rng):
+        attn = self.make(rng)
+        lens = [3, 1, 4]
+        q, ks, vs = self._qkv(attn, rng, lens)
+        cu = cu_seqlens(lens)
+        blocked = [causal_mask(np.arange(n), np.arange(n)) for n in lens]
+        out = ragged_attend(q, cu, ks, vs, blocked)
+        for (start, end), k, v, mask in zip(row_extents(cu), ks, vs, blocked):
+            solo = MultiHeadAttention.attend(
+                q[:, :, start:end, :], k, v, blocked=mask
+            )
+            assert np.array_equal(out.data[:, :, start:end, :], solo.data)
+
+    def test_fused_path_is_allclose(self, rng):
+        attn = self.make(rng)
+        lens = [3, 2]
+        q, ks, vs = self._qkv(attn, rng, lens)
+        cu = cu_seqlens(lens)
+        positions = [np.arange(n) for n in lens]
+        blocked = [causal_mask(p, p) for p in positions]
+        exact = ragged_attend(q, cu, ks, vs, blocked)
+        fused = ragged_attend(
+            q, cu, ks, vs, fused=True,
+            query_positions=positions, key_positions=positions,
+        )
+        assert np.allclose(exact.data, fused.data, atol=1e-6)
+
+    def test_b1_reduces_to_plain_attend(self, rng):
+        attn = self.make(rng)
+        q, ks, vs = self._qkv(attn, rng, [4])
+        mask = causal_mask(np.arange(4), np.arange(4))
+        out = ragged_attend(q, cu_seqlens([4]), ks, vs, [mask])
+        solo = MultiHeadAttention.attend(q, ks[0], vs[0], blocked=mask)
+        assert np.array_equal(out.data, solo.data)
+
+    def test_arity_mismatch(self, rng):
+        q, ks, vs = self._qkv(self.make(rng), rng, [2, 2])
+        with pytest.raises(ValueError):
+            ragged_attend(q, cu_seqlens([2, 2]), ks[:1], vs)
+
+    def test_fused_requires_positions(self, rng):
+        q, ks, vs = self._qkv(self.make(rng), rng, [2, 2])
+        with pytest.raises(ValueError):
+            ragged_attend(q, cu_seqlens([2, 2]), ks, vs, fused=True)
