@@ -23,7 +23,7 @@ import ast
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["TARGETS", "THRESHOLD", "collect", "main"]
+__all__ = ["TARGETS", "THRESHOLD", "STRICT", "collect", "main"]
 
 #: Targets under the coverage gate (the linter holds itself to it too).
 #: A directory is scanned recursively; a ``.py`` entry gates one module —
@@ -34,8 +34,12 @@ TARGETS = (
     "src/repro/analysis",
     "src/repro/nn/ragged.py",
     "src/repro/nn/kernels.py",
+    "src/repro/decoding/tree.py",
 )
 THRESHOLD = 0.90
+#: Per-target overrides on top of :data:`THRESHOLD` — the tree-speculation
+#: module ships fully documented, so it is held at 100%.
+STRICT = {"src/repro/decoding/tree.py": 1.0}
 
 
 def iter_public_defs(tree: ast.Module, module: str) -> Iterator[Tuple[str, bool]]:
@@ -92,18 +96,19 @@ def main(argv: Optional[Sequence[str]] = None, root: Optional[Path] = None) -> i
 
     failed = False
     for target in TARGETS:
+        need = STRICT.get(target, THRESHOLD)
         entries = collect(root, target)
         documented = sum(1 for _, ok in entries if ok)
         coverage = documented / len(entries) if entries else 1.0
-        status = "ok " if coverage >= THRESHOLD else "FAIL"
+        status = "ok " if coverage >= need else "FAIL"
         print(
             f"{status} {target}: {documented}/{len(entries)} public defs "
-            f"documented ({coverage:.1%}, need >= {THRESHOLD:.0%})"
+            f"documented ({coverage:.1%}, need >= {need:.0%})"
         )
         missing = [name for name, ok in entries if not ok]
-        if coverage < THRESHOLD:
+        if coverage < need:
             failed = True
-        if missing and (args.list_missing or coverage < THRESHOLD):
+        if missing and (args.list_missing or coverage < need):
             for name in missing:
                 print(f"    missing: {name}")
     return 1 if failed else 0

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..decoding.tree import TreeDraft
 from ..errors import ConfigError, ShapeError
 from ..models.llama import MiniLlama
 from ..nn import functional as F
@@ -42,6 +43,7 @@ from ..nn.normalization import RMSNorm
 from ..nn.rope import RotaryEmbedding, apply_rope
 from ..nn.tensor import Tensor, concat, is_grad_enabled, matmul_data
 from ..nn.transformer import SwiGLU
+from ..robustness.guards import ensure_finite
 from .hybrid_cache import SEGMENT_TEXT, SEGMENT_VISION, HybridKVCache
 from .kv_projector import KVProjector
 from .td_attention import target_draft_attention
@@ -99,6 +101,12 @@ class AASDDraftHead(Module):
     #: ``step`` calls (e.g. the fault injector) advertise ``False`` so the
     #: engine falls back to per-session stepping.
     supports_packed = True
+
+    #: The engine's tree-speculation rounds may drive this head via
+    #: :meth:`draft_tree`.  Wrappers that intercept per-request ``step``
+    #: calls (e.g. the fault injector) advertise ``False`` so the engine
+    #: keeps the linear draft path, where interception works.
+    supports_tree = True
 
     def __init__(self, config: DraftHeadConfig, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__()
@@ -280,6 +288,161 @@ class AASDDraftHead(Module):
 
         hybrid.append_draft(k.data, v.data, positions)
         return logits.data[0, -1]
+
+    # ------------------------------------------------------------------
+    # Tree speculation (repro.decoding.tree; docs/kernels.md)
+    # ------------------------------------------------------------------
+    def _branch_width(self, logits: np.ndarray, max_branch: int,
+                      entropy_scale: float) -> int:
+        """Entropy-adapted branch width for one tree expansion (DREAM-style).
+
+        High draft-head entropy means the argmax continuation is unsure,
+        so hedging across more children is worth the verify rows; a
+        confident head keeps the tree narrow.  The width is
+        ``1 + floor(H / entropy_scale)`` (H in nats, from the raw softmax
+        over the float64 logits), clamped to ``[1, max_branch]`` — always
+        at least the argmax child, so a ``max_branch`` of 1 degenerates
+        to the linear chain exactly.
+        """
+        if max_branch <= 1:
+            return 1
+        z = np.asarray(logits, dtype=np.float64)
+        z = z - z.max()
+        p = np.exp(z)
+        p /= p.sum()
+        entropy = float(-(p * np.log(np.maximum(p, 1e-300))).sum())
+        return 1 + min(max_branch - 1, int(entropy / entropy_scale))
+
+    def _tree_step(
+        self,
+        token_id: int,
+        position: int,
+        hybrid: HybridKVCache,
+        ancestor_rows: Tuple[int, ...],
+        disable_image_kv: bool,
+        disable_text_kv: bool,
+    ) -> np.ndarray:
+        """One tree-node expansion: :meth:`step` restricted to ancestors.
+
+        Identical to :meth:`step` except that of the hybrid cache's draft
+        segment only ``ancestor_rows`` (the node's root path, in draft-row
+        order) are attended — sibling branches are excluded by *selection*
+        rather than masking, which also keeps same-position sibling keys
+        out of the causal rule's reach.  When the ancestors are the entire
+        draft segment (every chain node) the gathered views are used
+        as-is, making the op sequence bitwise identical to :meth:`step`.
+        Appends the expanded token's own K/V as the next draft row, so
+        DFS-preorder expansion keeps draft-row order equal to node order.
+        """
+        positions = np.asarray([position], dtype=np.int64)
+        x = self.embed(np.asarray([[token_id]], dtype=np.int64))
+        h = self.attn_norm(x)
+        q, k, v = self.qkv(h, positions)
+
+        ctx_k, ctx_v, key_pos, key_blocked = hybrid.gather(
+            disable_image_kv=disable_image_kv, disable_text_kv=disable_text_kv
+        )
+        rows = list(ancestor_rows)
+        if rows == list(range(hybrid.draft_len)):
+            sel_k, sel_v = ctx_k, ctx_v
+            sel_pos, sel_blocked = key_pos, key_blocked
+        else:
+            index = np.concatenate([
+                np.arange(hybrid.context_len, dtype=np.int64),
+                hybrid.context_len + np.asarray(rows, dtype=np.int64),
+            ])
+            sel_k = np.asarray(ctx_k)[:, :, index, :]
+            sel_v = np.asarray(ctx_v)[:, :, index, :]
+            sel_pos = np.asarray(key_pos)[index]
+            sel_blocked = np.asarray(key_blocked)[index]
+        k_all = concat([Tensor(sel_k), k], axis=2)
+        v_all = concat([Tensor(sel_v), v], axis=2)
+        all_pos = np.concatenate([sel_pos, positions])
+        blocked = causal_mask(positions, all_pos)
+        blocked = blocked | np.concatenate([sel_blocked, [False]])[None, :]
+
+        attn = MultiHeadAttention.attend(q, k_all, v_all, blocked=blocked)
+        x = x + self.wo(merge_heads(attn))
+        x = x + self.mlp(self.mlp_norm(x))
+        logits = self.lm_head(self.out_norm(x))
+
+        hybrid.append_draft(k.data, v.data, positions)
+        return logits.data[0, -1]
+
+    def draft_tree(
+        self,
+        token_id: int,
+        position: int,
+        hybrid: HybridKVCache,
+        *,
+        gamma: int,
+        max_branch: int = 2,
+        max_nodes: int = 12,
+        entropy_scale: float = 1.0,
+        disable_image_kv: bool = False,
+        disable_text_kv: bool = False,
+        request_id: Optional[str] = None,
+        on_step=None,
+    ):
+        """Draft a candidate tree below the anchor ``token_id``; DFS preorder.
+
+        Expansion: one :meth:`_tree_step` forward per expanded node (anchor
+        first) yields that node's continuation logits; the top-``w`` tokens
+        (``w`` from :meth:`_branch_width`, stable-descending order so rank
+        0 is the argmax) become its children, each created and then
+        immediately descended into — true DFS preorder, so node order,
+        draft-row order, and (for ``max_branch=1``) the linear chain's
+        order all coincide.  Nodes at depth ``gamma`` are leaves and are
+        never expanded, mirroring the linear path where the last drafted
+        token's KV is never computed.  The node budget is
+        ``max(max_nodes, gamma)`` — a tree is never smaller than the
+        linear chain it replaces.
+
+        ``on_step(kv_len)`` is invoked immediately *before* each expansion
+        with the number of keys that forward attends (context + ancestors
+        + itself), so callers can charge draft cost in the linear path's
+        charge-then-step order; for a chain the sequence of ``kv_len``
+        values equals the linear path's ``total_len + 1`` charges exactly.
+        ``request_id`` is accepted for wrapper parity with :meth:`step`
+        and ignored.
+
+        Returns a :class:`repro.decoding.tree.TreeDraft`.
+        """
+        del request_id
+        budget = max(int(max_nodes), int(gamma))
+        tokens: List[int] = []
+        parents: List[int] = []
+        depths: List[int] = []
+
+        def grow(token: int, depth: int, parent_idx: int,
+                 ancestor_rows: Tuple[int, ...]) -> None:
+            """Expand one node and recurse into its children, DFS preorder."""
+            if on_step is not None:
+                on_step(hybrid.context_len + len(ancestor_rows) + 1)
+            logits = self._tree_step(
+                token, position + depth, hybrid, ancestor_rows,
+                disable_image_kv, disable_text_kv,
+            )
+            ensure_finite(logits, "draft logits")
+            my_row = hybrid.draft_len - 1
+            width = self._branch_width(logits, max_branch, entropy_scale)
+            order = np.argsort(-np.asarray(logits, dtype=np.float64), kind="stable")
+            for rank in range(width):
+                if len(tokens) >= budget:
+                    break
+                child_token = int(order[rank])
+                child_idx = len(tokens)
+                tokens.append(child_token)
+                parents.append(parent_idx)
+                depths.append(depth + 1)
+                if depth + 1 < gamma and len(tokens) < budget:
+                    grow(child_token, depth + 1, child_idx,
+                         ancestor_rows + (my_row,))
+
+        grow(int(token_id), 0, -1, ())
+        return TreeDraft(
+            tokens=tuple(tokens), parents=tuple(parents), depths=tuple(depths)
+        )
 
     def step_packed(
         self,

@@ -56,6 +56,7 @@ from ..decoding.base import Decoder, encode_prompt
 from ..decoding.cost_model import CostModel
 from ..decoding.metrics import BlockRecord, DecodeRecord
 from ..decoding.sampling import Sampler, SamplerConfig, logits_to_probs, speculative_verify
+from ..decoding.tree import TreeDraft, accept_tree, tree_extra_blocked
 from ..errors import DecodingError
 from ..models.llava import MiniLlava
 from ..nn.tensor import no_grad
@@ -89,6 +90,15 @@ class AASDEngineConfig:
     fallback_on_fault: bool = True   # degrade instead of raising on draft faults
     max_draft_faults: int = 3        # after this many faults, go target-only
     guard_cache: bool = True         # validate hybrid-cache invariants per block
+    # Tree speculation (repro.decoding.tree): draft a candidate *tree*
+    # instead of a gamma-chain and verify every branch in one target
+    # forward.  Greedy-only; with max_branch=1 the tree degenerates to
+    # the chain and the engine's output is bitwise identical to the
+    # linear speculative path.
+    tree_speculation: bool = False   # route steps through the tree path
+    tree_max_branch: int = 2         # top-k branching cap per draft step
+    tree_max_nodes: int = 12         # node budget per tree (floored at gamma)
+    tree_entropy_scale: float = 1.0  # draft-head nats needed per extra branch
 
     def __post_init__(self) -> None:
         if self.gamma <= 0:
@@ -97,6 +107,14 @@ class AASDEngineConfig:
             raise DecodingError(f"max_new_tokens must be positive, got {self.max_new_tokens}")
         if self.max_draft_faults <= 0:
             raise DecodingError(f"max_draft_faults must be positive, got {self.max_draft_faults}")
+        if self.tree_max_branch <= 0:
+            raise DecodingError(f"tree_max_branch must be positive, got {self.tree_max_branch}")
+        if self.tree_max_nodes <= 0:
+            raise DecodingError(f"tree_max_nodes must be positive, got {self.tree_max_nodes}")
+        if self.tree_entropy_scale <= 0:
+            raise DecodingError(
+                f"tree_entropy_scale must be positive, got {self.tree_entropy_scale}"
+            )
 
 
 @dataclass
@@ -181,6 +199,7 @@ class StepReport:
     feed_size: int                      #: tokens fed to the target forward
     draft_kv_lens: Tuple[int, ...]      #: hybrid KV length per draft-head step
     n_accepted: int = 0                 #: draft tokens accepted (verify only)
+    tree: bool = False                  #: the step took the tree-speculation path
 
 
 class AASDEngine(Decoder):
@@ -256,19 +275,27 @@ class AASDEngine(Decoder):
 
     def _append_committed_kv(self, out, last: int, accepted, keep: int, last_pos: int,
                              hybrid: HybridKVCache, record: DecodeRecord,
-                             category: str) -> None:
-        """Context maintenance after a verify (or fallback) target forward."""
+                             category: str, rows: Optional[np.ndarray] = None) -> None:
+        """Context maintenance after a verify (or fallback) target forward.
+
+        ``rows`` selects which fed rows were accepted when the feed was a
+        candidate tree (acceptance is a root path, not a prefix, so the
+        kept rows need not be contiguous); ``None`` keeps the linear
+        behavior of taking the first ``keep`` rows.
+        """
         positions = last_pos + np.arange(keep, dtype=np.int64)
         if self.head.config.use_target_kv:
             # Free by-product of verification: last-layer KV of the fed
-            # tokens, trimmed to the accepted prefix.
+            # tokens, trimmed to the accepted prefix (or gathered along
+            # the accepted root path).
             k_new, v_new = out.last_layer_kv
-            hybrid.append_context(
-                k_new.data[:, :, :keep, :],
-                v_new.data[:, :, :keep, :],
-                positions,
-                SEGMENT_TEXT,
-            )
+            if rows is None:
+                k_keep = k_new.data[:, :, :keep, :]
+                v_keep = v_new.data[:, :, :keep, :]
+            else:
+                k_keep = k_new.data[:, :, rows, :]
+                v_keep = v_new.data[:, :, rows, :]
+            hybrid.append_context(k_keep, v_keep, positions, SEGMENT_TEXT)
         else:
             emitted = np.asarray([last] + list(accepted), dtype=np.int64)
             k_own, v_own = self.head.self_encode(emitted, positions)
@@ -385,6 +412,22 @@ class AASDEngine(Decoder):
         """
         return bool(getattr(self.head, "supports_packed", False)) and bool(
             self.sampler.config.greedy
+        )
+
+    @property
+    def tree_ready(self) -> bool:
+        """Whether steps may take the tree-speculation path.
+
+        Requires the config switch, a head that advertises
+        ``supports_tree`` (fault-injection wrappers intercept per-request
+        ``step`` calls and opt out, keeping the linear path where
+        interception works), and greedy sampling — tree acceptance is
+        defined for greedy configs only (:func:`repro.decoding.tree.accept_tree`).
+        """
+        return (
+            self.config.tree_speculation
+            and bool(getattr(self.head, "supports_tree", False))
+            and bool(self.sampler.config.greedy)
         )
 
     def begin_batch(
@@ -600,6 +643,9 @@ class AASDEngine(Decoder):
                     report = StepReport(kind="fallback", feed_size=1, draft_kv_lens=())
                 return report
 
+            if self.tree_ready:
+                return self._step_tree(session, budget_ms=budget_ms)
+
             # ---- draft: gamma steps of the speculating module -------
             # Guarded: a fault truncates the block to the clean prefix
             # drafted so far instead of aborting the decode.
@@ -768,6 +814,224 @@ class AASDEngine(Decoder):
                 )
             return report
 
+    # ------------------------------------------------------------------
+    # Tree speculation (repro.decoding.tree).  One block becomes: draft a
+    # candidate tree (entropy-adapted branching), verify EVERY branch in
+    # one target forward under the tree-attention mask, walk the longest
+    # root path matching the target's argmax, and commit only that path's
+    # KV — pointer/gather ops only, rollback is free because rejected
+    # rows were never written.  With tree_max_branch=1 the tree is the
+    # gamma-chain and every emitted token, charge, and cache byte matches
+    # the linear path above bitwise.
+    # ------------------------------------------------------------------
+    def _step_tree(
+        self,
+        session: DecodeSession,
+        *,
+        budget_ms: Optional[float] = None,
+    ) -> StepReport:
+        """Advance one block on the tree-speculation path (solo session).
+
+        Mirrors :meth:`step`'s draft/fallback/verify structure — same
+        spans, same record charges (``on_step`` prices each draft-head
+        expansion before it runs, exactly like the linear
+        charge-then-step order), same fault handling and budget-expiry
+        semantics — with the chain draft replaced by
+        :meth:`AASDDraftHead.draft_tree` and the verify by one
+        tree-masked target forward.
+        """
+        tracer = self.tracer
+        with no_grad():
+            with tracer.span("draft") as sp:
+                cfg = self.config
+                record = session.record
+                hybrid = session.hybrid
+                committed = session.committed
+                last = committed[-1]
+                last_pos = session.gen_base + len(committed) - 1
+                kv_lens: List[int] = []
+                draft_ms = [0.0]
+                gamma = session.gamma_controller.next_gamma()
+                sp.set_attr("gamma", gamma)
+
+                def charge(kv_len: int) -> None:
+                    """Price one draft-head expansion before it runs."""
+                    step_ms = record.charge_sim(self.cost_model.aasd_step(kv_len), "draft")
+                    sp.add_sim_ms(step_ms)
+                    draft_ms[0] += step_ms
+                    kv_lens.append(kv_len)
+
+                tree: Optional[TreeDraft] = None
+                try:
+                    tree = self.head.draft_tree(
+                        last,
+                        last_pos,
+                        hybrid,
+                        gamma=gamma,
+                        max_branch=cfg.tree_max_branch,
+                        max_nodes=cfg.tree_max_nodes,
+                        entropy_scale=cfg.tree_entropy_scale,
+                        disable_image_kv=cfg.disable_image_kv,
+                        disable_text_kv=cfg.disable_text_kv,
+                        request_id=session.request_id,
+                        on_step=charge,
+                    )
+                    if cfg.guard_cache:
+                        check_hybrid_cache(hybrid)
+                except Exception as exc:  # any head fault degrades, never aborts
+                    if not cfg.fallback_on_fault:
+                        raise
+                    log_exception(logger, "draft_fault", exc,
+                                  request_id=session.request_id, position=last_pos)
+                    record.note_fault(f"draft fault at position {last_pos}: {exc}")
+                    sp.set_attr("fault", str(exc))
+                    # The draft segment may be poisoned; the context store
+                    # is target-provided and still trusted.
+                    hybrid.clear_draft()
+                    tree = None
+                    if record.n_draft_faults >= cfg.max_draft_faults:
+                        self._disable_speculation(
+                            session, f"{record.n_draft_faults} draft faults"
+                        )
+                n_nodes = tree.n_nodes if tree is not None else 0
+                sp.set_attr("n_draft", n_nodes)
+                expired = bool(
+                    budget_ms is not None and n_nodes and draft_ms[0] > budget_ms
+                )
+                if expired:
+                    sp.set_attr("expired", True)
+                    hybrid.clear_draft()
+                    report = StepReport(
+                        kind="expired", feed_size=0,
+                        draft_kv_lens=tuple(kv_lens), tree=True,
+                    )
+            if expired:
+                return report
+
+            if tree is None or not tree.n_nodes:
+                # Nothing drafted this block: take one plain target step
+                # and keep the draft context in sync for the next block.
+                with tracer.span("fallback") as sp:
+                    token, out = self._target_step(last, session.target_cache, record, sp)
+                    if session.speculating:
+                        try:
+                            self._append_committed_kv(
+                                out, last, [], 1, last_pos, hybrid, record, "fallback"
+                            )
+                            if cfg.guard_cache:
+                                check_hybrid_cache(hybrid)
+                        except Exception as exc:  # degrade to plain decode
+                            if not cfg.fallback_on_fault:
+                                raise
+                            log_exception(logger, "context_maintenance_fault", exc,
+                                          request_id=session.request_id,
+                                          phase="fallback")
+                            record.note_fault(f"context maintenance failed: {exc}")
+                            sp.set_attr("fault", str(exc))
+                            self._disable_speculation(session, "context maintenance failed")
+                    committed.append(token)
+                    report = StepReport(
+                        kind="fallback", feed_size=1,
+                        draft_kv_lens=tuple(kv_lens), tree=True,
+                    )
+                return report
+
+            # ---- verify: ONE target forward over the whole tree -----
+            with tracer.span("verify") as sp:
+                sp.set_attr("n_draft", tree.n_nodes)
+                feed = np.asarray([[last] + list(tree.tokens)], dtype=np.int64)
+                out = self.target.decode(
+                    feed,
+                    session.target_cache,
+                    update_cache=False,
+                    positions=tree.feed_positions(last_pos),
+                    extra_blocked=tree_extra_blocked(
+                        tree.parents, session.target_cache.seq_len
+                    ),
+                )
+                sp.add_sim_ms(record.charge_sim(
+                    self.cost_model.tree_verify(1 + tree.n_nodes), "verify"
+                ))
+                record.count_target_forward()
+                report = self._commit_tree_outcome(
+                    session, tree, out, last, last_pos, tuple(kv_lens), sp
+                )
+                sp.set_attr("n_accepted", report.n_accepted)
+            return report
+
+    def _commit_tree_outcome(
+        self,
+        session: DecodeSession,
+        tree: TreeDraft,
+        out,
+        last: int,
+        last_pos: int,
+        kv_lens: Tuple[int, ...],
+        sp,
+    ) -> StepReport:
+        """Acceptance walk + pointer-only commit after a tree-verify forward.
+
+        Shared by the solo and packed tree paths; the caller has already
+        charged the verify forward.  The forward ran with
+        ``update_cache=False``, so committing means *gathering* the
+        accepted rows' fresh KV (anchor + root path) into the target
+        cache; rejected branches are never written — rollback costs
+        nothing.
+        """
+        cfg = self.config
+        record = session.record
+        outcome = accept_tree(tree, out.logits.data[0], self.sampler.config)
+        record.add_block(
+            BlockRecord(
+                n_draft=tree.n_nodes,
+                n_accepted=outcome.n_accepted,
+                n_emitted=outcome.tokens_emitted,
+            )
+        )
+        session.gamma_controller.update(outcome.n_accepted, tree.max_depth)
+
+        keep_rows = np.asarray([0] + [i + 1 for i in outcome.path], dtype=np.int64)
+        keep = len(keep_rows)
+        for layer_idx, (k_new, v_new) in enumerate(out.new_kv):
+            session.target_cache.append(
+                layer_idx,
+                k_new.data[:, :, keep_rows, :],
+                v_new.data[:, :, keep_rows, :],
+            )
+        session.target_cache.extend_positions(
+            last_pos + np.arange(keep, dtype=np.int64)
+        )
+
+        # ---- context maintenance --------------------------------------
+        session.hybrid.clear_draft()
+        try:
+            self._append_committed_kv(
+                out, last, outcome.accepted, keep, last_pos, session.hybrid,
+                record, "verify", rows=keep_rows,
+            )
+        except Exception as exc:  # degrade to plain decode
+            if not cfg.fallback_on_fault:
+                raise
+            log_exception(logger, "context_maintenance_fault", exc,
+                          request_id=session.request_id, phase="verify")
+            record.note_fault(f"context maintenance failed: {exc}")
+            sp.set_attr("fault", str(exc))
+            self._disable_speculation(session, "context maintenance failed")
+
+        session.committed.extend(outcome.accepted)
+        session.committed.append(outcome.next_token)
+        if session.eos in session.committed:
+            del session.committed[session.committed.index(session.eos) + 1:]
+        elif len(session.committed) > session.max_new_tokens:
+            del session.committed[session.max_new_tokens:]
+        return StepReport(
+            kind="verify",
+            feed_size=1 + tree.n_nodes,
+            draft_kv_lens=kv_lens,
+            n_accepted=outcome.n_accepted,
+            tree=True,
+        )
+
     def step_batch(
         self,
         sessions: Sequence[DecodeSession],
@@ -811,6 +1075,8 @@ class AASDEngine(Decoder):
                 self.step(s, budget_ms=b, force_fallback=force_fallback)
                 for s, b in zip(sessions, budgets)
             ]
+        if self.tree_ready:
+            return self._step_batch_tree(sessions, budgets)
 
         cfg = self.config
         tracer = self.tracer
@@ -1031,6 +1297,204 @@ class AASDEngine(Decoder):
                             draft_kv_lens=tuple(s.kv_lens),
                             n_accepted=outcome.n_accepted,
                         )
+                    sp.set_attr("n_accepted", n_accepted_total)
+        return reports  # type: ignore[return-value]
+
+    def _step_batch_tree(
+        self,
+        sessions: Sequence[DecodeSession],
+        budgets: Sequence[Optional[float]],
+    ) -> List[StepReport]:
+        """Advance B sessions one tree block each; one packed tree verify.
+
+        The batched analogue of :meth:`_step_tree`, mirroring
+        :meth:`step_batch`'s structure: non-speculating sessions take solo
+        fallback steps, tree drafting runs per session under one
+        batch-level ``draft`` span (tree growth is data-dependent, so the
+        draft phase cannot run in lockstep — its cost model grouping
+        still matches the solo charges exactly), sessions with nothing
+        drafted fall back solo, and every drafted tree is verified in
+        **one** cu-seqlen-packed target forward whose rows carry
+        per-request tree positions and ancestor masks.  Commit and
+        bookkeeping per session are identical to the solo path.
+        """
+        cfg = self.config
+        tracer = self.tracer
+        n = len(sessions)
+        reports: List[Optional[StepReport]] = [None] * n
+        with no_grad():
+            spec_idx: List[int] = []
+            for i, session in enumerate(sessions):
+                if session.speculating:
+                    spec_idx.append(i)
+                else:
+                    reports[i] = self.step(session, budget_ms=budgets[i])
+            if len(spec_idx) == 1:
+                i = spec_idx[0]
+                reports[i] = self.step(sessions[i], budget_ms=budgets[i])
+                spec_idx = []
+            if not spec_idx:
+                return reports  # type: ignore[return-value]
+
+            # ---- draft: one tree per session, one batch-level span --
+            trees: dict = {}
+            anchors: dict = {}
+            kv_lens_map: dict = {}
+            with tracer.span("draft") as sp:
+                sp.set_attr("batch", len(spec_idx))
+                gammas = {i: sessions[i].gamma_controller.next_gamma() for i in spec_idx}
+                sp.set_attr("gamma", max(gammas.values()))
+                for i in spec_idx:
+                    session = sessions[i]
+                    record = session.record
+                    hybrid = session.hybrid
+                    last = session.committed[-1]
+                    last_pos = session.gen_base + len(session.committed) - 1
+                    anchors[i] = (last, last_pos)
+                    kv_lens: List[int] = []
+                    kv_lens_map[i] = kv_lens
+                    draft_ms = [0.0]
+
+                    def charge(kv_len: int, record=record, kv_lens=kv_lens,
+                               draft_ms=draft_ms) -> None:
+                        """Price one draft-head expansion before it runs."""
+                        step_ms = record.charge_sim(
+                            self.cost_model.aasd_step(kv_len), "draft"
+                        )
+                        sp.add_sim_ms(step_ms)
+                        draft_ms[0] += step_ms
+                        kv_lens.append(kv_len)
+
+                    tree: Optional[TreeDraft] = None
+                    try:
+                        tree = self.head.draft_tree(
+                            last,
+                            last_pos,
+                            hybrid,
+                            gamma=gammas[i],
+                            max_branch=cfg.tree_max_branch,
+                            max_nodes=cfg.tree_max_nodes,
+                            entropy_scale=cfg.tree_entropy_scale,
+                            disable_image_kv=cfg.disable_image_kv,
+                            disable_text_kv=cfg.disable_text_kv,
+                            request_id=session.request_id,
+                            on_step=charge,
+                        )
+                        if cfg.guard_cache:
+                            check_hybrid_cache(hybrid)
+                    except Exception as exc:  # any head fault degrades, never aborts
+                        if not cfg.fallback_on_fault:
+                            raise
+                        log_exception(logger, "draft_fault", exc,
+                                      request_id=session.request_id,
+                                      position=last_pos)
+                        record.note_fault(f"draft fault at position {last_pos}: {exc}")
+                        sp.set_attr("fault", str(exc))
+                        hybrid.clear_draft()
+                        tree = None
+                        if record.n_draft_faults >= cfg.max_draft_faults:
+                            self._disable_speculation(
+                                session, f"{record.n_draft_faults} draft faults"
+                            )
+                    trees[i] = tree
+                    if (
+                        budgets[i] is not None
+                        and tree is not None
+                        and tree.n_nodes
+                        and draft_ms[0] > budgets[i]
+                    ):
+                        sp.set_attr("expired", True)
+                        hybrid.clear_draft()
+                        reports[i] = StepReport(
+                            kind="expired", feed_size=0,
+                            draft_kv_lens=tuple(kv_lens), tree=True,
+                        )
+                sp.set_attr(
+                    "n_draft",
+                    sum(t.n_nodes for t in trees.values() if t is not None),
+                )
+
+            # ---- solo fallback for sessions with nothing drafted ----
+            for i in spec_idx:
+                if reports[i] is not None:
+                    continue
+                tree = trees[i]
+                if tree is not None and tree.n_nodes:
+                    continue
+                session = sessions[i]
+                last, last_pos = anchors[i]
+                with tracer.span("fallback") as sp:
+                    record = session.record
+                    token, out = self._target_step(
+                        last, session.target_cache, record, sp
+                    )
+                    if session.speculating:
+                        try:
+                            self._append_committed_kv(
+                                out, last, [], 1, last_pos, session.hybrid,
+                                record, "fallback",
+                            )
+                            if cfg.guard_cache:
+                                check_hybrid_cache(session.hybrid)
+                        except Exception as exc:  # degrade to plain decode
+                            if not cfg.fallback_on_fault:
+                                raise
+                            log_exception(logger, "context_maintenance_fault", exc,
+                                          request_id=session.request_id,
+                                          phase="fallback")
+                            record.note_fault(f"context maintenance failed: {exc}")
+                            sp.set_attr("fault", str(exc))
+                            self._disable_speculation(session, "context maintenance failed")
+                    session.committed.append(token)
+                    reports[i] = StepReport(
+                        kind="fallback", feed_size=1,
+                        draft_kv_lens=tuple(kv_lens_map[i]), tree=True,
+                    )
+
+            # ---- packed tree verify: ONE fused target forward -------
+            verify_idx = [i for i in spec_idx if reports[i] is None]
+            if verify_idx:
+                with tracer.span("verify") as sp:
+                    sp.set_attr("batch", len(verify_idx))
+                    sp.set_attr(
+                        "n_draft", sum(trees[i].n_nodes for i in verify_idx)
+                    )
+                    feeds = [
+                        np.asarray(
+                            [anchors[i][0]] + list(trees[i].tokens), dtype=np.int64
+                        )
+                        for i in verify_idx
+                    ]
+                    caches = [sessions[i].target_cache for i in verify_idx]
+                    outs = self.target.decode_batch(
+                        feeds,
+                        caches,
+                        update_cache=False,
+                        position_rows=[
+                            trees[i].feed_positions(anchors[i][1]) for i in verify_idx
+                        ],
+                        extra_blocked_rows=[
+                            tree_extra_blocked(
+                                trees[i].parents, sessions[i].target_cache.seq_len
+                            )
+                            for i in verify_idx
+                        ],
+                    )
+                    n_accepted_total = 0
+                    for i, out in zip(verify_idx, outs):
+                        session = sessions[i]
+                        record = session.record
+                        tree = trees[i]
+                        last, last_pos = anchors[i]
+                        sp.add_sim_ms(record.charge_sim(
+                            self.cost_model.tree_verify(1 + tree.n_nodes), "verify"
+                        ))
+                        record.count_target_forward()
+                        reports[i] = self._commit_tree_outcome(
+                            session, tree, out, last, last_pos,
+                            tuple(kv_lens_map[i]), sp,
+                        )
+                        n_accepted_total += reports[i].n_accepted
                     sp.set_attr("n_accepted", n_accepted_total)
         return reports  # type: ignore[return-value]
 

@@ -48,9 +48,10 @@ class BlockTable:
     rounds — appends, ``truncate``, and the pointer-decrement
     ``clear_draft`` rollback — are always visible through the table
     (pinned by ``tests/core/test_ragged_serving.py``).  The only copying
-    method is :meth:`packed_layer`, the explicitly fused gather used by
-    the approximate fused-attention mode and the tree-verification
-    direction.
+    method is :meth:`packed_layer`, the explicitly fused gather behind
+    the exact fused entry mode of ``ragged_attend`` (which builds its
+    masks internally but still attends per segment — see
+    ``repro.nn.attention``) and the tree-verification path.
     """
 
     def __init__(self, caches: Sequence[object]) -> None:

@@ -18,6 +18,7 @@ from .speculative import (
     LlavaDraft,
     SpeculativeDecoder,
 )
+from .tree import TreeAcceptOutcome, TreeDraft, accept_tree, tree_extra_blocked
 
 __all__ = [
     "GammaController",
@@ -44,4 +45,8 @@ __all__ = [
     "VerifyOutcome",
     "logits_to_probs",
     "speculative_verify",
+    "TreeDraft",
+    "TreeAcceptOutcome",
+    "accept_tree",
+    "tree_extra_blocked",
 ]

@@ -26,6 +26,26 @@ __all__ = ["BlockRecord", "DecodeRecord", "SpeedupReport", "aggregate_metrics"]
 
 logger = get_logger(__name__)
 
+#: Bucket ladder for ``decode.block_efficiency``: tokens emitted per verify
+#: forward are small integers (1 .. gamma+1, or up to the tree node budget),
+#: so the default latency ladder would crush them into two buckets.
+BLOCK_EFFICIENCY_BUCKETS = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0)
+
+
+def _update_acceptance_gauge(registry) -> None:
+    """Refresh ``decode.accepted_tokens_per_target_forward``.
+
+    Ratio of the process-wide emitted-token and target-forward counters —
+    the tree-speculation headline: how many committed tokens each target
+    forward (verify, prefill, or fallback) buys on average.
+    """
+    forwards = registry.counter("decode.target_forwards_total").value
+    if forwards > 0:
+        emitted = registry.counter("decode.tokens_emitted_total").value
+        registry.gauge("decode.accepted_tokens_per_target_forward").set(
+            emitted / forwards
+        )
+
 
 @dataclass(frozen=True)
 class BlockRecord:
@@ -101,10 +121,17 @@ class DecodeRecord:
         registry.counter("decode.tokens_drafted_total").inc(block.n_draft)
         registry.counter("decode.tokens_accepted_total").inc(block.n_accepted)
         registry.counter("decode.tokens_emitted_total").inc(block.n_emitted)
+        registry.histogram(
+            "decode.block_efficiency",
+            buckets=BLOCK_EFFICIENCY_BUCKETS,
+        ).observe(block.n_emitted)
+        _update_acceptance_gauge(registry)
 
     def count_target_forward(self) -> None:
         self.n_target_forwards += 1
-        get_registry().counter("decode.target_forwards_total").inc()
+        registry = get_registry()
+        registry.counter("decode.target_forwards_total").inc()
+        _update_acceptance_gauge(registry)
 
     def count_fallback_step(self) -> None:
         self.n_fallback_steps += 1
@@ -152,6 +179,9 @@ class SpeedupReport:
     n_draft_faults: int = 0        # total draft faults across SD records
     n_fallback_steps: int = 0      # target-only steps taken on fault
     degraded_fraction: float = 0.0  # fraction of SD records that degraded
+    #: committed tokens per target forward across the SD run (prefill and
+    #: fallback forwards included) — the tree-speculation headline number.
+    accepted_per_target_forward: float = 0.0
     sim_time_by_category: Dict[str, float] = field(default_factory=dict)
     # ^ SD simulated ms per phase, summed over records (empty for legacy
     #   records that charged the total directly).
@@ -194,6 +224,7 @@ def aggregate_metrics(
     ar_wall = sum(r.wall_time_s for r in ar_records)
     sd_tokens = sum(r.n_tokens for r in sd_records)
     ar_tokens = sum(r.n_tokens for r in ar_records)
+    sd_forwards = sum(r.n_target_forwards for r in sd_records)
 
     blocks = [b for r in sd_records for b in r.blocks]
     # Fully-degraded runs (speculation disabled on every sample) have no
@@ -225,5 +256,8 @@ def aggregate_metrics(
         n_draft_faults=sum(r.n_draft_faults for r in sd_records),
         n_fallback_steps=sum(r.n_fallback_steps for r in sd_records),
         degraded_fraction=sum(r.degraded for r in sd_records) / len(sd_records),
+        accepted_per_target_forward=(
+            sd_tokens / sd_forwards if sd_forwards > 0 else 0.0
+        ),
         sim_time_by_category=_merge_sim_categories(sd_records),
     )

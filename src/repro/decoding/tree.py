@@ -1,0 +1,217 @@
+"""Tree-structured speculation: candidate trees and single-pass verification.
+
+Linear speculative decoding drafts a γ-token *chain* and discards the whole
+tail on the first rejection.  Tree speculation (Spec-LLaVA, arXiv
+2509.11961; DREAM, arXiv 2505.19201) instead drafts a candidate *tree* —
+top-k branching per step, width adapted by draft-head entropy — and lets
+the target verify **every** branch in one forward pass under a
+tree-attention mask, so a rejection on one branch can still accept tokens
+on a sibling.
+
+This module holds the engine-agnostic pieces:
+
+* :class:`TreeDraft` — the serialized tree: a DFS-preorder token list plus
+  a parent-pointer array (``-1`` = child of the anchor token).  The
+  serialization invariant ``parents[i] < i`` is what makes the mask
+  builder (:func:`repro.nn.ragged.tree_blocked`) a single forward scan
+  and keeps a branch-factor-1 tree byte-for-byte equal to the linear
+  draft chain.
+* :func:`accept_tree` — the greedy acceptance walk: starting at the
+  anchor, repeatedly take the target's argmax and descend into the child
+  drafted with that exact token; the walk ends at the first position
+  where no child matches, and that argmax becomes the correction (or
+  bonus) token.  For a chain this reproduces
+  :func:`repro.decoding.sampling.speculative_verify` under greedy configs
+  exactly.
+* :func:`tree_extra_blocked` — the full-width extra attention mask the
+  target forward needs: committed-context columns stay open (plain
+  causality already admits them) and the trailing feed columns carry the
+  ancestor-closure mask, so sibling branches — which may share absolute
+  positions — can never attend to each other.
+
+The engine glue (drafting via ``AASDDraftHead.draft_tree``, the
+single-forward verify + pointer-only commit/rollback) lives in
+``repro.core``; pricing lives in :meth:`CostModel.tree_verify
+<repro.decoding.cost_model.CostModel.tree_verify>`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DecodingError
+from ..nn.ragged import tree_blocked
+from .sampling import SamplerConfig, logits_to_probs
+
+__all__ = [
+    "TreeDraft",
+    "TreeAcceptOutcome",
+    "accept_tree",
+    "tree_extra_blocked",
+]
+
+
+@dataclass(frozen=True)
+class TreeDraft:
+    """A serialized candidate tree produced by the draft head.
+
+    ``tokens[i]`` is node ``i``'s drafted token id; ``parents[i]`` is the
+    index of its parent node, with ``-1`` meaning a child of the *anchor*
+    (the last committed token, which is fed as row 0 of the verification
+    feed so the feed row of node ``i`` is ``i + 1``).  Nodes are listed in
+    DFS preorder — ``parents[i] < i`` always — and siblings appear in
+    draft-head rank order, so the first child of any parent carries that
+    parent's argmax continuation.  ``depths[i]`` is the 1-based root-path
+    depth: node ``i`` sits at absolute position ``anchor_position +
+    depths[i]``.
+    """
+
+    tokens: Tuple[int, ...]
+    parents: Tuple[int, ...]
+    depths: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        """Validate the DFS serialization invariants."""
+        if not (len(self.tokens) == len(self.parents) == len(self.depths)):
+            raise DecodingError(
+                f"tree arrays disagree: {len(self.tokens)} tokens, "
+                f"{len(self.parents)} parents, {len(self.depths)} depths"
+            )
+        for i, (p, d) in enumerate(zip(self.parents, self.depths)):
+            if not -1 <= p < i:
+                raise DecodingError(
+                    f"node {i} has parent {p}; DFS preorder requires -1 <= parent < node"
+                )
+            expected = 1 if p == -1 else self.depths[p] + 1
+            if d != expected:
+                raise DecodingError(
+                    f"node {i} at depth {d}, but its parent implies depth {expected}"
+                )
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of drafted nodes (the anchor is not a node)."""
+        return len(self.tokens)
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest root path in the tree; 0 for an empty tree."""
+        return max(self.depths) if self.depths else 0
+
+    @property
+    def is_chain(self) -> bool:
+        """True when the tree is a linear chain (branch factor 1 throughout)."""
+        return all(p == i - 1 for i, p in enumerate(self.parents))
+
+    def children(self) -> Dict[int, List[int]]:
+        """Children of each node (and of the anchor, keyed ``-1``), rank-ordered.
+
+        Scanning nodes in index order preserves sibling rank order because
+        the DFS construction creates each child before descending into it.
+        """
+        out: Dict[int, List[int]] = {}
+        for i, p in enumerate(self.parents):
+            out.setdefault(int(p), []).append(i)
+        return out
+
+    def feed_positions(self, anchor_position: int) -> np.ndarray:
+        """Absolute positions of the verification feed ``[anchor] + nodes``."""
+        return np.asarray(
+            [anchor_position] + [anchor_position + d for d in self.depths],
+            dtype=np.int64,
+        )
+
+
+@dataclass(frozen=True)
+class TreeAcceptOutcome:
+    """Result of the greedy acceptance walk over one verified tree."""
+
+    path: Tuple[int, ...]       # node indices of the accepted root path, in order
+    accepted: Tuple[int, ...]   # their token ids
+    next_token: int             # correction token (or bonus when the walk
+                                # ran off the deepest matching node)
+
+    @property
+    def n_accepted(self) -> int:
+        """Number of drafted tokens that survived verification."""
+        return len(self.accepted)
+
+    @property
+    def tokens_emitted(self) -> int:
+        """Tokens committed by this block: accepted drafts + the next token."""
+        return len(self.accepted) + 1
+
+
+def accept_tree(
+    tree: TreeDraft,
+    target_logits: np.ndarray,
+    config: SamplerConfig,
+) -> TreeAcceptOutcome:
+    """Walk the longest root path whose tokens match the target's argmax.
+
+    ``target_logits`` is the ``(1 + n_nodes, vocab)`` output of the single
+    tree-verification forward, row-aligned with the feed ``[anchor] +
+    nodes``: row 0 is the target's continuation of the anchor, row
+    ``i + 1`` its continuation of node ``i``.  Starting at the anchor, the
+    walk repeatedly computes the greedy target token for the current row
+    (via :func:`logits_to_probs`, so non-finite hardening matches the
+    linear verify path) and descends into the child drafted with exactly
+    that token; when no child matches, that target token is emitted as the
+    correction — or, past a leaf, the bonus — token.  Every step of the
+    walk is exactly one accepted token, so for a chain tree the outcome
+    coincides with greedy :func:`~repro.decoding.sampling.speculative_verify`.
+
+    Only greedy configs are supported: stochastic tree acceptance needs a
+    multi-branch residual scheme that is out of scope here, and the engine
+    gates tree speculation on ``sampler.config.greedy`` accordingly.
+    """
+    if not config.greedy:
+        raise DecodingError("tree acceptance is defined for greedy configs only")
+    target_logits = np.asarray(target_logits)
+    if target_logits.ndim != 2 or target_logits.shape[0] != tree.n_nodes + 1:
+        raise DecodingError(
+            f"need {tree.n_nodes + 1} target logit rows for {tree.n_nodes} "
+            f"tree nodes, got {target_logits.shape}"
+        )
+    children = tree.children()
+    path: List[int] = []
+    current = -1
+    while True:
+        row = 0 if current == -1 else current + 1
+        probs = logits_to_probs(target_logits[row], config)
+        target_token = int(np.argmax(probs))
+        next_node: Optional[int] = None
+        for child in children.get(current, ()):  # rank order: argmax child first
+            if tree.tokens[child] == target_token:
+                next_node = child
+                break
+        if next_node is None:
+            return TreeAcceptOutcome(
+                path=tuple(path),
+                accepted=tuple(tree.tokens[i] for i in path),
+                next_token=target_token,
+            )
+        path.append(next_node)
+        current = next_node
+
+
+def tree_extra_blocked(parents: Sequence[int], n_cache: int) -> np.ndarray:
+    """Full-width extra mask for a tree-verification forward.
+
+    Returns a ``(1 + n, n_cache + 1 + n)`` boolean array (``n`` nodes,
+    ``n_cache`` committed-context keys) suitable for the model's
+    ``extra_blocked`` hook, which ORs it with the causal mask: the
+    committed-context columns are all ``False`` (causality already admits
+    them — every cached position precedes the anchor) and the trailing
+    feed columns carry :func:`repro.nn.ragged.tree_blocked`, so each node
+    attends to the committed context, the anchor, and its root-path
+    ancestors only.  For a chain the feed part equals the causal rule and
+    the OR is a no-op, preserving bitwise identity with linear verify.
+    """
+    n_feed = len(parents) + 1
+    extra = np.zeros((n_feed, n_cache + n_feed), dtype=bool)
+    extra[:, n_cache:] = tree_blocked(parents)
+    return extra

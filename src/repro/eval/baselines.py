@@ -30,14 +30,22 @@ def build_aasd_engine(
     disable_text_kv: bool = False,
     sampler_config: Optional[SamplerConfig] = None,
     seed: int = 0,
+    config: Optional[AASDEngineConfig] = None,
 ) -> AASDEngine:
-    """Assemble an AASD engine (possibly an ablation variant)."""
+    """Assemble an AASD engine (possibly an ablation variant).
+
+    ``config`` replaces the assembled :class:`AASDEngineConfig` wholesale
+    (tree-speculation benchmarks need the tree knobs); when given, the
+    ``gamma`` / ``max_new_tokens`` / ablation arguments are ignored in
+    its favor.
+    """
     return AASDEngine(
         zoo.target(target_name),
         zoo.aasd_head(target_name, use_kv_projector=use_kv_projector, use_target_kv=use_target_kv),
         zoo.tokenizer(),
         cost_model,
-        AASDEngineConfig(
+        config
+        or AASDEngineConfig(
             gamma=gamma,
             max_new_tokens=max_new_tokens,
             disable_image_kv=disable_image_kv,

@@ -131,11 +131,16 @@ class MiniLlama(Module):
         positions: np.ndarray,
         cache: Optional[KVCache] = None,
         update_cache: bool = True,
+        extra_blocked: Optional[np.ndarray] = None,
     ) -> LlamaOutput:
         """Run the decoder stack over pre-computed embeddings.
 
         When ``cache`` is non-empty the new tokens attend to the cached
         context; with ``update_cache`` the fresh KV is appended.
+        ``extra_blocked`` (broadcastable to ``(T, Tk_total)``) is OR'd with
+        the causal mask at every layer — the tree-verification hook, where
+        new tokens on sibling branches may share positions and must not
+        attend to each other (``repro.decoding.tree``).
         """
         positions = np.asarray(positions, dtype=np.int64)
         if x.ndim != 3:
@@ -156,6 +161,7 @@ class MiniLlama(Module):
                 positions=positions,
                 past_kv=past,
                 key_positions=key_positions,
+                extra_blocked=extra_blocked,
             )
             new_kv.append((k_new, v_new))
             if cache is not None and update_cache:
@@ -173,6 +179,7 @@ class MiniLlama(Module):
         positions: Optional[np.ndarray] = None,
         cache: Optional[KVCache] = None,
         update_cache: bool = True,
+        extra_blocked: Optional[np.ndarray] = None,
     ) -> LlamaOutput:
         """Decoder forward over token ids (see :meth:`forward_embeds`)."""
         token_ids = np.asarray(token_ids, dtype=np.int64)
@@ -182,7 +189,8 @@ class MiniLlama(Module):
             start = cache.next_position() if cache is not None else 0
             positions = np.arange(start, start + token_ids.shape[1], dtype=np.int64)
         return self.forward_embeds(
-            self.embed_tokens(token_ids), positions, cache=cache, update_cache=update_cache
+            self.embed_tokens(token_ids), positions, cache=cache,
+            update_cache=update_cache, extra_blocked=extra_blocked,
         )
 
     # ------------------------------------------------------------------
@@ -203,6 +211,7 @@ class MiniLlama(Module):
         position_rows: List[np.ndarray],
         caches: List[Optional[KVCache]],
         update_cache: bool = True,
+        extra_blocked_rows: Optional[List[Optional[np.ndarray]]] = None,
     ) -> List[LlamaOutput]:
         """Fused decoder pass over a cu-seqlen-packed ragged batch.
 
@@ -221,6 +230,11 @@ class MiniLlama(Module):
         update_cache:
             Append each request's fresh KV to its cache (as in
             :meth:`forward_embeds`).
+        extra_blocked_rows:
+            Optional per-request extra masks (each broadcastable to
+            ``(T_i, Tk_i_total)``, or ``None``), OR'd with that request's
+            causal mask — the tree-verification hook (sibling branches
+            may share positions and must not see each other).
 
         Returns one :class:`LlamaOutput`-shaped result per request whose
         ``logits`` / ``hidden`` / ``new_kv`` are zero-copy slices of the
@@ -245,6 +259,11 @@ class MiniLlama(Module):
         positions = np.concatenate(pos_rows) if pos_rows else np.zeros(0, np.int64)
         use_cache = [c is not None and c.seq_len > 0 for c in caches]
 
+        if extra_blocked_rows is not None and len(extra_blocked_rows) != len(caches):
+            raise ShapeError(
+                f"{len(extra_blocked_rows)} extra-mask rows vs {len(caches)} caches"
+            )
+
         # Masks depend on positions only, never on layer values — build
         # them once and reuse across the whole stack.
         blocked: List[np.ndarray] = []
@@ -255,7 +274,10 @@ class MiniLlama(Module):
                 )
             else:
                 all_pos = pos_rows[i]
-            blocked.append(causal_mask(pos_rows[i], all_pos))
+            mask = causal_mask(pos_rows[i], all_pos)
+            if extra_blocked_rows is not None and extra_blocked_rows[i] is not None:
+                mask = mask | np.asarray(extra_blocked_rows[i], dtype=bool)
+            blocked.append(mask)
 
         # Inference (the serving rounds) skips the autograd wrappers
         # entirely: every row-wise op runs through the raw-ndarray
@@ -381,29 +403,48 @@ class MiniLlama(Module):
         token_rows: List[np.ndarray],
         caches: List[Optional[KVCache]],
         update_cache: bool = True,
+        position_rows: Optional[List[np.ndarray]] = None,
+        extra_blocked_rows: Optional[List[Optional[np.ndarray]]] = None,
     ) -> List[LlamaOutput]:
         """Packed ragged-batch forward over per-request token-id rows.
 
         Each ``token_rows[i]`` is request ``i``'s new token ids (1-D or
         ``(1, T_i)``); positions continue from ``caches[i].next_position()``
-        exactly as in :meth:`forward`.  The embedding gather and all
-        row-wise ops run fused over the packed batch; see
+        exactly as in :meth:`forward`, unless explicit ``position_rows``
+        are given (tree-verification feeds carry non-monotone per-branch
+        positions).  ``extra_blocked_rows`` optionally adds per-request
+        masks on top of causality.  The embedding gather and all row-wise
+        ops run fused over the packed batch; see
         :meth:`forward_packed_embeds`.
         """
         if len(token_rows) != len(caches):
             raise ShapeError(f"{len(token_rows)} token rows vs {len(caches)} caches")
+        if position_rows is not None and len(position_rows) != len(caches):
+            raise ShapeError(
+                f"{len(position_rows)} position rows vs {len(caches)} caches"
+            )
         rows2d = []
-        position_rows = []
-        for ids, cache in zip(token_rows, caches):
+        pos_rows = []
+        for i, (ids, cache) in enumerate(zip(token_rows, caches)):
             ids = np.asarray(ids, dtype=np.int64)
             if ids.ndim == 1:
                 ids = ids[None, :]
             rows2d.append(ids)
-            start = cache.next_position() if cache is not None else 0
-            position_rows.append(np.arange(start, start + ids.shape[1], dtype=np.int64))
+            if position_rows is not None:
+                pos = np.asarray(position_rows[i], dtype=np.int64)
+                if pos.shape[0] != ids.shape[1]:
+                    raise ShapeError(
+                        f"request {i}: {pos.shape[0]} positions for "
+                        f"{ids.shape[1]} tokens"
+                    )
+            else:
+                start = cache.next_position() if cache is not None else 0
+                pos = np.arange(start, start + ids.shape[1], dtype=np.int64)
+            pos_rows.append(pos)
         packed_ids = np.concatenate(rows2d, axis=1)
         return self.forward_packed_embeds(
-            self.embed_tokens(packed_ids), position_rows, caches, update_cache
+            self.embed_tokens(packed_ids), pos_rows, caches, update_cache,
+            extra_blocked_rows=extra_blocked_rows,
         )
 
     def new_cache(self) -> KVCache:

@@ -125,9 +125,25 @@ class MiniLlava:
         cache.set_segments(self.n_vision_tokens, text_ids.shape[1])
         return cache, out.logits.data[:, -1, :]
 
-    def decode(self, token_ids: np.ndarray, cache: KVCache, update_cache: bool = True) -> LlamaOutput:
-        """Decode new tokens against the cache (verification / AR steps)."""
-        return self.llama.forward(token_ids, cache=cache, update_cache=update_cache)
+    def decode(
+        self,
+        token_ids: np.ndarray,
+        cache: KVCache,
+        update_cache: bool = True,
+        positions: Optional[np.ndarray] = None,
+        extra_blocked: Optional[np.ndarray] = None,
+    ) -> LlamaOutput:
+        """Decode new tokens against the cache (verification / AR steps).
+
+        ``positions`` / ``extra_blocked`` serve tree-verification feeds,
+        whose rows carry per-branch (non-monotone) positions and need the
+        ancestor mask OR'd onto causality; both default to the plain
+        linear-decode behavior.
+        """
+        return self.llama.forward(
+            token_ids, positions=positions, cache=cache,
+            update_cache=update_cache, extra_blocked=extra_blocked,
+        )
 
     # ------------------------------------------------------------------
     # Packed ragged-batch paths (docs/kernels.md)
@@ -183,14 +199,25 @@ class MiniLlava:
         token_rows: Sequence[np.ndarray],
         caches: Sequence[KVCache],
         update_cache: bool = True,
+        position_rows: Optional[Sequence[Optional[np.ndarray]]] = None,
+        extra_blocked_rows: Optional[Sequence[Optional[np.ndarray]]] = None,
     ) -> List[LlamaOutput]:
         """Batched :meth:`decode`: one packed forward over B feed rows.
 
         Used by the engine's packed verification round; every row must
         hold >= 2 tokens for the packing-stability contract to apply
-        (verify feeds are ``gamma + 1 >= 2`` tokens by construction).
+        (verify feeds are ``gamma + 1 >= 2`` tokens by construction, tree
+        feeds ``1 + n_nodes >= 2``).  ``position_rows`` /
+        ``extra_blocked_rows`` carry per-request tree-feed positions and
+        ancestor masks (see :meth:`decode`).
         """
-        return self.llama.forward_packed(list(token_rows), list(caches), update_cache)
+        return self.llama.forward_packed(
+            list(token_rows), list(caches), update_cache,
+            position_rows=list(position_rows) if position_rows is not None else None,
+            extra_blocked_rows=(
+                list(extra_blocked_rows) if extra_blocked_rows is not None else None
+            ),
+        )
 
     def forward_train(self, images: np.ndarray, text_ids: np.ndarray) -> LlamaOutput:
         """Full teacher-forced pass (no cache) for training and KV harvest.

@@ -19,7 +19,7 @@ import numpy as np
 from . import functional as F
 from .layers import Linear
 from .module import Module
-from .ragged import pack_rows, ragged_blocked
+from .ragged import cu_seqlens, pack_rows, ragged_blocked
 from .rope import RotaryEmbedding, apply_rope
 from .tensor import Tensor, concat, is_grad_enabled, matmul_data
 
@@ -73,6 +73,7 @@ def ragged_attend(
     fused: bool = False,
     query_positions: Optional[Sequence[np.ndarray]] = None,
     key_positions: Optional[Sequence[np.ndarray]] = None,
+    tree_parent_rows: Optional[Sequence[Optional[Sequence[int]]]] = None,
 ) -> Tensor:
     """Attention over a cu-seqlen-packed ragged batch of B requests.
 
@@ -83,7 +84,7 @@ def ragged_attend(
     :class:`repro.core.kv_arena.BlockTable`.  Queries never attend
     across requests.
 
-    Two execution modes:
+    Two entry modes, one execution strategy:
 
     * **Segment-exact** (default): runs :meth:`MultiHeadAttention.attend`
       once per request on the query segment, with ``blocked[i]`` as that
@@ -92,15 +93,22 @@ def ragged_attend(
       value GEMMs have exactly the solo path's shapes, so the result is
       **bitwise identical** to per-request attention.  This is the mode
       the packed decode paths use.
-    * **Fused** (``fused=True``): concatenates all keys/values and runs a
-      single attention over the block-diagonal mask built by
-      :func:`repro.nn.ragged.ragged_blocked` from ``query_positions`` /
-      ``key_positions`` (required in this mode; ``blocked`` is ignored).
-      One GEMM instead of B, but the score/value reductions run at
-      different shapes than the solo path, so the result is only
-      *numerically close* (allclose), not bitwise — suitable for
-      experiments and the tree-verification direction, not for the
-      token-identity-gated serving path.
+    * **Fused** (``fused=True``): the caller hands over ``query_positions``
+      / ``key_positions`` (required in this mode; ``blocked`` is ignored)
+      plus optional per-request ``tree_parent_rows``, and the masks are
+      built internally — per request, the matching diagonal block of
+      :func:`repro.nn.ragged.ragged_blocked` (causal rule, plus the
+      :func:`repro.nn.ragged.tree_blocked` ancestor mask for requests
+      carrying tree parents).  Execution still attends **per segment**:
+      one concatenated score GEMM would reduce at different shapes than
+      the solo path and is *not* bitwise stable on this BLAS (pinned by
+      ``tests/nn/test_ragged.py::TestPackingStability``), and a fully
+      masked cross-segment score contributes an exact float32 zero to the
+      softmax sum whose accumulation-order effects still perturb the
+      result by ulps.  Per-segment execution under the internally built
+      masks is therefore the exact semantics of the fused mask layout —
+      bitwise identical to the segment path and to solo attention — and
+      is the tree-verification path used by the engine.
 
     Returns the packed attention output ``(1, H, sum_q, Dh)``.
     """
@@ -111,10 +119,12 @@ def ragged_attend(
     if fused:
         if query_positions is None or key_positions is None:
             raise ValueError("fused ragged attention requires query/key positions")
-        k_all = pack_rows(keys, axis=2)
-        v_all = pack_rows(values, axis=2)
-        mask = ragged_blocked(query_positions, key_positions)
-        return MultiHeadAttention.attend(q, k_all, v_all, blocked=mask)
+        mask = ragged_blocked(query_positions, key_positions, tree_parent_rows)
+        cu_k = cu_seqlens([np.asarray(k).reshape(-1).shape[0] for k in key_positions])
+        blocked = [
+            mask[int(cu_q[i]):int(cu_q[i + 1]), int(cu_k[i]):int(cu_k[i + 1])]
+            for i in range(len(keys))
+        ]
     outs = []
     for i, (k, v) in enumerate(zip(keys, values)):
         q_i = q[:, :, int(cu_q[i]):int(cu_q[i + 1]), :]

@@ -50,6 +50,7 @@ __all__ = [
     "pack_rows",
     "unpack_rows",
     "ragged_blocked",
+    "tree_blocked",
 ]
 
 
@@ -99,9 +100,46 @@ def unpack_rows(packed: np.ndarray, cu: np.ndarray, axis: int = 1) -> List[np.nd
     return views
 
 
+def tree_blocked(parents: Sequence[int]) -> np.ndarray:
+    """Feed-local tree-attention mask; ``True`` marks blocked pairs.
+
+    A speculation tree is serialized depth-first into a token list plus a
+    parent-pointer array: ``parents[i]`` is the node index of node ``i``'s
+    parent, with ``-1`` meaning a child of the *anchor* (the last committed
+    token, fed as row 0 of the verification feed).  DFS serialization
+    guarantees ``parents[i] < i``, so one forward pass over the parent
+    pointers computes the full ancestor closure.
+
+    The returned ``(n+1, n+1)`` boolean matrix covers the feed rows
+    ``[anchor, node_0, .., node_{n-1}]``: row ``r`` may attend exactly to
+    itself, the anchor, and its root-path ancestors — every sibling branch
+    is blocked.  Committed-context keys are handled by the caller (they
+    precede the anchor, so the plain causal rule already admits them; see
+    :func:`ragged_blocked`).
+
+    For a linear chain (``parents == [-1, 0, 1, ...]``) every earlier feed
+    row is an ancestor, so the mask degenerates to the strict upper
+    triangle — exactly the causal mask of a linear verify feed, which is
+    what makes branch-factor-1 tree verification bitwise identical to the
+    linear speculative path.
+    """
+    n = len(parents)
+    allow = np.eye(n + 1, dtype=bool)
+    allow[:, 0] = True
+    for i, parent in enumerate(parents):
+        p = int(parent)
+        if not -1 <= p < i:
+            raise ValueError(
+                f"node {i} has parent {p}; DFS serialization requires -1 <= parent < node"
+            )
+        allow[i + 1] |= allow[p + 1]
+    return ~allow
+
+
 def ragged_blocked(
     query_positions: Sequence[np.ndarray],
     key_positions: Sequence[np.ndarray],
+    tree_parent_rows: Union[Sequence[Union[Sequence[int], None]], None] = None,
 ) -> np.ndarray:
     """Block-diagonal ragged attention mask; ``True`` marks blocked pairs.
 
@@ -111,13 +149,26 @@ def ragged_blocked(
     outright and applies the causal rule (key position > query position)
     inside each request's diagonal block.
 
-    This is the mask a *fused* ragged attention over concatenated keys
-    would use (``ragged_attend(..., fused=True)``); the bitwise-exact
-    serving path instead attends per segment and never materializes it.
+    ``tree_parent_rows`` optionally carries one parent-pointer array per
+    request (or ``None`` for plain causal requests): request ``i``'s
+    queries are then a tree-verification feed ``[anchor] + nodes`` whose
+    trailing ``len(parents) + 1`` key columns additionally get the
+    :func:`tree_blocked` mask OR'd in, so each node attends only to the
+    committed context, the anchor, and its root-path ancestors — never to
+    sibling branches that may share its position.
+
+    This is the exact mask of the fused verification path
+    (``ragged_attend(..., fused=True)``), which slices its per-segment
+    masks out of this layout; the two paths are bitwise identical.
     """
     if len(query_positions) != len(key_positions):
         raise ValueError(
             f"{len(query_positions)} query rows vs {len(key_positions)} key rows"
+        )
+    if tree_parent_rows is not None and len(tree_parent_rows) != len(query_positions):
+        raise ValueError(
+            f"{len(tree_parent_rows)} tree parent rows vs "
+            f"{len(query_positions)} query rows"
         )
     q_rows = [np.asarray(q).reshape(-1) for q in query_positions]
     k_rows = [np.asarray(k).reshape(-1) for k in key_positions]
@@ -125,7 +176,19 @@ def ragged_blocked(
     cu_k = cu_seqlens([len(k) for k in k_rows])
     blocked = np.ones((int(cu_q[-1]), int(cu_k[-1])), dtype=bool)
     for i, (q, k) in enumerate(zip(q_rows, k_rows)):
-        blocked[cu_q[i]:cu_q[i + 1], cu_k[i]:cu_k[i + 1]] = (
-            k.reshape(1, -1) > q.reshape(-1, 1)
-        )
+        block = k.reshape(1, -1) > q.reshape(-1, 1)
+        parents = tree_parent_rows[i] if tree_parent_rows is not None else None
+        if parents is not None:
+            n_feed = len(parents) + 1
+            if n_feed != len(q):
+                raise ValueError(
+                    f"request {i}: {len(parents)} tree parents imply a feed of "
+                    f"{n_feed} rows, got {len(q)} query rows"
+                )
+            if n_feed > len(k):
+                raise ValueError(
+                    f"request {i}: feed of {n_feed} rows exceeds {len(k)} key rows"
+                )
+            block[:, len(k) - n_feed:] |= tree_blocked(parents)
+        blocked[cu_q[i]:cu_q[i + 1], cu_k[i]:cu_k[i + 1]] = block
     return blocked

@@ -21,6 +21,7 @@ import sys
 from .exporters import read_trace
 from .flamegraph import export_collapsed
 from .logsetup import configure_logging
+from .metrics import exact_quantile
 from .profile import build_attribution, render_attribution
 from .summarize import render_summary, summarize_spans
 
@@ -57,6 +58,15 @@ def main(argv=None) -> int:
             "coverage": summary.coverage,
             "acceptance_rate": summary.acceptance_rate,
             "block_efficiency": summary.block_efficiency,
+            "acceptance": {
+                "accepted_per_target_forward": summary.accepted_per_forward,
+                "n_target_forwards": summary.n_target_forward_spans,
+                "tokens_emitted": summary.tokens_emitted,
+                "block_efficiency_p50": exact_quantile(summary.block_emitted, 0.50)
+                if summary.block_emitted else None,
+                "block_efficiency_p95": exact_quantile(summary.block_emitted, 0.95)
+                if summary.block_emitted else None,
+            } if summary.accepted_per_forward is not None else None,
             "memory": {
                 "bytes_copied": summary.bytes_copied,
                 "arena_grows": summary.arena_grows,

@@ -101,6 +101,11 @@ DEFAULT_SPECS: Dict[str, Tuple[MetricSpec, ...]] = {
         MetricSpec("speedup", "higher", 0.60),
         MetricSpec("arena_ms", "lower", 0.60),
     ),
+    "tree": (
+        MetricSpec("apf", "higher", 0.02),
+        MetricSpec("sim_ms", "lower", 0.02),
+        MetricSpec("tok_per_s", "higher", 0.02),
+    ),
 }
 
 

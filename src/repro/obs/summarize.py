@@ -76,6 +76,16 @@ class TraceSummary:
     has_resilience: bool = False        # any schedule span carried resilience attrs
     #: TTFT/TPOT/E2E digests from ``request_latency`` spans (serving traces)
     latency_ms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: spans that each ran one target forward (prefill / verify / fallback /
+    #: ar_step; a batched span is still one fused forward)
+    n_target_forward_spans: int = 0
+    #: tokens those forwards committed (verify: accepted + one bonus per
+    #: batched request; others: one per batched request)
+    tokens_emitted: int = 0
+    #: per-request tokens-emitted samples from verify spans — solo spans
+    #: contribute their exact block, batched spans their round mean once
+    #: per request (span attributes carry only round totals)
+    block_emitted: List[float] = field(default_factory=list)
 
     @property
     def acceptance_rate(self) -> Optional[float]:
@@ -91,6 +101,13 @@ class TraceSummary:
             return None
         # Each verify block emits the accepted prefix plus one bonus token.
         return (verify.n_accepted + verify.count) / verify.count
+
+    @property
+    def accepted_per_forward(self) -> Optional[float]:
+        """Committed tokens per target forward across all forward spans."""
+        if self.n_target_forward_spans == 0:
+            return None
+        return self.tokens_emitted / self.n_target_forward_spans
 
 
 def summarize_spans(spans: Sequence[SpanRecord]) -> TraceSummary:
@@ -136,6 +153,15 @@ def summarize_spans(spans: Sequence[SpanRecord]) -> TraceSummary:
         if "n_accepted" in span.attrs:
             stats.n_accepted += int(span.attrs["n_accepted"])
             stats.has_accept = True
+        if span.name in ("prefill", "verify", "fallback", "ar_step"):
+            batch = max(1, int(span.attrs.get("batch", 1)))
+            summary.n_target_forward_spans += 1
+            if span.name == "verify":
+                emitted = int(span.attrs.get("n_accepted", 0)) + batch
+                summary.tokens_emitted += emitted
+                summary.block_emitted.extend([emitted / batch] * batch)
+            else:
+                summary.tokens_emitted += batch
         if span.parent_id in decode_ids and span.name in DECODE_PHASES:
             phase_in_decode_ms += span.duration_ms
     if summary.decode_wall_ms > 0:
@@ -215,4 +241,14 @@ def render_summary(summary: TraceSummary) -> str:
     tau = summary.block_efficiency
     if alpha is not None and tau is not None:
         lines.append(f"acceptance rate α = {alpha:.3f}, block efficiency τ = {tau:.3f}")
+    apf = summary.accepted_per_forward
+    if apf is not None:
+        line = f"acceptance: {apf:.3f} accepted tokens/target-forward"
+        if summary.block_emitted:
+            line += (
+                f"; block efficiency "
+                f"p50 {exact_quantile(summary.block_emitted, 0.50):.2f} "
+                f"p95 {exact_quantile(summary.block_emitted, 0.95):.2f}"
+            )
+        lines.append(line)
     return "\n".join(lines)

@@ -212,6 +212,11 @@ class FaultyDraftHead:
     #: surface the wrapped head's ``True``).
     supports_packed = False
 
+    #: Same reasoning for the tree path: ``draft_tree`` would bypass the
+    #: intercepted ``step``, so the engine keeps the linear draft path
+    #: (where fault injection works) for wrapped heads.
+    supports_tree = False
+
     def __init__(
         self,
         head,

@@ -94,7 +94,7 @@ from ..decoding.adaptive import FixedGamma, GammaController
 from ..decoding.metrics import DecodeRecord
 from ..errors import AdmissionError, ServingError
 from ..obs.logsetup import get_logger, log_exception
-from ..obs.metrics import get_registry
+from ..obs.metrics import exact_quantile, get_registry
 from ..obs.profile import summarize_latencies
 from ..robustness.faults import is_transient
 from ..utils.timing import SimulatedClock
@@ -167,6 +167,12 @@ class ServingReport:
     #: per-metric latency digests on the server clock:
     #: ``{"ttft_ms"|"tpot_ms"|"e2e_ms": {count, mean, p50, p95, p99}}``
     latency_ms: Dict[str, Dict[str, float]] = dataclasses_field(default_factory=dict)
+    #: committed tokens per target forward across all requests (prefill and
+    #: fallback forwards included; 0.0 when nothing ran) — the headline
+    #: number tree speculation moves.
+    accepted_per_target_forward: float = 0.0
+    block_efficiency_p50: float = 0.0       #: median tokens emitted per verify block
+    block_efficiency_p95: float = 0.0       #: p95 tokens emitted per verify block
 
     @property
     def total_tokens(self) -> int:
@@ -203,6 +209,9 @@ class ServingReport:
             "n_retries": self.n_retries,
             "n_shed": self.n_shed,
             "breaker_transitions": len(self.breaker_transitions),
+            "accepted_per_target_forward": self.accepted_per_target_forward,
+            "block_efficiency_p50": self.block_efficiency_p50,
+            "block_efficiency_p95": self.block_efficiency_p95,
             **{
                 f"{metric}_{stat}": value
                 for metric, digest in sorted(self.latency_ms.items())
@@ -727,10 +736,18 @@ class ContinuousBatchingScheduler:
 
         Draft steps are grouped *by position*: position ``i`` of every
         session that drafted that deep shares one batched head forward.
-        All target feeds (verify blocks and 1-token fallback steps) share
-        one batched verify forward.  With a single session the charges
-        reduce exactly to the engine's own solo prices, so a batch of one
-        costs the same as sequential decoding.
+        For tree rounds "position" means *expansion index* — the i-th
+        node each session's tree grew — which matches the solo charges
+        exactly (every expansion is priced once) even though tree shapes
+        differ across sessions.  All target feeds (verify blocks and
+        1-token fallback steps) share one batched verify forward; tree
+        rounds price it per fed tree node via
+        :meth:`~repro.decoding.cost_model.CostModel.batched_tree_verify`,
+        so a request's rejected branches are billed exactly once by the
+        forward that fed them and never again at rollback (rollback is
+        free — rejected rows are never written).  With a single session
+        the charges reduce exactly to the engine's own solo prices, so a
+        batch of one costs the same as sequential decoding.
         """
         cost = self.engine.cost_model
         charged = 0.0
@@ -751,7 +768,10 @@ class ContinuousBatchingScheduler:
             self.clock.charge(ms, "fallback")
             charged += ms
         elif feeds:
-            ms = cost.batched_verify(feeds)
+            if any(getattr(r, "tree", False) for r in reports):
+                ms = cost.batched_tree_verify(feeds)
+            else:
+                ms = cost.batched_verify(feeds)
             self.clock.charge(ms, "verify")
             charged += ms
         return charged
@@ -894,6 +914,9 @@ def serve_requests(
             results.append(early[request.request_id])
         else:
             results.append(handles[request.request_id].result(timeout=0))
+    records = [r.record for r in results if r.record is not None]
+    n_forwards = sum(r.n_target_forwards for r in records)
+    block_emits = [float(b.n_emitted) for r in records for b in r.blocks]
     return ServingReport(
         results=tuple(results),
         total_sim_ms=scheduler.clock.total,
@@ -909,4 +932,13 @@ def serve_requests(
             tuple(scheduler.breaker.transitions) if scheduler.breaker else ()
         ),
         latency_ms=summarize_latencies(scheduler.latency_samples),
+        accepted_per_target_forward=(
+            sum(r.n_tokens for r in records) / n_forwards if n_forwards else 0.0
+        ),
+        block_efficiency_p50=(
+            exact_quantile(block_emits, 0.50) if block_emits else 0.0
+        ),
+        block_efficiency_p95=(
+            exact_quantile(block_emits, 0.95) if block_emits else 0.0
+        ),
     )

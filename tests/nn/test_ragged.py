@@ -18,6 +18,7 @@ from repro.nn.ragged import (
     pack_rows,
     ragged_blocked,
     row_extents,
+    tree_blocked,
     unpack_rows,
 )
 from repro.nn.tensor import Tensor
@@ -84,6 +85,76 @@ class TestRaggedBlocked:
             ragged_blocked([np.arange(2)], [np.arange(2), np.arange(2)])
 
 
+class TestTreeBlocked:
+    def test_chain_is_strict_upper_triangle(self):
+        # A linear chain admits every earlier feed row -> exactly the
+        # causal mask of a contiguous verify feed.
+        blocked = tree_blocked([-1, 0, 1, 2])
+        assert np.array_equal(blocked, np.triu(np.ones((5, 5), dtype=bool), k=1))
+
+    def test_branching_example(self):
+        #         anchor
+        #        /      \
+        #      n0        n2
+        #      |
+        #      n1
+        blocked = tree_blocked([-1, 0, -1])
+        # Every row sees itself and the anchor.
+        assert not blocked.diagonal().any()
+        assert not blocked[:, 0].any()
+        # n1 (feed row 2) sees its parent n0 but not sibling branch n2.
+        assert not blocked[2, 1] and blocked[2, 3]
+        # n2 (feed row 3) is a fresh branch off the anchor: blocked from n0/n1.
+        assert blocked[3, 1] and blocked[3, 2]
+        # The anchor row never looks forward into the tree.
+        assert blocked[0, 1:].all()
+
+    def test_single_node(self):
+        assert np.array_equal(
+            tree_blocked([-1]), np.array([[False, True], [False, False]])
+        )
+
+    def test_rejects_non_dfs_parents(self):
+        with pytest.raises(ValueError):
+            tree_blocked([-1, 1])       # parent must precede node
+        with pytest.raises(ValueError):
+            tree_blocked([0])           # node 0 cannot have itself as parent
+        with pytest.raises(ValueError):
+            tree_blocked([-2])          # below the anchor sentinel
+
+    def test_ragged_blocked_ors_tree_into_trailing_columns(self):
+        # Request: 2 committed keys + a 3-row feed [anchor, n0, n1(sibling)].
+        q_pos = np.array([2, 3, 3])     # siblings share absolute positions
+        k_pos = np.array([0, 1, 2, 3, 3])
+        parents = [-1, -1]
+        blocked = ragged_blocked([q_pos], [k_pos], [parents])
+        expected = causal_mask(q_pos, k_pos)
+        expected[:, 2:] |= tree_blocked(parents)
+        assert np.array_equal(blocked, expected)
+        # The causal rule alone would let the siblings see each other
+        # (equal positions); the tree mask is what separates them.
+        assert blocked[1, 4] and blocked[2, 3]
+        # Committed context stays visible to every feed row.
+        assert not blocked[:, :2].any()
+
+    def test_tree_arity_and_length_validation(self):
+        with pytest.raises(ValueError):    # one parents row per request
+            ragged_blocked([np.arange(3)], [np.arange(3)], [[-1], [-1]])
+        with pytest.raises(ValueError):    # parents imply 3 feed rows, got 2
+            ragged_blocked([np.arange(2)], [np.arange(2)], [[-1, 0]])
+        with pytest.raises(ValueError):    # feed larger than the key row
+            ragged_blocked([np.arange(3)], [np.arange(2)], [[-1, 0]])
+
+    def test_mixed_tree_and_causal_requests(self):
+        blocked = ragged_blocked(
+            [np.array([1, 2, 2]), np.arange(2)],
+            [np.array([0, 1, 2, 2]), np.arange(2)],
+            [[-1, -1], None],
+        )
+        plain = ragged_blocked([np.arange(2)], [np.arange(2)])
+        assert np.array_equal(blocked[3:, 4:], plain)
+
+
 class TestPackingStability:
     """Empirical BLAS contract behind bitwise-exact packing (float32)."""
 
@@ -148,7 +219,10 @@ class TestRaggedAttend:
             )
             assert np.array_equal(out.data[:, :, start:end, :], solo.data)
 
-    def test_fused_path_is_allclose(self, rng):
+    def test_fused_path_is_bitwise_exact(self, rng):
+        # fused=True builds the masks internally but still attends per
+        # segment, so it is bitwise identical to the segment path (and
+        # therefore to solo attention) — the tree-verification contract.
         attn = self.make(rng)
         lens = [3, 2]
         q, ks, vs = self._qkv(attn, rng, lens)
@@ -160,7 +234,33 @@ class TestRaggedAttend:
             q, cu, ks, vs, fused=True,
             query_positions=positions, key_positions=positions,
         )
-        assert np.allclose(exact.data, fused.data, atol=1e-6)
+        assert np.array_equal(exact.data, fused.data)
+
+    def test_fused_tree_matches_explicit_masks(self, rng):
+        # A tree-verification feed [anchor, n0, n1] over 2 committed keys:
+        # fused mask building == hand-built causal-plus-tree segment masks.
+        attn = self.make(rng)
+        parents = [-1, -1]
+        q_pos = [np.array([2, 3, 3]), np.arange(2)]
+        k_pos = [np.array([0, 1, 2, 3, 3]), np.arange(2)]
+        qs = rng.standard_normal((1, 4, 3, 6)).astype(np.float32)
+        q = Tensor(np.concatenate(
+            [qs, rng.standard_normal((1, 4, 2, 6)).astype(np.float32)], axis=2
+        ))
+        ks = [Tensor(rng.standard_normal((1, 4, n, 6)).astype(np.float32)) for n in (5, 2)]
+        vs = [Tensor(rng.standard_normal((1, 4, n, 6)).astype(np.float32)) for n in (5, 2)]
+        cu = cu_seqlens([3, 2])
+        tree_mask = causal_mask(q_pos[0], k_pos[0])
+        tree_mask[:, 2:] |= tree_blocked(parents)
+        explicit = ragged_attend(
+            q, cu, ks, vs, [tree_mask, causal_mask(q_pos[1], k_pos[1])]
+        )
+        fused = ragged_attend(
+            q, cu, ks, vs, fused=True,
+            query_positions=q_pos, key_positions=k_pos,
+            tree_parent_rows=[parents, None],
+        )
+        assert np.array_equal(explicit.data, fused.data)
 
     def test_b1_reduces_to_plain_attend(self, rng):
         attn = self.make(rng)

@@ -189,6 +189,74 @@ class TestResilienceSection:
         assert "resilience:" not in render_summary(summary)
 
 
+class TestAcceptanceSection:
+    """The ``acceptance:`` block: tokens/target-forward + block-eff p50/p95."""
+
+    def _verify_span(self, tracer, n_accepted, batch=None):
+        with tracer.span("verify") as span:
+            span.set_attr("n_accepted", n_accepted)
+            if batch is not None:
+                span.set_attr("batch", batch)
+
+    def test_synthetic_spans_aggregate_exactly(self):
+        tracer = Tracer()
+        with tracer.span("prefill"):
+            pass
+        self._verify_span(tracer, 3)            # solo: emits 4
+        self._verify_span(tracer, 1)            # solo: emits 2
+        self._verify_span(tracer, 4, batch=2)   # batched: emits 6 over 2 reqs
+        summary = summarize_spans(tracer.spans)
+        assert summary.n_target_forward_spans == 4
+        # prefill 1 + verify 4 + 2 + 6 = 13 tokens over 4 forwards.
+        assert summary.tokens_emitted == 13
+        assert summary.accepted_per_forward == pytest.approx(13 / 4)
+        # Per-request samples: [4, 2, 3, 3] (batched span -> round mean x2).
+        assert sorted(summary.block_emitted) == [2.0, 3.0, 3.0, 4.0]
+
+    def test_rendered_section_snapshot(self):
+        tracer = Tracer()
+        with tracer.span("prefill"):
+            pass
+        self._verify_span(tracer, 3)
+        self._verify_span(tracer, 1)
+        rendered = render_summary(summarize_spans(tracer.spans))
+        assert (
+            "acceptance: 2.333 accepted tokens/target-forward; "
+            "block efficiency p50 3.00 p95 3.90" in rendered
+        )
+
+    def test_section_absent_without_forward_spans(self):
+        tracer = Tracer()
+        with tracer.span("draft"):
+            pass
+        summary = summarize_spans(tracer.spans)
+        assert summary.accepted_per_forward is None
+        assert "acceptance:" not in render_summary(summary)
+
+    def test_real_decode_matches_record(self, world):
+        """Trace-derived apf equals the record's pre-trim forward accounting."""
+        tracer = Tracer()
+        record = _engine(world, tracer=tracer).decode(world["samples"][0])
+        summary = summarize_spans(tracer.spans)
+        assert summary.n_target_forward_spans == record.n_target_forwards
+        emitted = 1 + sum(b.n_emitted for b in record.blocks)  # prefill + blocks
+        assert summary.tokens_emitted == emitted
+        assert summary.accepted_per_forward == pytest.approx(
+            emitted / record.n_target_forwards
+        )
+
+    def test_json_cli_reports_acceptance(self, world, tmp_path, capsys):
+        tracer = Tracer()
+        _engine(world, tracer=tracer, max_new_tokens=8).decode(world["samples"][0])
+        jsonl = export_jsonl(tracer, tmp_path / "t.jsonl")
+        assert obs_main(["summarize", str(jsonl), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        acc = payload["acceptance"]
+        assert acc is not None
+        assert acc["accepted_per_target_forward"] >= 1.0
+        assert acc["block_efficiency_p95"] >= acc["block_efficiency_p50"] >= 1.0
+
+
 class TestTrainingTrace:
     def test_run_training_emits_spans(self, rng):
         from repro.obs.tracing import set_tracer

@@ -31,6 +31,7 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 
 SERVING_ROW = ("sim-7b", 3, "c=4")
 ARENA_ROW = ("sim-7b", 3, "arena")
+TREE_ROW = ("sim-7b", 7, "tree")
 
 
 def _write_results(results_dir: Path, *, tok_per_s: float = 100.0,
@@ -47,6 +48,11 @@ def _write_results(results_dir: Path, *, tok_per_s: float = 100.0,
         {ARENA_ROW: {"speedup": 3.0, "arena_ms": arena_ms}},
         results_dir / "kv_arena",
         config={"tokens": 256},
+    )
+    save_results(
+        {TREE_ROW: {"apf": 4.9, "sim_ms": 2700.0, "tok_per_s": 65.0}},
+        results_dir / "tree",
+        config={"gamma": 7, "branch": 2},
     )
     return results_dir
 

@@ -237,3 +237,65 @@ class TestObservability:
         assert summary["completed"] == 2
         assert summary["total_tokens"] == report.total_tokens
         assert summary["tokens_per_s"] == pytest.approx(report.tokens_per_s)
+
+    def test_report_acceptance_fields(self, make_engine, world):
+        report = serve_requests(make_engine(), world["samples"][:3])
+        records = [r.record for r in report.results if r.record is not None]
+        forwards = sum(r.n_target_forwards for r in records)
+        assert report.accepted_per_target_forward == pytest.approx(
+            sum(r.n_tokens for r in records) / forwards
+        )
+        assert report.block_efficiency_p95 >= report.block_efficiency_p50 >= 1.0
+        summary = report.summary()
+        for key in ("accepted_per_target_forward", "block_efficiency_p50",
+                    "block_efficiency_p95"):
+            assert summary[key] == getattr(report, key)
+
+
+class TestTreeServing:
+    """Tree-speculation rounds under the continuous-batching scheduler."""
+
+    def _tree_engine(self, make_engine, **overrides):
+        return make_engine(
+            tree_speculation=True, tree_max_branch=2, tree_max_nodes=6,
+            gamma=overrides.pop("gamma", 4), **overrides,
+        )
+
+    def test_tree_rounds_lossless(self, make_engine, world, sequential_records):
+        # greedy tree speculation is lossless, so served tokens must match
+        # the sequential linear-engine oracle exactly
+        report = serve_requests(
+            self._tree_engine(make_engine), world["samples"][:4],
+            ServingConfig(max_batch_size=4),
+        )
+        assert report.count(STATUS_COMPLETED) == 4
+        for result, solo in zip(report.results, sequential_records):
+            assert result.record.token_ids == solo.token_ids
+        assert report.accepted_per_target_forward >= 1.0
+
+    def test_rejected_branches_billed_exactly_once(self, make_engine, world,
+                                                   monkeypatch):
+        """Double-billing regression: the round's verify charge is exactly
+        the batched tree-verify price of the fed node counts — rejected
+        branches are billed once by the forward that fed them and never
+        again at rollback."""
+        engine = self._tree_engine(make_engine)
+        cm = engine.cost_model
+        calls = []
+        orig = cm.batched_tree_verify
+        monkeypatch.setattr(
+            cm, "batched_tree_verify",
+            lambda feeds: calls.append(tuple(feeds)) or orig(feeds),
+        )
+        scheduler = ContinuousBatchingScheduler(
+            engine, ServingConfig(max_batch_size=4)
+        )
+        report = serve_requests(engine, world["samples"][:4], scheduler=scheduler)
+        assert report.count(STATUS_COMPLETED) == 4
+        assert calls, "tree rounds must price through batched_tree_verify"
+        # feeds are node counts (anchor + drafted nodes), never gamma * B,
+        # and never depend on how many nodes were later accepted
+        for feeds in calls:
+            assert all(2 <= f <= 1 + engine.config.tree_max_nodes for f in feeds)
+        expected = sum(orig(list(feeds)) for feeds in calls)
+        assert scheduler.clock.by_category["verify"] == pytest.approx(expected)
