@@ -35,11 +35,28 @@ TARGETS = (
     "src/repro/nn/ragged.py",
     "src/repro/nn/kernels.py",
     "src/repro/decoding/tree.py",
+    "src/repro/analysis/callgraph.py",
+    "src/repro/analysis/dataflow.py",
+    "src/repro/analysis/suppressions.py",
+    "src/repro/analysis/rules/lockorder.py",
+    "src/repro/analysis/rules/taintflow.py",
+    "src/repro/analysis/rules/escape.py",
+    "src/repro/analysis/rules/hotreach.py",
 )
 THRESHOLD = 0.90
 #: Per-target overrides on top of :data:`THRESHOLD` — the tree-speculation
-#: module ships fully documented, so it is held at 100%.
-STRICT = {"src/repro/decoding/tree.py": 1.0}
+#: module and the whole-program analysis engine ship fully documented, so
+#: they are held at 100%.
+STRICT = {
+    "src/repro/decoding/tree.py": 1.0,
+    "src/repro/analysis/callgraph.py": 1.0,
+    "src/repro/analysis/dataflow.py": 1.0,
+    "src/repro/analysis/suppressions.py": 1.0,
+    "src/repro/analysis/rules/lockorder.py": 1.0,
+    "src/repro/analysis/rules/taintflow.py": 1.0,
+    "src/repro/analysis/rules/escape.py": 1.0,
+    "src/repro/analysis/rules/hotreach.py": 1.0,
+}
 
 
 def iter_public_defs(tree: ast.Module, module: str) -> Iterator[Tuple[str, bool]]:

@@ -1,9 +1,13 @@
-"""Text and JSON reporters for analysis findings.
+"""Text, JSON, and SARIF reporters for analysis findings.
 
 The text reporter is the human view: one ``file:line: rule: message`` line
 per finding plus an indented fix hint, then a summary.  The JSON reporter
 is the machine view CI uploads as an artifact; its schema is versioned and
-round-trips through :meth:`Finding.to_dict`.
+round-trips through :meth:`Finding.to_dict`.  The SARIF reporter emits
+`SARIF 2.1.0 <https://docs.oasis-open.org/sarif/sarif/v2.1.0/>`_ so
+editors and code-review UIs can render findings in place; suppressed
+findings are included with a ``suppressions`` entry rather than dropped,
+which is what lets a reviewer audit what the baseline hides.
 """
 
 from __future__ import annotations
@@ -14,10 +18,14 @@ from typing import Dict, List, Optional, Sequence
 from .baseline import Baseline
 from .findings import SEVERITY_ERROR, Finding
 
-__all__ = ["render_text", "render_json", "report_payload"]
+__all__ = ["render_text", "render_json", "render_sarif", "report_payload"]
 
 #: Schema version of the JSON report.
 JSON_VERSION = 1
+
+#: SARIF spec pinned by the reporter.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(active: Sequence[Finding], suppressed: Sequence[Finding],
@@ -75,3 +83,55 @@ def render_json(active: Sequence[Finding], suppressed: Sequence[Finding],
     """The JSON report as a string."""
     return json.dumps(report_payload(active, suppressed, rule_ids, n_files),
                       indent=2, sort_keys=True)
+
+
+def _sarif_result(finding: Finding, suppressed: bool) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": "error" if finding.severity == SEVERITY_ERROR else "warning",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.file},
+                "region": {
+                    "startLine": finding.line,
+                    **({"snippet": {"text": finding.snippet}}
+                       if finding.snippet else {}),
+                },
+            },
+        }],
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "external",
+                                   "justification": "baselined or inline-allowed"}]
+    return result
+
+
+def render_sarif(active: Sequence[Finding], suppressed: Sequence[Finding],
+                 rules: Sequence = ()) -> str:
+    """SARIF 2.1.0 report; ``rules`` are Rule instances for driver metadata."""
+    driver_rules = []
+    for rule in rules:
+        entry: Dict[str, object] = {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.description},
+        }
+        if rule.fix_hint:
+            entry["help"] = {"text": rule.fix_hint}
+        driver_rules.append(entry)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro.analysis",
+                "informationUri": "docs/static_analysis.md",
+                "rules": driver_rules,
+            }},
+            "results": (
+                [_sarif_result(f, suppressed=False) for f in active]
+                + [_sarif_result(f, suppressed=True) for f in suppressed]
+            ),
+        }],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

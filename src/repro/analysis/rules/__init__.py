@@ -1,6 +1,7 @@
 """Built-in rules; importing this package registers all of them.
 
-Rule catalogue (see ``docs/static_analysis.md`` for the full writeup):
+Rule catalogue (see ``docs/static_analysis.md`` for the full writeup).
+Lexical packs (single-AST, PR 5):
 
 ================== ==========================================================
 ``layering``       import direction follows the architecture's layer contract;
@@ -11,22 +12,44 @@ Rule catalogue (see ``docs/static_analysis.md`` for the full writeup):
 ``view-mutation``  no in-place writes through arena view API results
 ``except-discipline`` no bare except; broad handlers log structurally or
                    re-raise; CheckpointError is never swallowed
-``lock-discipline`` classes owning self._lock write attributes only under it
 ================== ==========================================================
+
+Whole-program packs (call graph + dataflow, PR 10):
+
+==================== ========================================================
+``lock-discipline``  lockset analysis: guarded state is written with
+                     self._lock held on *every* call path from a public entry
+``lock-order``       nested acquisitions follow one global order; no path
+                     re-acquires a held (non-reentrant) lock
+``determinism-flow`` unseeded RNGs / wall-clock / env values must not flow
+                     into decode rng/seed slots (interprocedural taint)
+``view-escape``      arena views are not read/returned/stored/captured past
+                     a mutation of the producing cache
+``hotpath-reach``    no tensor allocation anywhere transitively reachable
+                     from the serving/decode entry points
+==================== ========================================================
 """
 
 from .determinism import DeterminismRule
+from .escape import ViewEscapeRule
 from .exceptions import ExceptionDisciplineRule
 from .hotpath import HotPathAllocationRule
+from .hotreach import HotPathReachRule
 from .layering import LayeringRule
+from .lockorder import LockOrderRule
 from .locks import LockDisciplineRule
+from .taintflow import DeterminismFlowRule
 from .views import ViewMutationRule
 
 __all__ = [
+    "DeterminismFlowRule",
     "DeterminismRule",
     "ExceptionDisciplineRule",
     "HotPathAllocationRule",
+    "HotPathReachRule",
     "LayeringRule",
     "LockDisciplineRule",
+    "LockOrderRule",
+    "ViewEscapeRule",
     "ViewMutationRule",
 ]

@@ -1,0 +1,245 @@
+"""View escape: zero-copy arena views must not outlive their valid window.
+
+The arena contract (PR 4) is that every view handed out by
+``Arena.view()`` / ``KVCache.layer()`` / ``BlockTable.layer_blocks()`` /
+``gather_rows()`` / ``positions`` is **valid until the next mutation** of
+the cache that produced it.  The lexical ``view-mutation`` rule stops
+writes *through* a view; this pack catches the other half of the contract
+— a view that *escapes* its valid window and gets read after the storage
+underneath it has been rewritten:
+
+* **stale read / stale return** — a local bound to a view is used (or
+  returned) after a mutating call (``append``/``rollback``/
+  ``clear_draft``/...) on *the same cache object*.  The classic shape:
+  ``rows = table.gather_rows(...); table.append(...); score(rows)`` — the
+  second line may have re-packed the block the view aliases;
+* **store on self** — ``self.cached = table.layer_blocks(...)`` makes the
+  view outlive the call frame entirely; *any* later mutation invalidates
+  it with no visible signal;
+* **closure capture** — a nested ``def`` or ``lambda`` that closes over a
+  view local runs at some later time, i.e. potentially after a mutation.
+
+Staleness is tracked per *receiver expression*: only a mutator call on the
+same dotted receiver (``table.append`` after ``table.gather_rows``)
+invalidates, so ``results.append(x)`` on an ordinary list never trips the
+rule.  Rebinding a name — including to an explicit ``.copy()`` — clears
+its view status.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..astutil import dotted_name, walk_functions
+from ..framework import Rule, register
+from ..project import ModuleInfo, Project
+from .views import VIEW_ATTRS, VIEW_METHODS, _target_names
+
+__all__ = ["ViewEscapeRule", "MUTATORS"]
+
+#: Cache methods that invalidate previously returned views.
+MUTATORS = {"append", "append_context", "append_draft", "clear_draft",
+            "truncate", "extend_positions", "rollback"}
+
+#: View-producing methods beyond the lexical rule's set (BlockTable API).
+EXTRA_VIEW_METHODS = {"layer_blocks", "position_rows", "gather_rows"}
+
+
+@dataclass
+class _ViewInfo:
+    """A local currently bound to a zero-copy view."""
+
+    receiver: str        #: dotted receiver that produced it ("" if unknown)
+    bind_line: int
+    stale_line: int = 0  #: line of the invalidating mutator call (0 = fresh)
+    mutator: str = ""    #: name of the invalidating mutator
+
+
+def _view_receiver(node: ast.AST) -> Optional[str]:
+    """Dotted receiver when ``node`` evaluates to a view, else None.
+
+    A receiver of plain ``self`` returns None: inside the producing class
+    the view contract is the class's own to manage (the reference cache
+    reslicing ``self.positions`` is bookkeeping, not an escape).
+    """
+    receiver: Optional[str] = None
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in VIEW_METHODS | EXTRA_VIEW_METHODS:
+            receiver = dotted_name(node.func.value) or ""
+    elif isinstance(node, ast.Attribute) and node.attr in VIEW_ATTRS:
+        receiver = dotted_name(node.value) or ""
+    elif isinstance(node, ast.Subscript):
+        receiver = _view_receiver(node.value)  # a slice of a view is a view
+    return None if receiver == "self" else receiver
+
+
+def _owned_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """Expressions directly owned by ``stmt`` (child blocks excluded)."""
+    for fname, value in ast.iter_fields(stmt):
+        if fname in ("body", "orelse", "finalbody", "handlers", "cases"):
+            continue
+        values = value if isinstance(value, list) else [value]
+        for v in values:
+            if isinstance(v, ast.expr):
+                yield v
+            elif isinstance(v, ast.withitem):
+                yield v.context_expr
+
+
+def _free_names(node: ast.AST) -> Set[str]:
+    """Name loads inside ``node`` (used to detect closure capture)."""
+    return {n.id for n in ast.walk(node)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)}
+
+
+@register
+class ViewEscapeRule(Rule):
+    """Flag arena views read, returned, stored, or captured past a mutation."""
+
+    rule_id = "view-escape"
+    description = (
+        "zero-copy arena views are valid only until the next mutation of "
+        "the producing cache; they must not be read after a mutator call, "
+        "stored on self, or captured by a closure"
+    )
+    fix_hint = (
+        "consume the view before mutating the cache, or take an explicit "
+        ".copy() when the value must outlive the next append/rollback"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator:
+        """Track view lifetimes through every function scope in the module."""
+        for _scope, body in walk_functions(module.tree):
+            yield from self._check_scope(module, body)
+
+    # ------------------------------------------------------------------
+    def _check_scope(self, module: ModuleInfo, body: List[ast.stmt]) -> Iterator:
+        views: Dict[str, _ViewInfo] = {}
+        for stmt in self._flat_statements(body):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_capture(module, stmt, stmt.name, views)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                continue
+            bound = self._bound_names(stmt)
+            for expr in _owned_exprs(stmt):
+                yield from self._check_expr(module, stmt, expr, views, bound)
+            self._apply_mutators(stmt, views)
+            yield from self._apply_bindings(module, stmt, views)
+
+    def _check_expr(self, module: ModuleInfo, stmt: ast.stmt, expr: ast.expr,
+                    views: Dict[str, _ViewInfo], bound: Set[str]) -> Iterator:
+        """Stale reads and lambda captures inside one owned expression."""
+        stack: List[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                yield from self._check_capture(module, node, "<lambda>", views)
+                continue
+            if (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+                    and node.id in views and node.id not in bound):
+                info = views[node.id]
+                if info.stale_line:
+                    verb = ("returned" if isinstance(stmt, ast.Return)
+                            else "read")
+                    yield self.finding(
+                        module, node.lineno,
+                        f"stale view {verb}: {node.id!r} (view of "
+                        f"{info.receiver or 'a cache'} from line "
+                        f"{info.bind_line}) is used after "
+                        f"{info.receiver}.{info.mutator}() on line "
+                        f"{info.stale_line} invalidated it",
+                    )
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_capture(self, module: ModuleInfo, func: ast.AST, name: str,
+                       views: Dict[str, _ViewInfo]) -> Iterator:
+        captured = sorted(_free_names(func) & set(views))
+        for view_name in captured:
+            yield self.finding(
+                module, func.lineno,
+                f"closure {name!r} captures zero-copy view {view_name!r}; "
+                f"it may run after the cache mutates, reading through a "
+                f"dangling alias",
+            )
+
+    def _apply_mutators(self, stmt: ast.stmt,
+                        views: Dict[str, _ViewInfo]) -> None:
+        """Mark views stale when their receiver is mutated in ``stmt``."""
+        receivers = {info.receiver for info in views.values() if info.receiver}
+        if not receivers:
+            return
+        for expr in _owned_exprs(stmt):
+            for node in ast.walk(expr):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in MUTATORS):
+                    recv = dotted_name(node.func.value)
+                    if recv in receivers:
+                        for info in views.values():
+                            if info.receiver == recv and not info.stale_line:
+                                info.stale_line = node.lineno
+                                info.mutator = node.func.attr
+
+    def _apply_bindings(self, module: ModuleInfo, stmt: ast.stmt,
+                        views: Dict[str, _ViewInfo]) -> Iterator:
+        """Track new view bindings; flag stores of views onto ``self``."""
+        pairs = []
+        if isinstance(stmt, ast.Assign):
+            pairs = [(t, stmt.value) for t in stmt.targets]
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            pairs = [(stmt.target, stmt.value)]
+        for target, value in pairs:
+            receiver = _view_receiver(value)
+            is_view_name = (isinstance(value, ast.Name) and value.id in views)
+            if receiver is None and is_view_name:
+                receiver = views[value.id].receiver
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self" and receiver is not None):
+                yield self.finding(
+                    module, stmt.lineno,
+                    f"zero-copy view stored on self.{target.attr}: it "
+                    f"outlives this call frame, and any later mutation of "
+                    f"{receiver or 'the cache'} silently invalidates it",
+                )
+                continue
+            for name in _target_names(target):
+                if receiver is not None:
+                    views[name] = _ViewInfo(receiver=receiver,
+                                            bind_line=stmt.lineno)
+                else:
+                    views.pop(name, None)
+
+    @staticmethod
+    def _bound_names(stmt: ast.stmt) -> Set[str]:
+        """Names (re)bound by this statement — their reads aren't stale."""
+        if isinstance(stmt, ast.Assign):
+            return {n for t in stmt.targets for n in _target_names(t)}
+        if isinstance(stmt, ast.AnnAssign):
+            return set(_target_names(stmt.target))
+        if isinstance(stmt, ast.For):
+            return set(_target_names(stmt.target))
+        return set()
+
+    @staticmethod
+    def _flat_statements(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+        """Scope statements in source order; nested defs yielded, not entered."""
+        stack = list(reversed(body))
+        while stack:
+            stmt = stack.pop()
+            yield stmt
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for field_body in (getattr(stmt, "body", None),
+                               getattr(stmt, "orelse", None),
+                               getattr(stmt, "finalbody", None)):
+                if field_body:
+                    stack.extend(reversed(field_body))
+            for handler in getattr(stmt, "handlers", ()) or ():
+                stack.extend(reversed(handler.body))
+            for case in getattr(stmt, "cases", ()) or ():
+                stack.extend(reversed(case.body))

@@ -1,0 +1,126 @@
+"""Interprocedural hot-path allocation: reachability closes the loophole.
+
+The lexical ``hotpath-alloc`` rule guards a fixed list of zero-copy
+modules, which leaves an obvious escape hatch: move the ``np.concatenate``
+into a helper that lives *outside* the tagged set and call it from the
+decode loop.  Nothing lexical can object — but the per-token complexity
+class regressed all the same.
+
+This pack computes, over the whole-program call graph, everything
+transitively reachable from the serving/decode entry points
+(``ContinuousBatchingScheduler.run_round``, ``AASDEngine.step*`` /
+``_step*`` by default) and applies the same allocator checks
+(``np.concatenate``/``stack``/``vstack``/``hstack`` and ``.copy()``) to
+every reached function — wherever its module lives.  Each finding carries
+the call path that makes the site hot (``run_round -> _drain -> helper``),
+so "why is this hot?" is answered in the message, not by archaeology.
+
+Functions already covered by the lexical rule's module list are skipped
+(one finding per site, from whichever rule owns it), as is the sanctioned
+reference implementation.  Resolution is conservative — an unresolved
+dynamic call contributes no reachability — so a finding here always comes
+with a concrete witness path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence, Set, Tuple
+
+from ..astutil import dotted_name
+from ..callgraph import call_graph_for
+from ..framework import Rule, register
+from ..project import Project
+from .hotpath import (DEFAULT_EXEMPT, DEFAULT_HOT_MODULES,
+                      DEFAULT_HOT_PREFIXES, FORBIDDEN_NP)
+
+__all__ = ["HotPathReachRule"]
+
+#: fnmatch-style entry patterns: the decode/serving hot loops.
+DEFAULT_ENTRY_PATTERNS: Tuple[str, ...] = (
+    "repro.serving.scheduler.ContinuousBatchingScheduler.run_round",
+    "repro.core.engine.AASDEngine.step*",
+    "repro.core.engine.AASDEngine._step*",
+)
+
+
+@register
+class HotPathReachRule(Rule):
+    """Forbid tensor allocation anywhere reachable from decode entry points."""
+
+    rule_id = "hotpath-reach"
+    description = (
+        "no np.concatenate/np.stack/.copy() anywhere transitively reachable "
+        "from the serving/decode entry points (call-graph reachability)"
+    )
+    fix_hint = (
+        "write into preallocated arena storage, hoist the allocation out of "
+        "the per-step path, or — if it is setup-only — add an inline "
+        "`# repro: allow[hotpath-reach] -- <reason>`"
+    )
+
+    def __init__(self, entry_patterns: Sequence[str] = DEFAULT_ENTRY_PATTERNS,
+                 lexical_modules: Optional[Set[str]] = None,
+                 lexical_prefixes: Optional[Sequence[str]] = None,
+                 exempt: Optional[Set[str]] = None) -> None:
+        self.entry_patterns = tuple(entry_patterns)
+        self.lexical_modules = (lexical_modules if lexical_modules is not None
+                                else set(DEFAULT_HOT_MODULES))
+        self.lexical_prefixes = tuple(lexical_prefixes
+                                      if lexical_prefixes is not None
+                                      else DEFAULT_HOT_PREFIXES)
+        self.exempt = exempt if exempt is not None else set(DEFAULT_EXEMPT)
+
+    def check_project(self, project: Project) -> Iterator:
+        """Flag allocation sites inside the decode entry points' closure."""
+        graph = call_graph_for(project)
+        entries = sorted({q for pattern in self.entry_patterns
+                          for q in graph.find(pattern)})
+        if not entries:
+            return
+        reachable = graph.reachable(entries)
+        for qname in sorted(reachable):
+            func = graph.functions.get(qname)
+            if func is None or self._lexically_covered(func.module):
+                continue
+            module = project.modules.get(func.module)
+            if module is None:
+                continue
+            path = reachable[qname]
+            for line, what in self._alloc_sites(func.node):
+                via = " -> ".join(_short(p) for p in path)
+                yield self.finding(
+                    module, line,
+                    f"hot-path allocation: {what} in {_short(qname)}, "
+                    f"reachable from a decode entry via {via}",
+                )
+
+    # ------------------------------------------------------------------
+    def _lexically_covered(self, module: str) -> bool:
+        """Modules the lexical hotpath-alloc rule already owns (or exempts)."""
+        if module in self.exempt:
+            return True
+        return (module in self.lexical_modules
+                or module.startswith(self.lexical_prefixes))
+
+    @staticmethod
+    def _alloc_sites(func_node: ast.AST) -> Iterator[Tuple[int, str]]:
+        """(line, description) for each forbidden allocator call in the body."""
+        for node in ast.walk(func_node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is not None:
+                parts = name.split(".")
+                if (len(parts) >= 2 and parts[-2] in ("np", "numpy")
+                        and parts[-1] in FORBIDDEN_NP):
+                    yield node.lineno, f"{name}()"
+                    continue
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "copy":
+                yield node.lineno, ".copy()"
+
+
+def _short(qname: str) -> str:
+    """Trailing ``Class.method`` (or bare name) of a qualified name."""
+    parts = qname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qname

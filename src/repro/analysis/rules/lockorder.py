@@ -1,0 +1,221 @@
+"""Lock-order hazards: acquisition-order inversions and re-entrant acquires.
+
+The repo holds several independent ``threading.Lock`` instances — the
+admission queue, every metric in the registry, the tracer, the profiler —
+and code paths legitimately nest them (``AdmissionQueue._publish`` updates
+the queue-depth gauge *while holding* the queue lock).  Nesting is fine as
+long as every thread acquires in a consistent global order; two paths that
+nest the same pair of locks in opposite orders can deadlock under exactly
+the concurrency the chaos storms (PR 6) exercise, and nothing
+single-threaded will ever reproduce it.
+
+Built on the whole-program call graph, this pack:
+
+* computes, for every function, the set of lock *owners* (lock-owning
+  classes, identified by ``self._lock`` in ``__init__``) whose lock the
+  function may acquire — directly via ``with self._lock:`` or transitively
+  through any resolved call (fixpoint over the call graph);
+* walks every ``with self._lock:`` region and, for each call inside it,
+  adds an order edge ``holder -> acquired`` for every lock the callee may
+  take — re-acquisition of the *same* class's lock is reported immediately
+  (``threading.Lock`` is not re-entrant: that is a guaranteed one-thread
+  deadlock, the classic helper-calls-public-API slip);
+* reports every cycle in the resulting acquisition-order graph as a
+  potential deadlock, naming one witness site per edge of the cycle.
+
+Like every call-graph pack, resolution is conservative: an unresolvable
+dynamic call contributes no edge, so findings here are high-confidence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..callgraph import CallGraph, call_graph_for
+from ..framework import Rule, register
+from ..project import Project
+from .locks import assigns_lock
+
+__all__ = ["LockOrderRule"]
+
+
+def _lock_owners(graph: CallGraph) -> Set[str]:
+    """Class qnames whose ``__init__`` creates ``self._lock``."""
+    owners: Set[str] = set()
+    for cls in graph.classes.values():
+        init = graph.resolve_method(cls.qname, "__init__")
+        if init is None or graph.functions[init].cls != cls.qname:
+            init_info = None
+        else:
+            init_info = graph.functions[init]
+        if init_info is not None and assigns_lock(init_info.node):
+            owners.add(cls.qname)
+    return owners
+
+
+def _is_self_lock(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Attribute) and node.attr == "_lock"
+            and isinstance(node.value, ast.Name) and node.value.id == "self")
+
+
+def _direct_acquirers(graph: CallGraph, owners: Set[str]) -> Set[str]:
+    """Functions containing a literal ``with self._lock:`` acquisition."""
+    acquirers: Set[str] = set()
+    for qname, func in graph.functions.items():
+        if func.cls not in owners:
+            continue
+        for node in ast.walk(func.node):
+            if isinstance(node, (ast.With, ast.AsyncWith)) and any(
+                    _is_self_lock(item.context_expr) for item in node.items):
+                acquirers.add(qname)
+                break
+    return acquirers
+
+
+def _may_acquire(graph: CallGraph, owners: Set[str],
+                 direct: Set[str]) -> Dict[str, Set[str]]:
+    """Fixpoint: function qname -> lock-owner classes it may acquire."""
+    acq: Dict[str, Set[str]] = {
+        q: ({graph.functions[q].cls} if q in direct else set())  # type: ignore[arg-type]
+        for q in graph.functions
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qname in graph.functions:
+            merged = set(acq[qname])
+            for edge in graph.callees(qname):
+                merged |= acq.get(edge.callee, set())
+            if merged != acq[qname]:
+                acq[qname] = merged
+                changed = True
+    return acq
+
+
+@register
+class LockOrderRule(Rule):
+    """Detect lock-order inversions and non-reentrant re-acquisition."""
+
+    rule_id = "lock-order"
+    description = (
+        "nested lock acquisitions must follow one global order, and no call "
+        "path may re-acquire a held (non-reentrant) self._lock"
+    )
+    fix_hint = (
+        "hoist the inner acquisition out of the locked region (compute "
+        "under the lock, publish after), or make every path take the locks "
+        "in the same order"
+    )
+
+    def check_project(self, project: Project) -> Iterator:
+        """Flag self-deadlocks and acquisition-order cycles project-wide."""
+        graph = call_graph_for(project)
+        owners = _lock_owners(graph)
+        if not owners:
+            return
+        direct = _direct_acquirers(graph, owners)
+        acq = _may_acquire(graph, owners, direct)
+
+        # holder class -> acquired class -> first witness (file, line, text)
+        order: Dict[str, Dict[str, Tuple[str, int, str]]] = {}
+        for qname, func in sorted(graph.functions.items()):
+            if func.cls not in owners:
+                continue
+            holder: str = func.cls
+            module = project.modules.get(func.module)
+            if module is None:
+                continue
+            for call, line in self._locked_calls(func.node):
+                callees = self._callees_at(graph, qname, call)
+                for callee in callees:
+                    for acquired in sorted(acq.get(callee, ())):
+                        if acquired == holder:
+                            yield self.finding(
+                                module, line,
+                                f"re-acquisition of {_short(holder)}._lock: "
+                                f"{_short(qname)} calls {_short(callee)} with "
+                                f"the lock already held; threading.Lock is "
+                                f"not re-entrant, this path self-deadlocks",
+                            )
+                        else:
+                            order.setdefault(holder, {}).setdefault(
+                                acquired,
+                                (func.module, line, f"{_short(qname)} -> {_short(callee)}"),
+                            )
+        yield from self._report_cycles(project, graph, order)
+
+    # ------------------------------------------------------------------
+    def _locked_calls(self, func_node: ast.AST) -> Iterator[Tuple[ast.Call, int]]:
+        """Every Call node lexically inside a ``with self._lock:`` region."""
+
+        def visit(stmts: List[ast.stmt], locked: bool) -> Iterator[Tuple[ast.Call, int]]:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                    continue
+                if locked:
+                    for node in ast.walk(stmt):
+                        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                             ast.Lambda)):
+                            continue
+                        if isinstance(node, ast.Call):
+                            yield node, node.lineno
+                    continue
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    inner = locked or any(
+                        _is_self_lock(item.context_expr) for item in stmt.items)
+                    yield from visit(stmt.body, inner)
+                    continue
+                for body in (getattr(stmt, "body", None),
+                             getattr(stmt, "orelse", None),
+                             getattr(stmt, "finalbody", None)):
+                    if body:
+                        yield from visit(body, locked)
+                for handler in getattr(stmt, "handlers", ()) or ():
+                    yield from visit(handler.body, locked)
+                for case in getattr(stmt, "cases", ()) or ():
+                    yield from visit(case.body, locked)
+
+        yield from visit(getattr(func_node, "body", []), False)
+
+    @staticmethod
+    def _callees_at(graph: CallGraph, qname: str, call: ast.Call) -> Tuple[str, ...]:
+        for site in graph.sites.get(qname, ()):
+            if site.node is call:
+                return site.callees
+        return ()
+
+    def _report_cycles(self, project: Project, graph: CallGraph,
+                       order: Dict[str, Dict[str, Tuple[str, int, str]]]) -> Iterator:
+        """DFS cycle detection over the acquisition-order graph."""
+        seen_cycles: Set[Tuple[str, ...]] = set()
+        for start in sorted(order):
+            stack: List[Tuple[str, List[str]]] = [(start, [start])]
+            while stack:
+                node, path = stack.pop()
+                for nxt in sorted(order.get(node, ())):
+                    if nxt == start:
+                        cycle = tuple(sorted(path))
+                        if cycle in seen_cycles:
+                            continue
+                        seen_cycles.add(cycle)
+                        names = " -> ".join(_short(c) for c in path + [start])
+                        witness_mod, line, via = order[node][nxt]
+                        module = project.modules.get(witness_mod)
+                        if module is None:
+                            continue
+                        yield self.finding(
+                            module, line,
+                            f"lock-order inversion: acquisition cycle "
+                            f"{names} (witness: {via}); opposite nesting "
+                            f"orders can deadlock under concurrency",
+                        )
+                    elif nxt not in path and len(path) < 8:
+                        stack.append((nxt, path + [nxt]))
+
+
+def _short(qname: str) -> str:
+    """Trailing ``Class.method`` (or ``Class``) of a qualified name."""
+    parts = qname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qname

@@ -1,34 +1,52 @@
-"""Lock discipline: guarded classes only mutate state under ``self._lock``.
+"""Lockset discipline: guarded state is only written with ``self._lock`` held.
 
-The metrics registry and the serving admission queue are documented
-thread-safe; their invariant is lexical — every attribute write happens
-inside a ``with self._lock:`` block.  A new method that writes
-``self._value`` without the lock is a data race that no single-threaded
-test will ever catch.
+The metrics registry, the serving admission queue, the tracer, and the
+profiler are documented thread-safe; their invariant used to be enforced
+*lexically* — every attribute write inside a ``with self._lock:`` block in
+the same method.  That misses both directions: a helper whose writes are
+lexically bare but which is only ever called under the lock is perfectly
+safe (the old rule flagged it), while a helper called from even one
+unlocked path is a data race no single-threaded test will catch (the old
+rule could not say which).
 
-The rule is self-scoping: any class whose ``__init__`` assigns
-``self._lock`` opts into checking, and from then on *every* method (except
-``__init__``/``__post_init__``, which run before the object is shared)
-must wrap attribute writes in ``with self._lock:``.  Classes without a
-``_lock`` attribute are untouched, so single-threaded code pays nothing.
+This version computes a per-class *lockset* over the intra-class call
+graph.  Any class whose ``__init__`` assigns ``self._lock`` opts in; then:
+
+* every public method (and every private method never called from inside
+  the class) is an *entry*, assumed to be invoked with the lock **not**
+  held;
+* lock state propagates through ``self.helper()`` calls — a call inside a
+  ``with self._lock:`` block enters the helper with the lock held, a call
+  outside enters it bare, and helpers inherit the caller's state
+  transitively;
+* a write to ``self.<attr>`` is flagged iff some path from an entry
+  reaches it with the lock not held — and the finding names that path.
+
+``__init__``/``__post_init__``/``__new__`` stay exempt as callers and as
+writers: the object is not shared yet.  Classes without ``self._lock``
+are untouched.  Lock *ordering* hazards (inversions, non-reentrant
+re-acquisition) are the ``lock-order`` pack's job, not this one's.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
 
 from ..framework import Rule, register
 from ..project import ModuleInfo, Project
 
-__all__ = ["LockDisciplineRule"]
+__all__ = ["LockDisciplineRule", "collect_lock_facts", "unlocked_reachable",
+           "MethodFacts", "LOCK_ATTR", "UNGUARDED_METHODS", "assigns_lock"]
 
 #: Methods allowed to write without the lock (object not yet shared).
 UNGUARDED_METHODS = {"__init__", "__post_init__", "__new__"}
 LOCK_ATTR = "_lock"
 
 
-def _assigns_lock(func: ast.FunctionDef) -> bool:
+def assigns_lock(func: ast.AST) -> bool:
+    """True when ``func`` (an ``__init__``) binds ``self._lock``."""
     for node in ast.walk(func):
         if isinstance(node, ast.Assign):
             for target in node.targets:
@@ -52,17 +70,154 @@ def _self_attr_target(node: ast.AST) -> str:
     return ""
 
 
+def _stmt_expr_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Call nodes in the expressions directly owned by ``stmt``.
+
+    Child statement blocks (``body``/``orelse``/...) are *not* entered —
+    the lexical walk handles those with their own lock state — and neither
+    are nested function definitions (their bodies run later, lock-free).
+    """
+    for fname, value in ast.iter_fields(stmt):
+        if fname in ("body", "orelse", "finalbody", "handlers", "cases", "items"):
+            continue
+        values = value if isinstance(value, list) else [value]
+        for v in values:
+            if isinstance(v, ast.expr):
+                yield from _expr_calls(v)
+
+
+def _expr_calls(expr: ast.expr) -> Iterator[ast.Call]:
+    """Call nodes in ``expr``, skipping lambda bodies (they run later)."""
+    stack: List[ast.AST] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Lambda):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass
+class MethodFacts:
+    """Lock-relevant facts about one method, from a single lexical walk."""
+
+    name: str
+    node: ast.AST
+    #: ``(attr, lineno, locked)`` for every ``self.<attr>`` store
+    writes: List[Tuple[str, int, bool]] = field(default_factory=list)
+    #: ``(method, lineno, locked)`` for every ``self.<method>()`` call
+    self_calls: List[Tuple[str, int, bool]] = field(default_factory=list)
+    #: lines of ``with self._lock:`` acquisitions (lexical)
+    acquire_lines: List[int] = field(default_factory=list)
+    #: ``with self._lock:`` nested inside an already-locked region
+    nested_acquires: List[int] = field(default_factory=list)
+
+
+def collect_lock_facts(cls: ast.ClassDef) -> Dict[str, MethodFacts]:
+    """Per-method lock facts for a lock-owning class (all methods)."""
+    facts: Dict[str, MethodFacts] = {}
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        mf = MethodFacts(name=method.name, node=method)
+        _walk(method.body, False, mf)
+        facts[method.name] = mf
+    return facts
+
+
+def _walk(stmts: List[ast.stmt], locked: bool, mf: MethodFacts) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue  # nested scopes run later, outside this lock region
+        for call in _stmt_expr_calls(stmt):
+            if (isinstance(call.func, ast.Attribute)
+                    and isinstance(call.func.value, ast.Name)
+                    and call.func.value.id == "self"):
+                mf.self_calls.append((call.func.attr, call.lineno, locked))
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                for call in _expr_calls(item.context_expr):
+                    if (isinstance(call.func, ast.Attribute)
+                            and isinstance(call.func.value, ast.Name)
+                            and call.func.value.id == "self"):
+                        mf.self_calls.append((call.func.attr, call.lineno, locked))
+            acquires = any(_is_self_lock(item.context_expr) for item in stmt.items)
+            if acquires:
+                mf.acquire_lines.append(stmt.lineno)
+                if locked:
+                    mf.nested_acquires.append(stmt.lineno)
+            _walk(stmt.body, locked or acquires, mf)
+            continue
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                attr = _self_attr_target(target)
+                if attr and attr != LOCK_ATTR:
+                    mf.writes.append((attr, stmt.lineno, locked))
+        for body in (getattr(stmt, "body", None), getattr(stmt, "orelse", None),
+                     getattr(stmt, "finalbody", None)):
+            if body:
+                _walk(body, locked, mf)
+        for handler in getattr(stmt, "handlers", ()) or ():
+            _walk(handler.body, locked, mf)
+        for case in getattr(stmt, "cases", ()) or ():
+            _walk(case.body, locked, mf)
+
+
+def _is_entry(name: str) -> bool:
+    """Public surface: plain public names and dunders (``__len__``, ...)."""
+    if name in UNGUARDED_METHODS:
+        return False
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return not name.startswith("_")
+
+
+def unlocked_reachable(facts: Dict[str, MethodFacts]) -> Dict[str, Tuple[str, ...]]:
+    """Methods reachable with the lock *not* held, with a witness path.
+
+    Entries are the public methods plus private methods never called from
+    inside the class (they may be invoked externally); ``__init__``-family
+    methods never seed or propagate reachability (the object is unshared
+    while they run).
+    """
+    called = {callee for mf in facts.values()
+              if mf.name not in UNGUARDED_METHODS
+              for callee, _, _ in mf.self_calls}
+    unlocked: Dict[str, Tuple[str, ...]] = {}
+    frontier: List[str] = []
+    for name, mf in sorted(facts.items()):
+        if mf.name in UNGUARDED_METHODS:
+            continue
+        if _is_entry(name) or name not in called:
+            unlocked[name] = (name,)
+            frontier.append(name)
+    while frontier:
+        nxt: List[str] = []
+        for name in frontier:
+            for callee, _line, locked in facts[name].self_calls:
+                if locked or callee in UNGUARDED_METHODS:
+                    continue
+                if callee in facts and callee not in unlocked:
+                    unlocked[callee] = unlocked[name] + (callee,)
+                    nxt.append(callee)
+        frontier = nxt
+    return unlocked
+
+
 @register
 class LockDisciplineRule(Rule):
-    """In classes owning ``self._lock``, attribute writes need the lock."""
+    """Writes to guarded state must hold the lock on every call path."""
 
     rule_id = "lock-discipline"
     description = (
-        "classes that create self._lock must perform every attribute write "
-        "inside a `with self._lock:` block (outside __init__)"
+        "in classes that create self._lock, every attribute write must hold "
+        "the lock on every call path from a public entry (lockset analysis "
+        "over the intra-class call graph)"
     )
-    fix_hint = "wrap the write in `with self._lock:` (or compute outside, "\
-               "assign inside the guarded block)"
+    fix_hint = "wrap the write in `with self._lock:`, or make every call " \
+               "path to this helper enter it with the lock already held"
 
     def check_module(self, module: ModuleInfo, project: Project) -> Iterator:
         for node in ast.walk(module.tree):
@@ -70,54 +225,25 @@ class LockDisciplineRule(Rule):
                 yield from self._check_class(module, node)
 
     def _check_class(self, module: ModuleInfo, cls: ast.ClassDef) -> Iterator:
-        methods = [n for n in cls.body
-                   if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
-        init = next((m for m in methods if m.name == "__init__"), None)
-        if init is None or not _assigns_lock(init):
+        init = next((m for m in cls.body
+                     if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+                     and m.name == "__init__"), None)
+        if init is None or not assigns_lock(init):
             return
-        for method in methods:
-            if method.name in UNGUARDED_METHODS:
-                continue
-            yield from self._check_method(module, cls, method)
-
-    def _check_method(self, module: ModuleInfo, cls: ast.ClassDef,
-                      method: ast.FunctionDef) -> Iterator:
-        """Walk the method body tracking `with self._lock:` nesting."""
-
-        def visit(stmts: List[ast.stmt], locked: bool) -> Iterator:
-            for stmt in stmts:
-                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-                    continue  # nested scopes manage their own state
-                if isinstance(stmt, (ast.With, ast.AsyncWith)):
-                    inner = locked or any(
-                        _is_self_lock(item.context_expr) for item in stmt.items
-                    )
-                    yield from visit(stmt.body, inner)
+        facts = collect_lock_facts(cls)
+        unlocked = unlocked_reachable(facts)
+        for name, path in sorted(unlocked.items()):
+            mf = facts[name]
+            for attr, line, locked in mf.writes:
+                if locked:
                     continue
-                if not locked:
-                    targets = []
-                    if isinstance(stmt, ast.Assign):
-                        targets = stmt.targets
-                    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
-                        targets = [stmt.target]
-                    for target in targets:
-                        attr = _self_attr_target(target)
-                        if attr and attr != LOCK_ATTR:
-                            yield self.finding(
-                                module, stmt.lineno,
-                                f"unguarded write to self.{attr} in "
-                                f"{cls.name}.{method.name}: class owns "
-                                f"self._lock, so shared state must be "
-                                f"written under it",
-                            )
-                for body in (getattr(stmt, "body", None),
-                             getattr(stmt, "orelse", None),
-                             getattr(stmt, "finalbody", None)):
-                    if body:
-                        yield from visit(body, locked)
-                for handler in getattr(stmt, "handlers", ()) or ():
-                    yield from visit(handler.body, locked)
-                for case in getattr(stmt, "cases", ()) or ():
-                    yield from visit(case.body, locked)
-
-        yield from visit(method.body, locked=False)
+                via = ""
+                if len(path) > 1:
+                    via = (" (reachable without the lock via "
+                           + " -> ".join(f"{cls.name}.{p}" for p in path) + ")")
+                yield self.finding(
+                    module, line,
+                    f"unguarded write to self.{attr} in {cls.name}.{name}: "
+                    f"class owns self._lock, so shared state must be "
+                    f"written under it{via}",
+                )

@@ -1,0 +1,154 @@
+"""Determinism taint: nondeterministic values must not reach decode paths.
+
+The lexical ``determinism`` rule catches *local* sins — a call on numpy's
+global RNG state, a wall-clock seed at the call site.  What it cannot see
+is an unseeded generator or a wall-clock read created in one function and
+*flowing* into a decode/verify/sampling component through a helper, a
+constructor default, or an attribute — the exact shape of the day-one bug
+this pack was built around (``Sampler.__init__`` silently defaulting to
+``np.random.default_rng()``).
+
+Built on :mod:`repro.analysis.dataflow`, sources are:
+
+* ``np.random.default_rng()`` / ``SeedSequence()`` **with no arguments** —
+  an OS-entropy generator, different every process;
+* wall-clock reads (``time.time``/``perf_counter``/``datetime.now`` and
+  friends) outside the observability layer, which legitimately timestamps;
+* environment reads (``os.environ[...]``, ``os.getenv``) — config that
+  changes between machines without appearing in any experiment manifest.
+
+The taint engine propagates these through locals, attributes, returns and
+call arguments; this rule then flags only the flows that matter: a tainted
+value landing in an rng/seed-shaped slot (``self.rng = ...``, a ``rng=``
+or ``seed=`` argument) of the decode stack (``repro.decoding.*`` /
+``repro.core.*``).  Derived data (e.g. a ``WallTimer`` elapsed reading
+used in metrics) never fires — the rule tracks the nondeterministic value
+itself, not arithmetic downstream of it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence, Set, Tuple
+
+from ..astutil import dotted_name, dotted_tail
+from ..callgraph import CallGraph, FunctionInfo, call_graph_for
+from ..dataflow import TaintEvent, TaintSpec, run_taint
+from ..framework import Rule, register
+from ..project import Project
+from .determinism import WALL_CLOCK_TAILS
+
+__all__ = ["DeterminismFlowRule", "DeterminismTaintSpec"]
+
+#: Module prefixes whose rng/seed slots are sinks (the decode stack).
+DEFAULT_SINK_PREFIXES: Tuple[str, ...] = ("repro.decoding.", "repro.core.")
+
+#: Modules allowed to read the wall clock (observability owns timing).
+DEFAULT_CLOCK_EXEMPT: Tuple[str, ...] = ("repro.obs.", "repro.utils.timing")
+
+#: Attribute / parameter names that hold generators or seeds.
+SINK_SLOTS = {"rng", "_rng", "seed", "_seed", "generator", "_generator"}
+
+LABEL_RNG = "unseeded-rng"
+LABEL_CLOCK = "wall-clock"
+LABEL_ENV = "env-read"
+
+
+class DeterminismTaintSpec(TaintSpec):
+    """Sources of nondeterminism for the dataflow engine."""
+
+    def __init__(self, clock_exempt: Sequence[str] = DEFAULT_CLOCK_EXEMPT) -> None:
+        self.clock_exempt = tuple(clock_exempt)
+
+    def source_label(self, node: ast.AST, func: FunctionInfo,
+                     graph: CallGraph) -> Optional[str]:
+        """Label unseeded-rng, wall-clock, and env-read expressions."""
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            tail = name.rsplit(".", 1)[-1] if name else ""
+            if tail in ("default_rng", "SeedSequence") and not node.args \
+                    and not node.keywords:
+                return LABEL_RNG
+            clock = dotted_tail(node.func, 2)
+            if clock in WALL_CLOCK_TAILS and not self._clock_ok(func.module):
+                return LABEL_CLOCK
+            if name in ("os.getenv", "os.environ.get"):
+                return LABEL_ENV
+        if isinstance(node, ast.Subscript):
+            base = dotted_name(node.value)
+            if base == "os.environ":
+                return LABEL_ENV
+        return None
+
+    def _clock_ok(self, module: str) -> bool:
+        return any(module == p or module.startswith(p) or module == p.rstrip(".")
+                   for p in self.clock_exempt)
+
+
+@register
+class DeterminismFlowRule(Rule):
+    """Interprocedural: nondeterministic values reaching decode rng/seed slots."""
+
+    rule_id = "determinism-flow"
+    description = (
+        "no unseeded RNG, wall-clock read, or environment value may flow "
+        "(interprocedurally) into an rng/seed slot of the decode stack"
+    )
+    fix_hint = (
+        "thread an explicit seed from config and build the generator with "
+        "repro.utils.rng.derive(seed, tag) at the edge"
+    )
+
+    def __init__(self, sink_prefixes: Sequence[str] = DEFAULT_SINK_PREFIXES,
+                 clock_exempt: Sequence[str] = DEFAULT_CLOCK_EXEMPT) -> None:
+        self.sink_prefixes = tuple(sink_prefixes)
+        self.spec = DeterminismTaintSpec(clock_exempt)
+
+    def check_project(self, project: Project) -> Iterator:
+        """Report taint events that land in a seed/rng slot of a sink module."""
+        graph = call_graph_for(project)
+        analysis = run_taint(graph, self.spec)
+        seen: Set[Tuple[str, int, str]] = set()
+        for event in analysis.events:
+            func = graph.functions.get(event.func)
+            if func is None or not self._in_sink_module(func.module):
+                continue
+            slot = self._sink_slot(event)
+            if slot is None:
+                continue
+            module = project.modules.get(func.module)
+            if module is None:
+                continue
+            key = (func.module, event.line, event.taint.label)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                module, event.line,
+                f"{event.taint.label} value reaches {slot} in "
+                f"{_short(event.func)} (source: {event.taint.origin}); "
+                f"decode output now varies between runs",
+            )
+
+    # ------------------------------------------------------------------
+    def _in_sink_module(self, module: str) -> bool:
+        return any(module.startswith(p) or module == p.rstrip(".")
+                   for p in self.sink_prefixes)
+
+    def _sink_slot(self, event: TaintEvent) -> Optional[str]:
+        """Human-readable sink description, or None when not a sink."""
+        if event.kind == "assign":
+            name = event.target.rsplit(".", 1)[-1]
+            if name in SINK_SLOTS:
+                return f"`{event.target}`"
+        elif event.kind == "call-arg":
+            param = event.param.lstrip("#")
+            if event.param in SINK_SLOTS or param in SINK_SLOTS:
+                callee = _short(event.callee) if event.callee else "a callee"
+                return f"parameter `{event.param}` of {callee}"
+        return None
+
+
+def _short(qname: str) -> str:
+    parts = qname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qname

@@ -65,6 +65,7 @@ from ..obs.tracing import NULL_SPAN, Tracer, get_tracer
 from ..robustness.guards import check_hybrid_cache, ensure_finite
 from ..tokenizer import WordTokenizer
 from ..decoding.adaptive import FixedGamma, GammaController
+from ..utils.rng import derive
 from ..utils.timing import WallTimer
 from .draft_head import AASDDraftHead
 from .hybrid_cache import SEGMENT_TEXT, HybridKVCache
@@ -223,8 +224,9 @@ class AASDEngine(Decoder):
         self.cost_model = cost_model
         self.config = config or AASDEngineConfig()
         self.gamma_controller = gamma_controller or FixedGamma(self.config.gamma)
-        self.rng = rng if rng is not None else np.random.default_rng()
-        self.sampler = Sampler(sampler_config or SamplerConfig(), rng=self.rng)
+        sampler_config = sampler_config or SamplerConfig()
+        self.rng = rng if rng is not None else derive(sampler_config.seed, "engine")
+        self.sampler = Sampler(sampler_config, rng=self.rng)
         self._tracer = tracer
         if head.config.n_vision_tokens != target.n_vision_tokens and head.config.use_target_kv:
             raise DecodingError(

@@ -22,6 +22,7 @@ import numpy as np
 from ..errors import ConfigError, ShapeError
 from ..nn.module import Module, Parameter
 from ..nn.tensor import Tensor, as_tensor
+from ..utils.rng import derive
 
 __all__ = ["KVProjector"]
 
@@ -50,7 +51,7 @@ class KVProjector(Module):
             raise ConfigError(
                 f"k_compressed must be in (0, {n_vision_tokens}], got {k_compressed}"
             )
-        gen = rng if rng is not None else np.random.default_rng()
+        gen = rng if rng is not None else derive(0, "kv-projector-init")
         self.n_vision_tokens = n_vision_tokens
         self.k_compressed = k_compressed
         self.w_k = Parameter(_pooling_init(k_compressed, n_vision_tokens, gen), name="w_k")

@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..errors import DecodingError
+from ..utils.rng import derive
 
 __all__ = ["SamplerConfig", "Sampler", "logits_to_probs", "speculative_verify", "VerifyOutcome"]
 
@@ -27,6 +28,7 @@ class SamplerConfig:
     temperature: float = 1.0
     top_k: int = 0        # 0 disables
     top_p: float = 1.0    # 1.0 disables
+    seed: int = 0         # root seed for the sampler's RNG stream
 
     def __post_init__(self) -> None:
         if self.temperature <= 0:
@@ -77,11 +79,16 @@ def logits_to_probs(logits: np.ndarray, config: SamplerConfig) -> np.ndarray:
 
 
 class Sampler:
-    """Stateful sampler owning its RNG stream."""
+    """Stateful sampler owning its RNG stream.
+
+    Without an explicit ``rng`` the stream is derived from
+    ``config.seed`` — sampled decoding is reproducible by construction,
+    never seeded from OS entropy.
+    """
 
     def __init__(self, config: SamplerConfig, rng: Optional[np.random.Generator] = None) -> None:
         self.config = config
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else derive(config.seed, "sampler")
 
     def sample(self, logits: np.ndarray) -> int:
         probs = logits_to_probs(logits, self.config)

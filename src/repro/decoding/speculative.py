@@ -21,6 +21,7 @@ from ..models.llava import MiniLlava
 from ..nn.tensor import no_grad
 from ..obs.tracing import Tracer, get_tracer
 from ..tokenizer import WordTokenizer
+from ..utils.rng import derive
 from ..utils.timing import WallTimer
 from .adaptive import FixedGamma, GammaController
 from .base import Decoder, encode_prompt
@@ -169,8 +170,9 @@ class SpeculativeDecoder(Decoder):
         self.gamma = gamma
         self.gamma_controller = gamma_controller or FixedGamma(gamma)
         self.max_new_tokens = max_new_tokens
-        self.rng = rng if rng is not None else np.random.default_rng()
-        self.sampler = Sampler(sampler_config or SamplerConfig(), rng=self.rng)
+        sampler_config = sampler_config or SamplerConfig()
+        self.rng = rng if rng is not None else derive(sampler_config.seed, "speculative")
+        self.sampler = Sampler(sampler_config, rng=self.rng)
 
     @property
     def name(self) -> str:

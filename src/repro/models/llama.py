@@ -256,6 +256,7 @@ class MiniLlama(Module):
             raise ShapeError(
                 f"packed length {x.shape[1]} != sum of row lengths {int(cu[-1])}"
             )
+        # repro: allow[hotpath-reach] -- packs O(feed) position rows once per packed forward
         positions = np.concatenate(pos_rows) if pos_rows else np.zeros(0, np.int64)
         use_cache = [c is not None and c.seq_len > 0 for c in caches]
 
@@ -269,6 +270,7 @@ class MiniLlama(Module):
         blocked: List[np.ndarray] = []
         for i in range(len(extents)):
             if use_cache[i]:
+                # repro: allow[hotpath-reach] -- O(context) int position vector, built once per row per forward
                 all_pos = np.concatenate(
                     [np.asarray(caches[i].positions, dtype=np.int64), pos_rows[i]]
                 )
@@ -306,7 +308,9 @@ class MiniLlama(Module):
                         k_all, v_all = np.asarray(k_all), np.asarray(v_all)
                     elif use_cache[i]:
                         past_k, past_v = caches[i].layer(layer_idx)
+                        # repro: allow[hotpath-reach] -- legacy-cache fallback row; arena caches take the zero-copy branch above
                         k_all = np.concatenate([np.asarray(past_k), k_i], axis=2)
+                        # repro: allow[hotpath-reach] -- legacy-cache fallback row; arena caches take the zero-copy branch above
                         v_all = np.concatenate([np.asarray(past_v), v_i], axis=2)
                     else:
                         k_all, v_all = k_i, v_i
@@ -441,6 +445,7 @@ class MiniLlama(Module):
                 start = cache.next_position() if cache is not None else 0
                 pos = np.arange(start, start + ids.shape[1], dtype=np.int64)
             pos_rows.append(pos)
+        # repro: allow[hotpath-reach] -- packs O(feed) token ids once per packed forward
         packed_ids = np.concatenate(rows2d, axis=1)
         return self.forward_packed_embeds(
             self.embed_tokens(packed_ids), pos_rows, caches, update_cache,

@@ -167,6 +167,7 @@ class MiniLlava:
         bitwise identical to B solo prefills.
         """
         if not isinstance(images, np.ndarray):
+            # repro: allow[hotpath-reach] -- prefill runs once per request, not per decode step
             images = np.stack([np.asarray(img) for img in images])
         if images.shape[0] != len(text_rows):
             raise ShapeError(

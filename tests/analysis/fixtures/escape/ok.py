@@ -1,0 +1,34 @@
+"""Clean view usage: consume before mutating, copy when it must outlive."""
+
+from __future__ import annotations
+
+
+def consume_first(table, idx, block, out):
+    rows = table.gather_rows(idx)
+    total = rows.sum()       # view consumed while still valid
+    out.append(total)        # list append on another object: no invalidation
+    table.append(block)
+    rows = table.gather_rows(idx)  # re-fetched after the mutation
+    return rows.mean()
+
+
+def copied(table, idx, block):
+    snap = table.gather_rows(idx).copy()  # explicit copy detaches from arena
+    table.append(block)
+    return snap
+
+
+def fresh_return(table, idx):
+    return table.gather_rows(idx)  # returning a *fresh* view is the API
+
+
+class Holder:
+    """Stores a copy, not the view itself."""
+
+    def __init__(self, cache) -> None:
+        self._cache = cache
+        self.last = None
+
+    def snapshot(self):
+        self.last = self._cache.layer(0)[0].copy()
+        return self.last

@@ -1,0 +1,17 @@
+"""Seeded hot-path leak: the allocation hides in a helper module-side."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def assemble(parts):
+    """Lexically innocent helper — no hot module tag anywhere near it."""
+    return np.concatenate(parts, axis=0)
+
+
+class Engine:
+    """Entry point; the allocation is one resolved call away."""
+
+    def step(self, parts):
+        return assemble(parts)

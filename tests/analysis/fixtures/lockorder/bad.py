@@ -1,0 +1,63 @@
+"""Seeded lock-order hazards: an inversion cycle and a self-deadlock."""
+
+from __future__ import annotations
+
+import threading
+
+
+class Metrics:
+    """Holds its own lock; calls back into the queue while holding it."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values = {}
+        self._queue = None
+
+    def attach(self, queue: "Queue") -> None:
+        self._queue = queue
+
+    def set(self, key: str, value: float) -> None:
+        with self._lock:
+            self._values[key] = value
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            # Metrics lock held -> Queue lock acquired (edge Metrics -> Queue)
+            self._queue.refresh()
+            return dict(self._values)
+
+
+class Queue:
+    """Acquires the metrics lock while holding its own: the opposite order."""
+
+    def __init__(self, metrics: Metrics) -> None:
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._metrics = metrics
+
+    def push(self) -> None:
+        with self._lock:
+            self._depth += 1
+            # Queue lock held -> Metrics lock acquired (edge Queue -> Metrics)
+            self._metrics.set("depth", self._depth)
+
+    def refresh(self) -> None:
+        with self._lock:
+            self._depth = max(self._depth, 0)
+
+
+class Registry:
+    """Helper re-acquires the lock the caller already holds: self-deadlock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add(self, item) -> None:
+        with self._lock:
+            self._items.append(item)
+
+    def add_many(self, items) -> None:
+        with self._lock:
+            for item in items:
+                self.add(item)  # threading.Lock is not re-entrant

@@ -1,0 +1,62 @@
+"""Clean locking: one global acquisition order, no re-entrant acquires."""
+
+from __future__ import annotations
+
+import threading
+
+
+class Metrics:
+    """Leaf lock: never calls out while holding it."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values = {}
+
+    def set(self, key: str, value: float) -> None:
+        with self._lock:
+            self._values[key] = value
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return dict(self._values)
+
+
+class Queue:
+    """Nests Queue -> Metrics only; the reverse order never occurs."""
+
+    def __init__(self, metrics: Metrics) -> None:
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._metrics = metrics
+
+    def push(self) -> None:
+        with self._lock:
+            self._depth += 1
+            self._metrics.set("depth", self._depth)
+
+    def pop(self) -> None:
+        with self._lock:
+            self._depth -= 1
+            depth = self._depth
+        # compute under the lock, publish after: no nesting at all
+        self._metrics.set("depth", depth)
+
+
+class Registry:
+    """Locked entry points share an unlocked helper instead of nesting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items = []
+
+    def _add_unlocked(self, item) -> None:
+        self._items.append(item)
+
+    def add(self, item) -> None:
+        with self._lock:
+            self._add_unlocked(item)
+
+    def add_many(self, items) -> None:
+        with self._lock:
+            for item in items:
+                self._add_unlocked(item)

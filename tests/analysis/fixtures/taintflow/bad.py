@@ -1,0 +1,34 @@
+"""Seeded determinism-taint flows: nondeterminism reaching rng/seed slots."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+
+def _make_rng() -> np.random.Generator:
+    """The taint source hides one call away from the sink."""
+    return np.random.default_rng()
+
+
+def decode(tokens, rng: np.random.Generator) -> list:
+    return [rng.integers(0, 10) for _ in tokens]
+
+
+def run(tokens) -> list:
+    gen = _make_rng()
+    return decode(tokens, gen)  # unseeded generator reaches the rng param
+
+
+class Sampler:
+    """The classic silent fallback: OS entropy when no rng is passed."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+
+def clocked_seed() -> float:
+    seed = time.time()  # wall-clock value lands in a seed slot
+    return seed

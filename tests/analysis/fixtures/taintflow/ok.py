@@ -1,0 +1,37 @@
+"""Clean determinism: explicit seeds everywhere, derived data untainted."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+
+def _make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)  # seeded: not a source
+
+
+def decode(tokens, rng: np.random.Generator) -> list:
+    return [rng.integers(0, 10) for _ in tokens]
+
+
+def run(tokens, seed: int = 0) -> list:
+    gen = _make_rng(seed)
+    return decode(tokens, gen)
+
+
+class Sampler:
+    """Explicit-seed fallback instead of OS entropy."""
+
+    def __init__(self, seed: int = 0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+
+
+def timed(tokens) -> float:
+    start = time.perf_counter()
+    decode(tokens, np.random.default_rng(0))
+    # a clock reading used as *data* (not a seed) is not a finding
+    elapsed = time.perf_counter() - start
+    return elapsed

@@ -1,0 +1,198 @@
+"""Call-graph construction: resolution, dispatch, decorators, cycles."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import load_project
+from repro.analysis.callgraph import build_call_graph, call_graph_for
+
+
+@pytest.fixture()
+def graph_of(tmp_path):
+    """Write ``name -> source`` modules, load them, build the graph.
+
+    Each module is written as a package ``__init__.py`` so its dotted name
+    is exactly the given name (module naming anchors at the topmost
+    package, which would otherwise prepend the tmp directory).
+    """
+
+    def _build(**modules):
+        for name, source in modules.items():
+            pkg = tmp_path / name
+            pkg.mkdir()
+            (pkg / "__init__.py").write_text(dedent(source))
+        return build_call_graph(load_project([tmp_path]))
+
+    return _build
+
+
+def _callee_names(graph, qname):
+    return sorted({e.callee for e in graph.callees(qname)})
+
+
+def test_module_function_resolution(graph_of):
+    graph = graph_of(app="""
+        def helper():
+            return 1
+
+        def entry():
+            return helper()
+    """)
+    assert _callee_names(graph, "app.entry") == ["app.helper"]
+
+
+def test_self_method_dispatch_and_attr_types(graph_of):
+    """self.method() and self.attr.method() both resolve, via __init__ types."""
+    graph = graph_of(app="""
+        class Store:
+            def get(self):
+                return 1
+
+        class Engine:
+            def __init__(self):
+                self.store = Store()
+
+            def run(self):
+                return self.helper() + self.store.get()
+
+            def helper(self):
+                return 2
+    """)
+    assert _callee_names(graph, "app.Engine.run") == [
+        "app.Engine.helper", "app.Store.get"]
+
+
+def test_cross_module_import_resolution(graph_of):
+    graph = graph_of(
+        util="""
+            def work():
+                return 1
+        """,
+        app="""
+            from util import work
+
+            def entry():
+                return work()
+        """,
+    )
+    assert _callee_names(graph, "app.entry") == ["util.work"]
+
+
+def test_decorated_functions_keep_their_edges(graph_of):
+    """Decorators are transparent: edges point at the decorated function."""
+    graph = graph_of(app="""
+        def traced(fn):
+            return fn
+
+        @traced
+        def worker():
+            return 1
+
+        def entry():
+            return worker()
+    """)
+    assert "app.worker" in _callee_names(graph, "app.entry")
+    assert graph.functions["app.worker"].decorators == ("traced",)
+
+
+def test_return_type_annotation_chains(graph_of):
+    """reg().gauge().set() style chains resolve through return annotations."""
+    graph = graph_of(app="""
+        class Gauge:
+            def set(self, v):
+                pass
+
+        class Registry:
+            def gauge(self) -> "Gauge":
+                return Gauge()
+
+        def get_registry() -> "Registry":
+            return Registry()
+
+        def entry():
+            get_registry().gauge().set(1)
+    """)
+    callees = _callee_names(graph, "app.entry")
+    assert {"app.get_registry", "app.Registry.gauge", "app.Gauge.set"} <= set(callees)
+
+
+def test_inheritance_resolves_through_mro(graph_of):
+    graph = graph_of(app="""
+        class Base:
+            def shared(self):
+                return 1
+
+        class Child(Base):
+            def run(self):
+                return self.shared()
+    """)
+    assert _callee_names(graph, "app.Child.run") == ["app.Base.shared"]
+    assert graph.resolve_method("app.Child", "shared") == "app.Base.shared"
+
+
+def test_recursion_and_cycles_terminate(graph_of):
+    graph = graph_of(app="""
+        def ping():
+            return pong()
+
+        def pong():
+            return ping()
+    """)
+    closure = graph.reachable(["app.ping"])
+    assert set(closure) == {"app.ping", "app.pong"}
+    assert closure["app.pong"] == ("app.ping", "app.pong")
+
+
+def test_reachability_gives_shortest_witness_path(graph_of):
+    graph = graph_of(app="""
+        def c():
+            return 1
+
+        def b():
+            return c()
+
+        def a():
+            return b() + c()
+    """)
+    closure = graph.reachable(["app.a"])
+    assert closure["app.c"] == ("app.a", "app.c")  # direct, not via b
+
+
+def test_nested_defs_do_not_leak_edges_to_parent(graph_of):
+    """A nested def's calls belong to the nested function, not the parent."""
+    graph = graph_of(app="""
+        def leaf():
+            return 1
+
+        def parent():
+            def inner():
+                return leaf()
+            return inner
+    """)
+    assert "app.leaf" not in _callee_names(graph, "app.parent")
+    assert _callee_names(graph, "app.parent.inner") == ["app.leaf"]
+
+
+def test_property_access_emits_call_edge(graph_of):
+    graph = graph_of(app="""
+        class Cache:
+            @property
+            def positions(self):
+                return self._pos
+
+            def __init__(self):
+                self._pos = []
+
+        def entry(cache: Cache):
+            return cache.positions
+    """)
+    assert "app.Cache.positions" in _callee_names(graph, "app.entry")
+
+
+def test_graph_is_memoized_on_project(tmp_path):
+    (tmp_path / "m.py").write_text("def f():\n    return 1\n")
+    project = load_project([tmp_path])
+    assert call_graph_for(project) is call_graph_for(project)

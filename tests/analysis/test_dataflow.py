@@ -1,0 +1,129 @@
+"""Taint engine: propagation through locals, attrs, returns, and params."""
+
+from __future__ import annotations
+
+import ast
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import load_project
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.dataflow import TaintSpec, run_taint
+
+
+class _RngSpec(TaintSpec):
+    """Minimal spec: argless ``make_taint()`` calls birth taint."""
+
+    def source_label(self, node, func, graph):
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id == "make_taint" and not node.args):
+            return "taint"
+        return None
+
+
+@pytest.fixture()
+def taint_of(tmp_path):
+    def _run(source):
+        pkg = tmp_path / "app"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text(dedent(source))
+        graph = build_call_graph(load_project([tmp_path]))
+        return run_taint(graph, _RngSpec())
+
+    return _run
+
+
+def test_taint_flows_through_locals_and_returns(taint_of):
+    analysis = taint_of("""
+        def make_taint():
+            pass
+
+        def producer():
+            value = make_taint()
+            return value
+    """)
+    assert any(t.label == "taint" for t in analysis.returns["app.producer"])
+
+
+def test_taint_flows_into_call_params_interprocedurally(taint_of):
+    analysis = taint_of("""
+        def make_taint():
+            pass
+
+        def sink(rng):
+            return rng
+
+        def producer():
+            return make_taint()
+
+        def entry():
+            return sink(producer())
+    """)
+    assert any(t.label == "taint"
+               for t in analysis.params[("app.sink", "rng")])
+    events = [e for e in analysis.events
+              if e.kind == "call-arg" and e.callee == "app.sink"]
+    assert events and events[0].param == "rng"
+
+
+def test_taint_stored_on_attrs_is_visible_project_wide(taint_of):
+    analysis = taint_of("""
+        def make_taint():
+            pass
+
+        class Holder:
+            def __init__(self):
+                self.rng = make_taint()
+
+            def reader(self):
+                return self.rng
+    """)
+    assert any(t.label == "taint"
+               for t in analysis.attrs[("app.Holder", "rng")])
+    assert any(t.label == "taint" for t in analysis.returns["app.Holder.reader"])
+
+
+def test_derived_data_is_not_tainted(taint_of):
+    """Method calls on tainted values and arithmetic launder the taint."""
+    analysis = taint_of("""
+        def make_taint():
+            pass
+
+        def consumer():
+            rng = make_taint()
+            sample = rng.normal()
+            doubled = sample * 2
+            return doubled
+    """)
+    assert "app.consumer" not in analysis.returns
+    tainted_targets = {e.target for e in analysis.events if e.kind == "assign"}
+    assert "sample" not in tainted_targets
+    assert "doubled" not in tainted_targets
+
+
+def test_rebinding_clears_local_taint(taint_of):
+    analysis = taint_of("""
+        def make_taint():
+            pass
+
+        def rebound():
+            value = make_taint()
+            value = 0
+            return value
+    """)
+    assert "app.rebound" not in analysis.returns
+
+
+def test_conditional_fallback_pattern_is_caught(taint_of):
+    """The `x if x is not None else make_taint()` idiom carries taint."""
+    analysis = taint_of("""
+        def make_taint():
+            pass
+
+        class Sampler:
+            def __init__(self, rng=None):
+                self.rng = rng if rng is not None else make_taint()
+    """)
+    assert any(t.label == "taint"
+               for t in analysis.attrs[("app.Sampler", "rng")])

@@ -1,0 +1,36 @@
+"""Hot-path reachability rule: allocations hiding behind resolved calls."""
+
+from __future__ import annotations
+
+from repro.analysis.framework import run_rules
+from repro.analysis.rules.hotreach import HotPathReachRule
+
+
+def _rule():
+    # Entry points live in the fixture modules; disable the lexical-pack
+    # overlap exclusion since the fixtures are outside repro.*.
+    return HotPathReachRule(
+        entry_patterns=("hotreach.bad.Engine.step", "hotreach.ok.Engine.step"),
+        lexical_modules=set(),
+        lexical_prefixes=(),
+        exempt=set(),
+    )
+
+
+def test_bad_fixture_flags_allocation_behind_helper(load_fixture):
+    project = load_fixture("hotreach")
+    findings = [f for f in run_rules(project, [_rule()])
+                if f.file.endswith("bad.py")]
+    messages = [f.message for f in findings]
+    assert any("np.concatenate" in m and "assemble" in m
+               for m in messages), messages
+    # The finding carries the witness path from the entry point.
+    assert any("Engine.step" in m for m in messages), messages
+
+
+def test_ok_fixture_is_clean(load_fixture):
+    """Preallocated-buffer writes and unreachable allocators are fine."""
+    project = load_fixture("hotreach")
+    findings = [f for f in run_rules(project, [_rule()])
+                if f.file.endswith("ok.py")]
+    assert findings == []

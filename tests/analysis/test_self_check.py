@@ -10,10 +10,12 @@ except) breaks it just as fast.  The committed baseline must stay small
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 from repro.analysis import Baseline
 from repro.analysis.cli import main
+from repro.analysis.framework import rule_ids
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 BASELINE = REPO_ROOT / "analysis_baseline.json"
@@ -21,11 +23,21 @@ BASELINE = REPO_ROOT / "analysis_baseline.json"
 
 def test_src_is_clean_modulo_baseline(monkeypatch, capsys):
     monkeypatch.chdir(REPO_ROOT)
+    start = time.perf_counter()
     assert main(["src", "--baseline", str(BASELINE)]) == 0
+    elapsed = time.perf_counter() - start
     out = capsys.readouterr().out
     assert "clean: 0 findings" in out
     assert "stale baseline entry" not in out
     assert "no justification" not in out
+    assert "stale inline allow" not in out
+    # CI budget: the whole-program check must stay interactive-fast.
+    assert elapsed < 30.0, f"analysis took {elapsed:.1f}s, budget is 30s"
+
+
+def test_whole_program_packs_are_registered():
+    assert {"lock-order", "determinism-flow", "view-escape",
+            "hotpath-reach"} <= set(rule_ids())
 
 
 def test_baseline_is_small_and_fully_justified():

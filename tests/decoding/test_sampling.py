@@ -152,3 +152,31 @@ class TestSpeculativeSamplingLossless:
             out = speculative_verify([token], probs[None], np.stack([logits, logits]), cfg, gen)
             accepted += out.n_accepted
         assert accepted == 500
+
+
+class TestSamplerSeedPlumbing:
+    """Regression: the default Sampler RNG is derived, never OS entropy."""
+
+    def test_default_samplers_are_identical_across_constructions(self):
+        cfg = SamplerConfig(greedy=False, temperature=1.3)
+        logits = np.random.default_rng(7).standard_normal((50, 32))
+        a = [Sampler(cfg).sample(row) for row in logits]
+        b = [Sampler(cfg).sample(row) for row in logits]
+        assert a == b
+
+    def test_same_seed_same_stream_different_seed_diverges(self):
+        logits = np.random.default_rng(11).standard_normal((200, 64))
+        draws = {}
+        for seed in (0, 0, 1):
+            sampler = Sampler(SamplerConfig(greedy=False, seed=seed))
+            draws.setdefault(seed, []).append(
+                [sampler.sample(row) for row in logits])
+        assert draws[0][0] == draws[0][1]
+        assert draws[0][0] != draws[1][0]
+
+    def test_explicit_rng_still_wins(self):
+        cfg = SamplerConfig(greedy=False)
+        logits = np.random.default_rng(3).standard_normal((20, 16))
+        a = Sampler(cfg, rng=np.random.default_rng(42))
+        b = Sampler(cfg, rng=np.random.default_rng(42))
+        assert [a.sample(r) for r in logits] == [b.sample(r) for r in logits]
